@@ -1,0 +1,40 @@
+// Ablation: modeled speedup vs core count.
+//
+// Reproduces the paper's Section 5.3 claim that wisefuse "scales better
+// than smartfuse, and the performance gap increases with the number of
+// processors": wisefuse's coarse-grained parallel nests pay one fork/join
+// per nest while smartfuse/maxfuse's pipelined fused nests pay one
+// synchronization per wavefront -- a cost that does not shrink with P.
+#include "common.h"
+
+int main() {
+  using namespace pf;
+  using bench::Strategy;
+
+  for (const char* name : {"advect", "applu", "swim"}) {
+    const suite::Benchmark& b = suite::benchmark(name);
+    const bench::Variant wise = bench::build_variant(b, Strategy::kWisefuse);
+    const bench::Variant smart = bench::build_variant(b, Strategy::kSmartfuse);
+
+    TextTable t({"cores", "wisefuse speedup", "smartfuse speedup",
+                 "wise/smart"});
+    double wise1 = 0, smart1 = 0;
+    for (const int cores : {1, 2, 4, 8, 16}) {
+      machine::MachineConfig cfg;
+      cfg.cores = cores;
+      const double wc = bench::model_variant(b, wise, cfg).modeled_cycles;
+      const double sc = bench::model_variant(b, smart, cfg).modeled_cycles;
+      if (cores == 1) {
+        wise1 = wc;
+        smart1 = sc;
+      }
+      t.add_row({std::to_string(cores), fmt_double(wise1 / wc, 2),
+                 fmt_double(smart1 / sc, 2), fmt_double(sc / wc, 2)});
+    }
+    std::cout << "== Scaling on " << name << " (modeled) ==\n"
+              << t.to_string() << "\n";
+  }
+  std::cout << "(expected shape: the wise/smart column grows with cores "
+               "wherever smartfuse lost outer parallelism)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// google-benchmark wall-clock of the JIT-compiled transformed kernels
+// (single thread; measures the data-reuse half of the story on this
+// container -- see DESIGN.md substitution #2).
+//
+// One benchmark registration per (program x fusion strategy); skipped
+// cleanly when no system compiler is available.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+using pf::bench::Strategy;
+
+struct Compiled {
+  std::shared_ptr<pf::ir::Scop> scop;
+  std::shared_ptr<pf::exec::JitKernel> kernel;
+  pf::IntVector params;
+};
+
+// Build + JIT once per registration; cached across google-benchmark
+// iterations.
+Compiled compile(const std::string& bench_name, Strategy strategy) {
+  const pf::suite::Benchmark& b = pf::suite::benchmark(bench_name);
+  const pf::bench::Variant v = pf::bench::build_variant(b, strategy);
+  pf::exec::JitOptions opts;
+  opts.openmp = false;
+  std::string err;
+  auto kernel = pf::exec::JitKernel::compile(
+      pf::codegen::emit_c(*v.ast, *v.scop), "pf_kernel", opts, &err);
+  PF_CHECK_MSG(kernel.has_value(), "JIT failed: " << err);
+  Compiled c;
+  c.scop = v.scop;
+  c.kernel = std::make_shared<pf::exec::JitKernel>(std::move(*kernel));
+  c.params = b.bench_params;
+  return c;
+}
+
+void run_kernel(benchmark::State& state, const std::string& name,
+                Strategy strategy) {
+  const Compiled c = compile(name, strategy);
+  pf::exec::ArrayStore store(*c.scop, c.params);
+  pf::suite::init_store(store);
+  for (auto _ : state) {
+    c.kernel->run(store);
+    benchmark::ClobberMemory();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!pf::exec::jit_available()) {
+    std::cout << "jit_kernels: no system compiler available; skipping\n";
+    return 0;
+  }
+  // The kernels with the strongest reuse story; the full sweep lives in
+  // fig7_models.
+  for (const char* name : {"gemver", "advect", "swim", "wupwise"}) {
+    for (const Strategy s :
+         {Strategy::kBaseline, Strategy::kWisefuse, Strategy::kSmartfuse,
+          Strategy::kNofuse, Strategy::kMaxfuse}) {
+      benchmark::RegisterBenchmark(
+          (std::string(name) + "/" + pf::bench::to_string(s)).c_str(),
+          [name, s](benchmark::State& st) { run_kernel(st, name, s); })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Loop AST produced by polyhedra scanning (codegen.h) and consumed by the
+// interpreter, the C emitter and the pretty printer.
+//
+// Space conventions: let q be the number of *linear* schedule levels. All
+// affine expressions in the AST live in the space [t_0..t_{q-1}, params],
+// where t_k is the loop variable of the k-th linear level. A loop at
+// ordinal k only references t_0..t_{k-1} in its bounds; statement guards
+// and iterator-recovery expressions may reference every enclosing t.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/scop.h"
+#include "poly/affine.h"
+
+namespace pf::codegen {
+
+/// One bound alternative: value = ceil(expr / denom) for lower bounds,
+/// floor(expr / denom) for upper bounds. denom >= 1.
+struct BoundTerm {
+  poly::AffineExpr expr;
+  i64 denom = 1;
+
+  bool operator==(const BoundTerm& o) const {
+    return denom == o.denom && expr == o.expr;
+  }
+};
+
+/// A loop bound. For a single statement: lower = max over terms (upper =
+/// min). When statements with different spans are fused, each statement
+/// contributes one `alternatives` entry and the loop runs over the union:
+/// lower = min over alternatives of (max over terms), upper = max of mins.
+struct LoopBound {
+  std::vector<std::vector<BoundTerm>> alternatives;
+
+  bool single() const {
+    return alternatives.size() == 1 && alternatives[0].size() == 1;
+  }
+};
+
+class AstNode;
+using AstPtr = std::unique_ptr<AstNode>;
+
+class AstNode {
+ public:
+  enum class Kind { kBlock, kLoop, kStmt };
+
+  explicit AstNode(Kind k) : kind(k) {}
+
+  Kind kind;
+
+  // kBlock ------------------------------------------------------------------
+  std::vector<AstPtr> children;
+
+  // kLoop -------------------------------------------------------------------
+  std::size_t level = 0;    // global schedule level
+  std::size_t t_index = 0;  // ordinal among linear levels (names the t var)
+  LoopBound lower, upper;
+  /// No dependence is carried by this loop for the statements under it.
+  bool parallel = false;
+  /// Emitter hint: this is the outermost parallel loop of its nest (gets
+  /// the `#pragma omp parallel for`).
+  bool mark_parallel = false;
+  AstPtr body;
+
+  // kStmt -------------------------------------------------------------------
+  std::size_t stmt = 0;
+  /// Original iterator values, one per statement dimension: iterator d is
+  /// iter_exprs[d] / iter_denoms[d], executed only when the division is
+  /// exact (non-unimodular schedules produce strided images; points where
+  /// a division is inexact are skipped).
+  std::vector<poly::AffineExpr> iter_exprs;
+  IntVector iter_denoms;
+  /// Extra conditions (affine >= 0) this statement instance must satisfy
+  /// (non-empty only when fused statements have differing spans).
+  std::vector<poly::AffineExpr> guards;
+};
+
+AstPtr make_block();
+AstPtr make_loop(std::size_t level, std::size_t t_index);
+AstPtr make_stmt(std::size_t stmt);
+
+/// Render the AST as readable pseudo-C (the form the paper's figures use).
+std::string ast_to_string(const AstNode& root, const ir::Scop& scop);
+
+}  // namespace pf::codegen

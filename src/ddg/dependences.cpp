@@ -1,0 +1,195 @@
+#include "ddg/dependences.h"
+
+#include <sstream>
+
+namespace pf::ddg {
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::kFlow:
+      return "flow";
+    case DepKind::kAnti:
+      return "anti";
+    case DepKind::kOutput:
+      return "output";
+    case DepKind::kInput:
+      return "input";
+  }
+  return "?";
+}
+
+poly::AffineExpr Dependence::lift_src(const poly::AffineExpr& e) const {
+  PF_CHECK(e.dims() == src_dim + num_params);
+  std::vector<std::size_t> map(e.dims());
+  for (std::size_t k = 0; k < src_dim; ++k) map[k] = k;
+  for (std::size_t q = 0; q < num_params; ++q)
+    map[src_dim + q] = src_dim + dst_dim + q;
+  return e.remap(src_dim + dst_dim + num_params, map);
+}
+
+poly::AffineExpr Dependence::lift_dst(const poly::AffineExpr& e) const {
+  PF_CHECK(e.dims() == dst_dim + num_params);
+  std::vector<std::size_t> map(e.dims());
+  for (std::size_t k = 0; k < dst_dim; ++k) map[k] = src_dim + k;
+  for (std::size_t q = 0; q < num_params; ++q)
+    map[dst_dim + q] = src_dim + dst_dim + q;
+  return e.remap(src_dim + dst_dim + num_params, map);
+}
+
+namespace {
+
+DepKind classify(bool src_write, bool dst_write) {
+  if (src_write && dst_write) return DepKind::kOutput;
+  if (src_write) return DepKind::kFlow;
+  if (dst_write) return DepKind::kAnti;
+  return DepKind::kInput;
+}
+
+}  // namespace
+
+DependenceGraph DependenceGraph::analyze(const ir::Scop& scop,
+                                         const AnalysisOptions& options) {
+  DependenceGraph g;
+  g.scop_ = &scop;
+  const std::size_t n = scop.num_statements();
+  const std::size_t p = scop.num_params();
+  g.adj_.assign(n, std::vector<bool>(n, false));
+  g.reuse_.assign(n, std::vector<bool>(n, false));
+
+  std::size_t next_id = 0;
+  for (std::size_t si = 0; si < n; ++si) {
+    for (std::size_t sj = 0; sj < n; ++sj) {
+      const ir::Statement& a = scop.statement(si);
+      const ir::Statement& b = scop.statement(sj);
+      const std::size_t common = scop.common_loop_depth(a, b);
+      const std::size_t ms = a.dim(), mt = b.dim();
+      const std::size_t total = ms + mt + p;
+
+      // Shared building blocks for every access pair of this statement
+      // pair: embedded domains + context.
+      poly::IntegerSet base(total);
+      {
+        Dependence proto;  // only for the lift helpers
+        proto.src_dim = ms;
+        proto.dst_dim = mt;
+        proto.num_params = p;
+        for (const poly::Constraint& c : a.domain().constraints())
+          base.add_constraint(
+              poly::Constraint{proto.lift_src(c.expr), c.is_equality});
+        for (const poly::Constraint& c : b.domain().constraints())
+          base.add_constraint(
+              poly::Constraint{proto.lift_dst(c.expr), c.is_equality});
+        for (const poly::Constraint& c : scop.context().constraints()) {
+          std::vector<std::size_t> map(p);
+          for (std::size_t q = 0; q < p; ++q) map[q] = ms + mt + q;
+          base.add_constraint(
+              poly::Constraint{c.expr.remap(total, map), c.is_equality});
+        }
+      }
+
+      for (std::size_t xa = 0; xa < a.accesses().size(); ++xa) {
+        for (std::size_t xb = 0; xb < b.accesses().size(); ++xb) {
+          const ir::Access& ax = a.accesses()[xa];
+          const ir::Access& bx = b.accesses()[xb];
+          if (ax.array_id != bx.array_id) continue;
+          const DepKind kind = classify(ax.is_write, bx.is_write);
+          if (kind == DepKind::kInput) {
+            if (!options.compute_input_deps) continue;
+            if (si == sj) continue;  // self-reuse adds nothing
+          }
+
+          Dependence proto;
+          proto.src_dim = ms;
+          proto.dst_dim = mt;
+          proto.num_params = p;
+
+          poly::IntegerSet access_eq(total);
+          for (std::size_t d = 0; d < ax.subscripts.size(); ++d)
+            access_eq.add_constraint(poly::Constraint::eq(
+                proto.lift_src(ax.subscripts[d]),
+                proto.lift_dst(bx.subscripts[d])));
+
+          for (std::size_t depth = 0; depth <= common; ++depth) {
+            // Loop-independent case requires textual precedence.
+            if (depth == common && a.index() >= b.index()) continue;
+
+            poly::IntegerSet dep_poly = base;
+            dep_poly.intersect(access_eq);
+            for (std::size_t l = 0; l < depth; ++l)
+              dep_poly.add_constraint(poly::Constraint::eq(
+                  poly::AffineExpr::var(total, l),
+                  poly::AffineExpr::var(total, ms + l)));
+            if (depth < common) {
+              // s[depth] < t[depth].
+              dep_poly.add_constraint(poly::Constraint::ge0(
+                  poly::AffineExpr::var(total, ms + depth) -
+                  poly::AffineExpr::var(total, depth) -
+                  poly::AffineExpr::constant(total, 1)));
+            }
+            if (dep_poly.is_empty(options.ilp)) continue;
+
+            Dependence dep = proto;
+            dep.id = next_id++;
+            dep.src = si;
+            dep.dst = sj;
+            dep.src_access = xa;
+            dep.dst_access = xb;
+            dep.kind = kind;
+            dep.depth = depth;
+            dep.poly = std::move(dep_poly);
+            if (kind == DepKind::kInput) {
+              g.reuse_[si][sj] = g.reuse_[sj][si] = true;
+              g.rar_.push_back(std::move(dep));
+            } else {
+              g.adj_[si][sj] = true;
+              g.reuse_[si][sj] = g.reuse_[sj][si] = true;
+              g.deps_.push_back(std::move(dep));
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool DependenceGraph::has_edge(std::size_t src, std::size_t dst) const {
+  return adj_.at(src).at(dst);
+}
+
+bool DependenceGraph::has_reuse_edge(std::size_t a, std::size_t b) const {
+  return reuse_.at(a).at(b);
+}
+
+std::vector<Edge> DependenceGraph::stmt_edges() const {
+  std::vector<Edge> edges;
+  const std::size_t n = adj_.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (adj_[i][j]) edges.emplace_back(i, j);
+  return edges;
+}
+
+SccResult DependenceGraph::sccs() const {
+  return kosaraju_sccs(scop_->num_statements(), stmt_edges());
+}
+
+std::string DependenceGraph::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const Dependence& d) {
+    os << "  " << scop_->statement(d.src).name() << " -> "
+       << scop_->statement(d.dst).name() << " [" << ddg::to_string(d.kind)
+       << ", array " << scop_->array(scop_->statement(d.src)
+                                         .accesses()[d.src_access]
+                                         .array_id)
+                            .name
+       << ", depth " << d.depth << "]\n";
+  };
+  os << "dependences (" << deps_.size() << "):\n";
+  for (const Dependence& d : deps_) emit(d);
+  os << "input dependences (" << rar_.size() << "):\n";
+  for (const Dependence& d : rar_) emit(d);
+  return os.str();
+}
+
+}  // namespace pf::ddg

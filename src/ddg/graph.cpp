@@ -1,0 +1,264 @@
+#include "ddg/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.h"
+
+namespace pf::ddg {
+
+namespace {
+
+std::vector<std::vector<std::size_t>> adjacency(std::size_t n,
+                                                const std::vector<Edge>& edges,
+                                                bool reversed) {
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const Edge& e : edges) {
+    PF_CHECK(e.first < n && e.second < n);
+    if (reversed)
+      adj[e.second].push_back(e.first);
+    else
+      adj[e.first].push_back(e.second);
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return adj;
+}
+
+// Renumber SCC ids so they follow a topological order of the condensation
+// (ties broken by smallest member vertex, i.e. program order) and collect
+// members. `raw_discovery` is the order the algorithm discovered the raw
+// SCC ids in; it is preserved (translated to canonical ids) in
+// discovery_order.
+SccResult canonicalize(std::size_t n, const std::vector<int>& raw_id,
+                       std::size_t raw_count, const std::vector<Edge>& edges,
+                       const std::vector<std::size_t>& raw_discovery) {
+  // Build condensation edges on raw ids.
+  std::vector<Edge> cedges;
+  for (const Edge& e : edges) {
+    const int a = raw_id[e.first], b = raw_id[e.second];
+    if (a != b) cedges.emplace_back(static_cast<std::size_t>(a),
+                                    static_cast<std::size_t>(b));
+  }
+  // Tie-break by smallest member vertex: canonical ids then follow
+  // program order wherever the DAG allows.
+  std::vector<std::size_t> min_member(raw_count, SIZE_MAX);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto& m = min_member[static_cast<std::size_t>(raw_id[v])];
+    m = std::min(m, v);
+  }
+  const std::vector<std::size_t> order =
+      topological_order_by_priority(raw_count, cedges, min_member);
+  std::vector<int> new_of_raw(raw_count);
+  for (std::size_t pos = 0; pos < order.size(); ++pos)
+    new_of_raw[order[pos]] = static_cast<int>(pos);
+
+  SccResult out;
+  out.scc_of.resize(n);
+  out.members.resize(raw_count);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.scc_of[v] = new_of_raw[static_cast<std::size_t>(raw_id[v])];
+    out.members[static_cast<std::size_t>(out.scc_of[v])].push_back(v);
+  }
+  out.discovery_order.reserve(raw_count);
+  for (const std::size_t raw : raw_discovery)
+    out.discovery_order.push_back(
+        static_cast<std::size_t>(new_of_raw[raw]));
+  return out;
+}
+
+}  // namespace
+
+SccResult kosaraju_sccs(std::size_t n, const std::vector<Edge>& edges) {
+  const auto adj = adjacency(n, edges, /*reversed=*/false);
+  const auto radj = adjacency(n, edges, /*reversed=*/true);
+
+  // Pass 1: order vertices by DFS finish time (iterative DFS).
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> finish_order;
+  finish_order.reserve(n);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    // Stack of (vertex, next-child-index).
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{start, 0}};
+    visited[start] = true;
+    while (!stack.empty()) {
+      auto& [v, ci] = stack.back();
+      if (ci < adj[v].size()) {
+        const std::size_t w = adj[v][ci++];
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        finish_order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Pass 2: DFS on the reverse graph in decreasing finish time.
+  std::vector<int> raw_id(n, -1);
+  int count = 0;
+  for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+    if (raw_id[*it] != -1) continue;
+    std::vector<std::size_t> stack{*it};
+    raw_id[*it] = count;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const std::size_t w : radj[v]) {
+        if (raw_id[w] == -1) {
+          raw_id[w] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  // Raw id k was discovered k-th in pass 2 (decreasing finish time), which
+  // visits SCCs in topological order.
+  std::vector<std::size_t> discovery(static_cast<std::size_t>(count));
+  for (std::size_t k = 0; k < discovery.size(); ++k) discovery[k] = k;
+  return canonicalize(n, raw_id, static_cast<std::size_t>(count), edges,
+                      discovery);
+}
+
+SccResult tarjan_sccs(std::size_t n, const std::vector<Edge>& edges) {
+  const auto adj = adjacency(n, edges, /*reversed=*/false);
+  std::vector<int> index(n, -1), lowlink(n, 0), raw_id(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  int next_index = 0, count = 0;
+
+  // Iterative Tarjan with an explicit call frame stack.
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> call{{start}};
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.child < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            raw_id[w] = count;
+            if (w == f.v) break;
+          }
+          ++count;
+        }
+        const std::size_t v = f.v;
+        call.pop_back();
+        if (!call.empty())
+          lowlink[call.back().v] = std::min(lowlink[call.back().v], lowlink[v]);
+      }
+    }
+  }
+  // Tarjan discovers SCCs in REVERSE topological order; flip it so the
+  // discovery_order contract (topological) holds.
+  std::vector<std::size_t> discovery(static_cast<std::size_t>(count));
+  for (std::size_t k = 0; k < discovery.size(); ++k)
+    discovery[k] = static_cast<std::size_t>(count) - 1 - k;
+  return canonicalize(n, raw_id, static_cast<std::size_t>(count), edges,
+                      discovery);
+}
+
+std::vector<Edge> condensation_edges(const SccResult& sccs,
+                                     const std::vector<Edge>& edges) {
+  std::vector<Edge> out;
+  for (const Edge& e : edges) {
+    const int a = sccs.scc_of[e.first], b = sccs.scc_of[e.second];
+    if (a != b) out.emplace_back(static_cast<std::size_t>(a),
+                                 static_cast<std::size_t>(b));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::size_t> topological_order_by_priority(
+    std::size_t n, const std::vector<Edge>& edges,
+    const std::vector<std::size_t>& priority) {
+  PF_CHECK(priority.size() == n);
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> adj(n);
+  {
+    auto dedup = edges;
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+    for (const Edge& e : dedup) {
+      PF_CHECK(e.first < n && e.second < n);
+      adj[e.first].push_back(e.second);
+      ++indegree[e.second];
+    }
+  }
+  using Entry = std::pair<std::size_t, std::size_t>;  // (priority, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.emplace(priority[v], v);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t v = ready.top().second;
+    ready.pop();
+    order.push_back(v);
+    for (const std::size_t w : adj[v])
+      if (--indegree[w] == 0) ready.emplace(priority[w], w);
+  }
+  PF_CHECK_MSG(order.size() == n,
+               "topological_order_by_priority on a cyclic graph");
+  return order;
+}
+
+std::vector<std::size_t> topological_order(std::size_t n,
+                                           const std::vector<Edge>& edges) {
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> adj(n);
+  {
+    auto dedup = edges;
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+    for (const Edge& e : dedup) {
+      PF_CHECK(e.first < n && e.second < n);
+      adj[e.first].push_back(e.second);
+      ++indegree[e.second];
+    }
+  }
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push(v);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const std::size_t w : adj[v])
+      if (--indegree[w] == 0) ready.push(w);
+  }
+  PF_CHECK_MSG(order.size() == n, "topological_order on a cyclic graph");
+  return order;
+}
+
+}  // namespace pf::ddg

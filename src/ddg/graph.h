@@ -1,0 +1,57 @@
+// Directed-graph utilities: strongly connected components (Kosaraju's
+// algorithm, as cited by the paper [30], plus Tarjan's as a cross-check)
+// and condensation/topological ordering.
+//
+// Vertices are statement indices 0..n-1; edges are (src, dst) pairs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pf::ddg {
+
+using Edge = std::pair<std::size_t, std::size_t>;
+
+struct SccResult {
+  /// scc_of[v] = id of v's SCC. Ids are numbered in a topological order of
+  /// the condensation: every edge goes from a lower or equal id to a
+  /// higher or equal id (equal only within an SCC).
+  std::vector<int> scc_of;
+  /// members[id] = vertices of that SCC, in ascending vertex order.
+  std::vector<std::vector<std::size_t>> members;
+  /// The order in which the algorithm *discovered* the SCCs (position ->
+  /// canonical id). For Kosaraju this is the DFS-driven order Pluto's
+  /// default fusion model uses as its pre-fusion schedule -- it follows
+  /// dependence chains depth-first, which is exactly the behavior the
+  /// paper criticizes (Section 2.3). Always a topological order.
+  std::vector<std::size_t> discovery_order;
+
+  std::size_t num_sccs() const { return members.size(); }
+};
+
+/// Kosaraju's two-pass SCC algorithm.
+SccResult kosaraju_sccs(std::size_t num_vertices, const std::vector<Edge>& edges);
+
+/// Tarjan's one-pass SCC algorithm (iterative). Same result contract.
+SccResult tarjan_sccs(std::size_t num_vertices, const std::vector<Edge>& edges);
+
+/// Edges of the condensation (SCC DAG), deduplicated, excluding self-loops.
+std::vector<Edge> condensation_edges(const SccResult& sccs,
+                                     const std::vector<Edge>& edges);
+
+/// A topological order of a DAG given by `edges` over `num_vertices`
+/// vertices. Ties broken by smallest vertex first (deterministic). Throws
+/// if the graph has a cycle.
+std::vector<std::size_t> topological_order(std::size_t num_vertices,
+                                           const std::vector<Edge>& edges);
+
+/// Topological order choosing, among ready vertices, the one with the
+/// smallest priority value (ties by vertex id). Used by the scheduler to
+/// keep cut orders as close as possible to the policy's pre-fusion order
+/// while staying legal.
+std::vector<std::size_t> topological_order_by_priority(
+    std::size_t num_vertices, const std::vector<Edge>& edges,
+    const std::vector<std::size_t>& priority);
+
+}  // namespace pf::ddg

@@ -1,0 +1,192 @@
+#include "exec/interp.h"
+
+#include <cmath>
+
+namespace pf::exec {
+
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const codegen::AstNode& root, ArrayStore& store,
+              const TraceHook& hook)
+      : store_(store), scop_(store.scop()), hook_(hook) {
+    // The t-variable environment size comes from the expressions
+    // themselves: every affine payload in one AST lives in the same
+    // [t..., params] space (the subtree's own loops may use only a subset
+    // of the t indices, e.g. a segment interpreted on its own).
+    std::size_t dims = 0;
+    const std::function<void(const codegen::AstNode&)> scan =
+        [&](const codegen::AstNode& n) {
+          if (dims != 0) return;
+          if (n.kind == codegen::AstNode::Kind::kLoop) {
+            if (!n.lower.alternatives.empty() &&
+                !n.lower.alternatives[0].empty())
+              dims = n.lower.alternatives[0][0].expr.dims();
+            else
+              scan(*n.body);
+          } else if (n.kind == codegen::AstNode::Kind::kBlock) {
+            for (const auto& c : n.children) scan(*c);
+          } else if (!n.iter_exprs.empty()) {
+            dims = n.iter_exprs[0].dims();
+          }
+        };
+    scan(root);
+    PF_CHECK_MSG(dims >= scop_.num_params(),
+                 "cannot infer the t-variable space of this AST");
+    q_ = dims - scop_.num_params();
+    stats_.per_statement.assign(scop_.num_statements(), 0);
+    env_.assign(q_ + scop_.num_params(), 0);
+    for (std::size_t j = 0; j < scop_.num_params(); ++j)
+      env_[q_ + j] = store_.params()[j];
+  }
+
+  InterpStats run(const codegen::AstNode& root) {
+    exec(root);
+    return stats_;
+  }
+
+ private:
+  i64 eval_bound(const codegen::LoopBound& b, bool lower) const {
+    PF_CHECK(!b.alternatives.empty());
+    bool first_alt = true;
+    i64 result = 0;
+    for (const auto& terms : b.alternatives) {
+      PF_CHECK(!terms.empty());
+      bool first = true;
+      i64 acc = 0;
+      for (const codegen::BoundTerm& t : terms) {
+        const i64 raw = t.expr.eval(env_);
+        const i64 v = lower ? ceil_div(raw, t.denom) : floor_div(raw, t.denom);
+        if (first || (lower ? v > acc : v < acc)) acc = v;
+        first = false;
+      }
+      if (first_alt || (lower ? acc < result : acc > result)) result = acc;
+      first_alt = false;
+    }
+    return result;
+  }
+
+  double eval_expr(const ir::ExprPtr& e, const IntVector& stmt_env) {
+    using K = ir::Expr::Kind;
+    switch (e->kind) {
+      case K::kNumber:
+        return e->number;
+      case K::kAffine:
+        return static_cast<double>(e->affine_resolved.eval(stmt_env));
+      case K::kAccess: {
+        IntVector subs;
+        subs.reserve(e->subscripts_resolved.size());
+        for (const poly::AffineExpr& s : e->subscripts_resolved)
+          subs.push_back(s.eval(stmt_env));
+        const i64 idx = store_.linear_index(e->array_id, subs);
+        if (hook_) hook_(e->array_id, idx, false);
+        ++stats_.reads;
+        return store_.data(e->array_id)[static_cast<std::size_t>(idx)];
+      }
+      case K::kBinary: {
+        const double l = eval_expr(e->lhs, stmt_env);
+        const double r = eval_expr(e->rhs, stmt_env);
+        switch (e->op) {
+          case ir::BinOp::kAdd:
+            return l + r;
+          case ir::BinOp::kSub:
+            return l - r;
+          case ir::BinOp::kMul:
+            return l * r;
+          case ir::BinOp::kDiv:
+            return l / r;
+        }
+        PF_FAIL("bad binop");
+      }
+      case K::kUnaryMinus:
+        return -eval_expr(e->operand, stmt_env);
+      case K::kCall: {
+        const std::string& f = e->callee;
+        auto arg = [&](std::size_t i) { return eval_expr(e->args[i], stmt_env); };
+        if (f == "sqrt") return std::sqrt(arg(0));
+        if (f == "fabs") return std::fabs(arg(0));
+        if (f == "exp") return std::exp(arg(0));
+        if (f == "log") return std::log(arg(0));
+        if (f == "sin") return std::sin(arg(0));
+        if (f == "cos") return std::cos(arg(0));
+        if (f == "pow") return std::pow(arg(0), arg(1));
+        if (f == "fmin") return std::fmin(arg(0), arg(1));
+        if (f == "fmax") return std::fmax(arg(0), arg(1));
+        PF_FAIL("unsupported call '" << f << "' in interpreter");
+      }
+    }
+    PF_FAIL("bad expr kind");
+  }
+
+  void exec_stmt(const codegen::AstNode& n) {
+    for (const poly::AffineExpr& g : n.guards)
+      if (g.eval(env_) < 0) return;
+    const ir::Statement& s = scop_.statement(n.stmt);
+    // Statement environment: [iterators, params]. Non-unimodular
+    // schedules scan a strided superset of the image; instances whose
+    // iterator division is inexact are skipped.
+    IntVector stmt_env(s.dim() + scop_.num_params());
+    for (std::size_t k = 0; k < s.dim(); ++k) {
+      const i64 num = n.iter_exprs[k].eval(env_);
+      const i64 den = k < n.iter_denoms.size() ? n.iter_denoms[k] : 1;
+      if (den != 1) {
+        if (mod_floor(num, den) != 0) return;
+        stmt_env[k] = floor_div(num, den);
+      } else {
+        stmt_env[k] = num;
+      }
+    }
+    for (std::size_t j = 0; j < scop_.num_params(); ++j)
+      stmt_env[s.dim() + j] = store_.params()[j];
+
+    const double value = eval_expr(s.body(), stmt_env);
+    const ir::Access& w = s.write();
+    IntVector subs;
+    subs.reserve(w.subscripts.size());
+    for (const poly::AffineExpr& e : w.subscripts)
+      subs.push_back(e.eval(stmt_env));
+    const i64 idx = store_.linear_index(w.array_id, subs);
+    if (hook_) hook_(w.array_id, idx, true);
+    ++stats_.writes;
+    store_.data(w.array_id)[static_cast<std::size_t>(idx)] = value;
+    ++stats_.statements_executed;
+    ++stats_.per_statement[n.stmt];
+  }
+
+  void exec(const codegen::AstNode& n) {
+    switch (n.kind) {
+      case codegen::AstNode::Kind::kBlock:
+        for (const auto& c : n.children) exec(*c);
+        break;
+      case codegen::AstNode::Kind::kLoop: {
+        const i64 lo = eval_bound(n.lower, true);
+        const i64 hi = eval_bound(n.upper, false);
+        for (i64 t = lo; t <= hi; ++t) {
+          env_[n.t_index] = t;
+          exec(*n.body);
+        }
+        break;
+      }
+      case codegen::AstNode::Kind::kStmt:
+        exec_stmt(n);
+        break;
+    }
+  }
+
+  ArrayStore& store_;
+  const ir::Scop& scop_;
+  const TraceHook& hook_;
+  std::size_t q_ = 0;
+  IntVector env_;  // [t values, params]
+  InterpStats stats_;
+};
+
+}  // namespace
+
+InterpStats interpret(const codegen::AstNode& root, ArrayStore& store,
+                      const TraceHook& hook) {
+  return Interpreter(root, store, hook).run(root);
+}
+
+}  // namespace pf::exec

@@ -1,0 +1,35 @@
+// AST interpreter: executes a generated loop AST against an ArrayStore.
+//
+// This is the semantics oracle of polyfuse (every schedule's output is
+// validated against the identity schedule's) and the front half of the
+// machine model: an optional trace hook receives every array access in
+// execution order, which the cache simulator consumes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "codegen/ast.h"
+#include "exec/storage.h"
+
+namespace pf::exec {
+
+/// Called for each array element access: (array id, linear element index,
+/// is_write). Reads of a statement are reported in evaluation order,
+/// then its write.
+using TraceHook = std::function<void(std::size_t, i64, bool)>;
+
+struct InterpStats {
+  std::size_t statements_executed = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  /// Executed instance count per statement index.
+  std::vector<std::size_t> per_statement;
+};
+
+/// Execute the AST. Array accesses are bounds-checked (a wrong schedule or
+/// codegen bug throws pf::Error rather than corrupting memory).
+InterpStats interpret(const codegen::AstNode& root, ArrayStore& store,
+                      const TraceHook& hook = nullptr);
+
+}  // namespace pf::exec

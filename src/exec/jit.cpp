@@ -1,0 +1,120 @@
+#include "exec/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pf::exec {
+
+namespace {
+
+// Quote a path for /bin/sh.
+std::string shq(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+int run_cmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+
+}  // namespace
+
+bool jit_available(const JitOptions& options) {
+  const std::string cmd =
+      "command -v " + shq(options.compiler) + " >/dev/null 2>&1";
+  return run_cmd(cmd) == 0;
+}
+
+std::optional<JitKernel> JitKernel::compile(const std::string& c_source,
+                                            const std::string& entry,
+                                            const JitOptions& options,
+                                            std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<JitKernel> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  char tmpl[] = "/tmp/polyfuse-jit-XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) return fail("mkdtemp failed");
+  const std::string d = dir;
+  const std::string src = d + "/kernel.c";
+  const std::string so = d + "/kernel.so";
+  const std::string log = d + "/cc.log";
+  {
+    std::ofstream out(src);
+    if (!out) return fail("cannot write " + src);
+    out << c_source;
+  }
+  std::ostringstream cmd;
+  cmd << options.compiler << " " << options.opt_flags
+      << (options.openmp ? " -fopenmp" : "") << " -fPIC -shared -o " << shq(so)
+      << " " << shq(src) << " -lm > " << shq(log) << " 2>&1";
+  if (run_cmd(cmd.str()) != 0) {
+    std::ifstream in(log);
+    std::stringstream msg;
+    msg << "compiler failed: " << cmd.str() << "\n" << in.rdbuf();
+    if (!options.keep_artifacts)
+      run_cmd("rm -rf " + shq(d));
+    return fail(msg.str());
+  }
+  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const std::string msg = std::string("dlopen failed: ") + dlerror();
+    if (!options.keep_artifacts) run_cmd("rm -rf " + shq(d));
+    return fail(msg);
+  }
+  void* sym = dlsym(handle, entry.c_str());
+  if (sym == nullptr) {
+    dlclose(handle);
+    if (!options.keep_artifacts) run_cmd("rm -rf " + shq(d));
+    return fail("symbol '" + entry + "' not found");
+  }
+  JitKernel k;
+  k.handle_ = handle;
+  k.fn_ = reinterpret_cast<Fn>(sym);
+  k.dir_ = d;
+  k.keep_ = options.keep_artifacts;
+  return k;
+}
+
+JitKernel::JitKernel(JitKernel&& o) noexcept
+    : handle_(o.handle_), fn_(o.fn_), dir_(std::move(o.dir_)), keep_(o.keep_) {
+  o.handle_ = nullptr;
+  o.fn_ = nullptr;
+  o.dir_.clear();
+}
+
+JitKernel& JitKernel::operator=(JitKernel&& o) noexcept {
+  if (this != &o) {
+    this->~JitKernel();
+    new (this) JitKernel(std::move(o));
+  }
+  return *this;
+}
+
+JitKernel::~JitKernel() {
+  if (handle_ != nullptr) dlclose(handle_);
+  if (!dir_.empty() && !keep_) run_cmd("rm -rf " + shq(dir_));
+}
+
+void JitKernel::run(ArrayStore& store) const {
+  PF_CHECK(fn_ != nullptr);
+  std::vector<double*> arrays = store.pointers();
+  std::vector<long long> params(store.params().begin(), store.params().end());
+  fn_(arrays.data(), params.data());
+}
+
+}  // namespace pf::exec

@@ -1,0 +1,105 @@
+#include "exec/storage.h"
+
+#include <cmath>
+
+namespace pf::exec {
+
+ArrayStore::ArrayStore(const ir::Scop& scop, IntVector params)
+    : scop_(&scop), params_(std::move(params)) {
+  PF_CHECK_MSG(params_.size() == scop.num_params(),
+               "expected " << scop.num_params() << " parameter values");
+  PF_CHECK_MSG(scop.context().contains(params_),
+               "parameter values violate the scop context");
+  for (const ir::Array& a : scop.arrays()) {
+    std::vector<i64> ext;
+    std::size_t total = 1;
+    for (const ir::NamedAffine& e : a.extents) {
+      const i64 v = e.resolve(scop.params()).eval(params_);
+      PF_CHECK_MSG(v > 0, "array '" << a.name << "' has non-positive extent "
+                                    << v);
+      ext.push_back(v);
+      total *= static_cast<std::size_t>(v);
+    }
+    extents_.push_back(std::move(ext));
+    buffers_.emplace_back(total, 0.0);
+  }
+}
+
+const std::vector<i64>& ArrayStore::extents(std::size_t array_id) const {
+  return extents_.at(array_id);
+}
+
+std::size_t ArrayStore::size(std::size_t array_id) const {
+  return buffers_.at(array_id).size();
+}
+
+double* ArrayStore::data(std::size_t array_id) {
+  return buffers_.at(array_id).data();
+}
+
+const double* ArrayStore::data(std::size_t array_id) const {
+  return buffers_.at(array_id).data();
+}
+
+i64 ArrayStore::linear_index(std::size_t array_id, const IntVector& subs) const {
+  const auto& ext = extents_.at(array_id);
+  PF_CHECK_MSG(subs.size() == ext.size(),
+               "rank mismatch indexing array "
+                   << scop_->array(array_id).name);
+  i64 idx = 0;
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    PF_CHECK_MSG(subs[d] >= 0 && subs[d] < ext[d],
+                 "index " << subs[d] << " out of bounds [0, " << ext[d]
+                          << ") in dim " << d << " of array "
+                          << scop_->array(array_id).name);
+    idx = checked_add(checked_mul(idx, ext[d]), subs[d]);
+  }
+  return idx;
+}
+
+double ArrayStore::at(std::size_t array_id, const IntVector& subs) const {
+  return buffers_.at(array_id)[static_cast<std::size_t>(
+      linear_index(array_id, subs))];
+}
+
+void ArrayStore::set(std::size_t array_id, const IntVector& subs, double v) {
+  buffers_.at(array_id)[static_cast<std::size_t>(
+      linear_index(array_id, subs))] = v;
+}
+
+void ArrayStore::fill(std::size_t array_id,
+                      const std::function<double(const IntVector&)>& fn) {
+  const auto& ext = extents_.at(array_id);
+  IntVector idx(ext.size(), 0);
+  auto& buf = buffers_.at(array_id);
+  for (std::size_t linear = 0; linear < buf.size(); ++linear) {
+    buf[linear] = fn(idx);
+    // Advance the multi-index (row-major).
+    for (std::size_t d = ext.size(); d-- > 0;) {
+      if (++idx[d] < ext[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+std::vector<double*> ArrayStore::pointers() {
+  std::vector<double*> ptrs;
+  ptrs.reserve(buffers_.size());
+  for (auto& b : buffers_) ptrs.push_back(b.data());
+  return ptrs;
+}
+
+double ArrayStore::max_abs_diff(const ArrayStore& a, const ArrayStore& b) {
+  PF_CHECK_MSG(a.buffers_.size() == b.buffers_.size() &&
+                   a.extents_ == b.extents_,
+               "comparing stores of different shapes");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.buffers_.size(); ++i) {
+    PF_CHECK(a.buffers_[i].size() == b.buffers_[i].size());
+    for (std::size_t j = 0; j < a.buffers_[i].size(); ++j)
+      worst = std::max(worst, std::fabs(a.buffers_[i][j] - b.buffers_[i][j]));
+  }
+  return worst;
+}
+
+}  // namespace pf::exec

@@ -1,0 +1,54 @@
+// Concrete array storage for executing SCoPs: one flattened row-major
+// double buffer per Scop array, with extents evaluated at given parameter
+// values. Used by the interpreter, the JIT runner and output validation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/scop.h"
+
+namespace pf::exec {
+
+class ArrayStore {
+ public:
+  /// Allocate every array of the scop for the given parameter values
+  /// (declaration order), zero-initialized.
+  ArrayStore(const ir::Scop& scop, IntVector params);
+
+  const ir::Scop& scop() const { return *scop_; }
+  const IntVector& params() const { return params_; }
+
+  std::size_t num_arrays() const { return buffers_.size(); }
+  /// Evaluated extents of an array.
+  const std::vector<i64>& extents(std::size_t array_id) const;
+  std::size_t size(std::size_t array_id) const;
+
+  double* data(std::size_t array_id);
+  const double* data(std::size_t array_id) const;
+
+  /// Row-major linear index, bounds-checked (throws pf::Error).
+  i64 linear_index(std::size_t array_id, const IntVector& subs) const;
+
+  double at(std::size_t array_id, const IntVector& subs) const;
+  void set(std::size_t array_id, const IntVector& subs, double v);
+
+  /// Fill an array from a function of its multi-index.
+  void fill(std::size_t array_id,
+            const std::function<double(const IntVector&)>& fn);
+
+  /// Pointers usable as the `arrays` argument of a JITted pf_kernel.
+  std::vector<double*> pointers();
+
+  /// Max absolute element-wise difference across all arrays (stores must
+  /// be shape-identical).
+  static double max_abs_diff(const ArrayStore& a, const ArrayStore& b);
+
+ private:
+  const ir::Scop* scop_;
+  IntVector params_;
+  std::vector<std::vector<i64>> extents_;
+  std::vector<std::vector<double>> buffers_;
+};
+
+}  // namespace pf::exec

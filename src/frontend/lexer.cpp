@@ -1,0 +1,258 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+namespace pf::frontend {
+
+const char* to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kFloat:
+      return "float";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kAssign:
+      return "'='";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kDotDot:
+      return "'..'";
+    case TokKind::kGe:
+      return "'>='";
+    case TokKind::kLe:
+      return "'<='";
+    case TokKind::kEq:
+      return "'=='";
+    case TokKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void lex_error(int line, int col, const std::string& msg) {
+  PF_FAIL("PolyLang lex error at " << line << ":" << col << ": " << msg);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](TokKind k, std::string text, int l, int c) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = l;
+    t.col = c;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    const int tl = line, tc = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        ident += peek();
+        advance();
+      }
+      push(TokKind::kIdent, std::move(ident), tl, tc);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += peek();
+        advance();
+      }
+      // A '.' starts a fraction only if NOT followed by another '.'
+      // (which would be the '..' range operator).
+      if (peek() == '.' && peek(1) != '.') {
+        is_float = true;
+        num += peek();
+        advance();
+        while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        num += peek();
+        advance();
+        if (peek() == '+' || peek() == '-') {
+          num += peek();
+          advance();
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+          lex_error(line, col, "malformed exponent");
+        while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      Token t;
+      t.kind = is_float ? TokKind::kFloat : TokKind::kInt;
+      t.text = num;
+      t.line = tl;
+      t.col = tc;
+      if (is_float)
+        t.float_value = std::stod(num);
+      else
+        t.int_value = std::stoll(num);
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokKind::kLParen, "(", tl, tc);
+        advance();
+        continue;
+      case ')':
+        push(TokKind::kRParen, ")", tl, tc);
+        advance();
+        continue;
+      case '[':
+        push(TokKind::kLBracket, "[", tl, tc);
+        advance();
+        continue;
+      case ']':
+        push(TokKind::kRBracket, "]", tl, tc);
+        advance();
+        continue;
+      case '{':
+        push(TokKind::kLBrace, "{", tl, tc);
+        advance();
+        continue;
+      case '}':
+        push(TokKind::kRBrace, "}", tl, tc);
+        advance();
+        continue;
+      case ',':
+        push(TokKind::kComma, ",", tl, tc);
+        advance();
+        continue;
+      case ';':
+        push(TokKind::kSemi, ";", tl, tc);
+        advance();
+        continue;
+      case ':':
+        push(TokKind::kColon, ":", tl, tc);
+        advance();
+        continue;
+      case '+':
+        push(TokKind::kPlus, "+", tl, tc);
+        advance();
+        continue;
+      case '*':
+        push(TokKind::kStar, "*", tl, tc);
+        advance();
+        continue;
+      case '/':
+        push(TokKind::kSlash, "/", tl, tc);
+        advance();
+        continue;
+      case '-':
+        push(TokKind::kMinus, "-", tl, tc);
+        advance();
+        continue;
+      case '.':
+        if (peek(1) == '.') {
+          push(TokKind::kDotDot, "..", tl, tc);
+          advance();
+          advance();
+          continue;
+        }
+        lex_error(tl, tc, "stray '.'");
+      case '>':
+        if (peek(1) == '=') {
+          push(TokKind::kGe, ">=", tl, tc);
+          advance();
+          advance();
+          continue;
+        }
+        lex_error(tl, tc, "expected '>='");
+      case '<':
+        if (peek(1) == '=') {
+          push(TokKind::kLe, "<=", tl, tc);
+          advance();
+          advance();
+          continue;
+        }
+        lex_error(tl, tc, "expected '<='");
+      case '=':
+        if (peek(1) == '=') {
+          push(TokKind::kEq, "==", tl, tc);
+          advance();
+          advance();
+          continue;
+        }
+        push(TokKind::kAssign, "=", tl, tc);
+        advance();
+        continue;
+      default:
+        lex_error(tl, tc, std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace pf::frontend

@@ -1,0 +1,65 @@
+// Lexer for PolyLang, polyfuse's small affine-loop language.
+//
+// PolyLang is the textual frontend used to author the benchmark programs
+// (the role ROSE/clang frontends play for PolyOpt/Polly). Example:
+//
+//   scop gemver(N) {
+//     context N >= 4;
+//     array A[N][N]; array u1[N]; array v1[N];
+//     for (i = 0 .. N-1) {
+//       for (j = 0 .. N-1) {
+//         S1: A[i][j] = A[i][j] + u1[i] * v1[j];
+//       }
+//     }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pf::frontend {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kFloat,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemi,
+  kColon,
+  kAssign,    // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kDotDot,    // ..
+  kGe,        // >=
+  kLe,        // <=
+  kEq,        // ==
+  kEof,
+};
+
+const char* to_string(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  long long int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenize; throws pf::Error with line/column on invalid input.
+/// Comments run from '#' or '//' to end of line.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace pf::frontend

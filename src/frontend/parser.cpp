@@ -1,0 +1,291 @@
+#include "frontend/parser.h"
+
+#include <map>
+#include <optional>
+
+#include "frontend/lexer.h"
+#include "ir/builder.h"
+
+namespace pf::frontend {
+
+namespace {
+
+using ir::NamedAffine;
+using ir::NamedConstraint;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : toks_(tokenize(source)) {}
+
+  ir::Scop parse() {
+    expect_keyword("scop");
+    const std::string name = expect(TokKind::kIdent).text;
+    expect(TokKind::kLParen);
+    std::vector<std::string> params;
+    if (!check(TokKind::kRParen)) {
+      params.push_back(expect(TokKind::kIdent).text);
+      while (accept(TokKind::kComma))
+        params.push_back(expect(TokKind::kIdent).text);
+    }
+    expect(TokKind::kRParen);
+
+    builder_.emplace(name, params);
+    expect(TokKind::kLBrace);
+    parse_items();
+    expect(TokKind::kRBrace);
+    expect(TokKind::kEof);
+    return builder_->build();
+  }
+
+ private:
+  // ---- token helpers -----------------------------------------------------
+
+  const Token& cur() const { return toks_[pos_]; }
+
+  [[noreturn]] void error(const std::string& msg) const {
+    PF_FAIL("PolyLang parse error at " << cur().line << ":" << cur().col
+                                       << ": " << msg);
+  }
+
+  bool check(TokKind k) const { return cur().kind == k; }
+
+  bool accept(TokKind k) {
+    if (!check(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Token expect(TokKind k) {
+    if (!check(k))
+      error(std::string("expected ") + to_string(k) + ", found '" +
+            cur().text + "'");
+    return toks_[pos_++];
+  }
+
+  bool check_keyword(const std::string& kw) const {
+    return cur().kind == TokKind::kIdent && cur().text == kw;
+  }
+
+  void expect_keyword(const std::string& kw) {
+    if (!check_keyword(kw)) error("expected keyword '" + kw + "'");
+    ++pos_;
+  }
+
+  // ---- grammar -----------------------------------------------------------
+
+  void parse_items() {
+    while (!check(TokKind::kRBrace) && !check(TokKind::kEof)) parse_item();
+  }
+
+  void parse_item() {
+    if (check_keyword("context")) {
+      ++pos_;
+      builder_->context(parse_relation());
+      expect(TokKind::kSemi);
+      return;
+    }
+    if (check_keyword("array")) {
+      ++pos_;
+      const std::string name = expect(TokKind::kIdent).text;
+      std::vector<NamedAffine> extents;
+      while (accept(TokKind::kLBracket)) {
+        extents.push_back(parse_affine());
+        expect(TokKind::kRBracket);
+      }
+      if (extents.empty()) error("array '" + name + "' needs an extent");
+      arrays_[name] = builder_->array(name, std::move(extents));
+      expect(TokKind::kSemi);
+      return;
+    }
+    if (check_keyword("for")) {
+      ++pos_;
+      expect(TokKind::kLParen);
+      const std::string it = expect(TokKind::kIdent).text;
+      expect(TokKind::kAssign);
+      NamedAffine lo = parse_affine();
+      expect(TokKind::kDotDot);
+      NamedAffine hi = parse_affine();
+      expect(TokKind::kRParen);
+      builder_->for_loop(it, std::move(lo), std::move(hi));
+      expect(TokKind::kLBrace);
+      parse_items();
+      expect(TokKind::kRBrace);
+      builder_->end_loop();
+      return;
+    }
+    if (check_keyword("if")) {
+      ++pos_;
+      expect(TokKind::kLParen);
+      builder_->begin_guard(parse_relation());
+      expect(TokKind::kRParen);
+      expect(TokKind::kLBrace);
+      parse_items();
+      expect(TokKind::kRBrace);
+      builder_->end_guard();
+      return;
+    }
+    parse_statement();
+  }
+
+  NamedConstraint parse_relation() {
+    const NamedAffine lhs = parse_affine();
+    if (accept(TokKind::kGe)) return lhs >= parse_affine();
+    if (accept(TokKind::kLe)) return lhs <= parse_affine();
+    if (accept(TokKind::kEq))
+      return NamedConstraint::equals(lhs, parse_affine());
+    error("expected '>=', '<=' or '=='");
+  }
+
+  void parse_statement() {
+    // Optional label: IDENT ':'
+    std::string label;
+    if (check(TokKind::kIdent) && toks_[pos_ + 1].kind == TokKind::kColon) {
+      label = expect(TokKind::kIdent).text;
+      expect(TokKind::kColon);
+    }
+    const Token array_tok = expect(TokKind::kIdent);
+    const auto it = arrays_.find(array_tok.text);
+    if (it == arrays_.end())
+      error("assignment to undeclared array '" + array_tok.text + "'");
+    std::vector<NamedAffine> subs;
+    while (accept(TokKind::kLBracket)) {
+      subs.push_back(parse_affine());
+      expect(TokKind::kRBracket);
+    }
+    expect(TokKind::kAssign);
+    ir::ExprPtr body = parse_vexpr();
+    expect(TokKind::kSemi);
+    builder_->stmt(it->second, std::move(subs), std::move(body), label);
+  }
+
+  // ---- affine expressions -------------------------------------------------
+
+  NamedAffine parse_affine() {
+    NamedAffine acc = parse_affine_term();
+    for (;;) {
+      if (accept(TokKind::kPlus))
+        acc += parse_affine_term();
+      else if (accept(TokKind::kMinus))
+        acc -= parse_affine_term();
+      else
+        return acc;
+    }
+  }
+
+  NamedAffine parse_affine_term() {
+    NamedAffine acc = parse_affine_factor();
+    while (accept(TokKind::kStar)) {
+      const NamedAffine rhs = parse_affine_factor();
+      // Affine product: at least one side must be constant.
+      if (rhs.is_constant())
+        acc = acc * rhs.const_term();
+      else if (acc.is_constant())
+        acc = rhs * acc.const_term();
+      else
+        error("non-affine product of two variables");
+    }
+    return acc;
+  }
+
+  NamedAffine parse_affine_factor() {
+    if (accept(TokKind::kMinus)) return -parse_affine_factor();
+    if (check(TokKind::kInt)) {
+      const Token t = expect(TokKind::kInt);
+      return NamedAffine(static_cast<i64>(t.int_value));
+    }
+    if (check(TokKind::kIdent)) {
+      const Token t = expect(TokKind::kIdent);
+      if (arrays_.count(t.text) != 0)
+        error("array '" + t.text + "' used in affine expression");
+      return NamedAffine::var(t.text);
+    }
+    if (accept(TokKind::kLParen)) {
+      NamedAffine e = parse_affine();
+      expect(TokKind::kRParen);
+      return e;
+    }
+    error("expected affine expression");
+  }
+
+  // ---- value (body) expressions --------------------------------------------
+
+  ir::ExprPtr parse_vexpr() {
+    ir::ExprPtr acc = parse_vterm();
+    for (;;) {
+      if (accept(TokKind::kPlus))
+        acc = acc + parse_vterm();
+      else if (accept(TokKind::kMinus))
+        acc = acc - parse_vterm();
+      else
+        return acc;
+    }
+  }
+
+  ir::ExprPtr parse_vterm() {
+    ir::ExprPtr acc = parse_vfactor();
+    for (;;) {
+      if (accept(TokKind::kStar))
+        acc = acc * parse_vfactor();
+      else if (accept(TokKind::kSlash))
+        acc = acc / parse_vfactor();
+      else
+        return acc;
+    }
+  }
+
+  ir::ExprPtr parse_vfactor() {
+    if (accept(TokKind::kMinus)) return -parse_vfactor();
+    if (check(TokKind::kFloat)) return ir::num(expect(TokKind::kFloat).float_value);
+    if (check(TokKind::kInt))
+      return ir::num(static_cast<double>(expect(TokKind::kInt).int_value));
+    if (accept(TokKind::kLParen)) {
+      ir::ExprPtr e = parse_vexpr();
+      expect(TokKind::kRParen);
+      return e;
+    }
+    if (check(TokKind::kIdent)) {
+      const Token t = expect(TokKind::kIdent);
+      // Array read: IDENT '[' ... ']'
+      if (check(TokKind::kLBracket)) {
+        const auto it = arrays_.find(t.text);
+        if (it == arrays_.end())
+          error("read of undeclared array '" + t.text + "'");
+        std::vector<NamedAffine> subs;
+        while (accept(TokKind::kLBracket)) {
+          subs.push_back(parse_affine());
+          expect(TokKind::kRBracket);
+        }
+        return ir::read(it->second, std::move(subs));
+      }
+      // Call: IDENT '(' args ')'
+      if (check(TokKind::kLParen)) {
+        ++pos_;
+        std::vector<ir::ExprPtr> args;
+        if (!check(TokKind::kRParen)) {
+          args.push_back(parse_vexpr());
+          while (accept(TokKind::kComma)) args.push_back(parse_vexpr());
+        }
+        expect(TokKind::kRParen);
+        return ir::call(t.text, std::move(args));
+      }
+      if (arrays_.count(t.text) != 0)
+        error("array '" + t.text + "' used without subscripts");
+      // Iterator/parameter value.
+      return ir::aff(NamedAffine::var(t.text));
+    }
+    error("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::optional<ir::ScopBuilder> builder_;
+  std::map<std::string, std::size_t> arrays_;
+};
+
+}  // namespace
+
+ir::Scop parse_scop(const std::string& source) {
+  return Parser(source).parse();
+}
+
+}  // namespace pf::frontend

@@ -1,0 +1,32 @@
+// Recursive-descent parser for PolyLang.
+//
+// Grammar (see lexer.h for an example program):
+//
+//   scop       := 'scop' IDENT '(' [IDENT (',' IDENT)*] ')' '{' item* '}'
+//   item       := context | array | loop | ifblock | stmt
+//   context    := 'context' affine relop affine ';'
+//   array      := 'array' IDENT ('[' affine ']')+ ';'
+//   loop       := 'for' '(' IDENT '=' affine '..' affine ')' '{' item* '}'
+//   ifblock    := 'if' '(' affine relop affine ')' '{' item* '}'
+//   stmt       := [IDENT ':'] IDENT ('[' affine ']')+ '=' vexpr ';'
+//   relop      := '>=' | '<=' | '=='
+//   affine     := linear integer arithmetic over iterators/params
+//   vexpr      := real arithmetic over array reads, affine values,
+//                 literals, calls (sqrt, fabs, exp, ...)
+//
+// Semantic validation (name resolution, rank checks, affine-ness of
+// bounds/subscripts) is enforced while building through ir::ScopBuilder;
+// errors carry source line/column.
+#pragma once
+
+#include <string>
+
+#include "ir/scop.h"
+
+namespace pf::frontend {
+
+/// Parse one PolyLang program into a Scop. Throws pf::Error on any lex,
+/// parse or semantic error, with source location in the message.
+ir::Scop parse_scop(const std::string& source);
+
+}  // namespace pf::frontend

@@ -1,0 +1,55 @@
+// The fusion models compared in the paper (Table 1), as FusionPolicy
+// implementations for the Pluto-style scheduler:
+//
+//   wisefuse   -- the paper's contribution. Pre-fusion schedule from
+//                 Algorithm 1 (reuse- and dimensionality-aware, program
+//                 order, RAR-aware), dimensionality-based cuts, plus
+//                 Algorithm 2 (outer-parallelism enforcement).
+//   smartfuse  -- Pluto's default: DFS/topological SCC order, cut between
+//                 SCCs of different dimensionality when stuck, escalate to
+//                 full distribution.
+//   nofuse     -- every SCC in its own loop nest from the start.
+//   maxfuse    -- fuse greedily; when stuck, insert the smallest cut (one
+//                 boundary) that satisfies some dependence.
+//
+// Wisefuse's Algorithm 1 heuristics can be individually disabled through
+// WisefuseOptions -- that is what the ablation benches sweep.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/policy.h"
+
+namespace pf::fusion {
+
+enum class FusionModel { kWisefuse, kSmartfuse, kNofuse, kMaxfuse };
+
+const char* to_string(FusionModel m);
+
+/// Ablation switches for wisefuse (paper Section 4.1 heuristics).
+struct WisefuseOptions {
+  /// Consider input (RAR) dependences as reuse when ordering SCCs.
+  bool use_rar = true;
+  /// Heuristic 1: only order SCCs consecutively if dimensionality matches.
+  bool require_same_dim = true;
+  /// Heuristic 2: scan candidates in original program order (false falls
+  /// back to the DFS/topological order, i.e. no reordering at all).
+  bool reorder = true;
+  /// Algorithm 2: cut to preserve outer-level parallelism.
+  bool enforce_outer_parallelism = true;
+};
+
+/// Create a policy implementing the given model.
+std::unique_ptr<sched::FusionPolicy> make_policy(FusionModel m);
+
+/// Wisefuse with explicit (possibly ablated) options.
+std::unique_ptr<sched::FusionPolicy> make_wisefuse(const WisefuseOptions& o);
+
+/// The pre-fusion schedule of wisefuse's Algorithm 1, exposed for tests
+/// and Figure-5 style reporting: returns position -> scc id.
+std::vector<std::size_t> wisefuse_prefusion_order(
+    const ir::Scop& scop, const ddg::DependenceGraph& dg,
+    const ddg::SccResult& sccs, const WisefuseOptions& options = {});
+
+}  // namespace pf::fusion

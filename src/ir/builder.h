@@ -1,0 +1,124 @@
+// ScopBuilder: the programmatic authoring API for SCoPs.
+//
+// Mirrors the textual structure of an affine loop nest:
+//
+//   ScopBuilder b("gemver", {"N"});
+//   const auto N = ScopBuilder::var("N"), i = ScopBuilder::var("i"),
+//              j = ScopBuilder::var("j");
+//   const std::size_t A = b.array("A", {N, N});
+//   const std::size_t x = b.array("x", {N});
+//   b.for_loop("i", 0, N - 1);
+//     b.for_loop("j", 0, N - 1);
+//       b.stmt(x, {i}, read(x, {i}) + read(A, {j, i}) * num(2.0));
+//     b.end_loop();
+//   b.end_loop();
+//   ir::Scop scop = b.build();
+//
+// The expression helpers (read/num/aff and overloaded operators on
+// ExprPtr) live at the bottom of this header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/scop.h"
+
+namespace pf::ir {
+
+/// expr >= 0 (or == 0) over named variables; produced by the comparison
+/// sugar below and consumed by ScopBuilder.
+struct NamedConstraint {
+  NamedAffine expr;
+  bool is_equality = false;
+
+  /// a == b (NamedAffine::operator== is value equality, so equality
+  /// constraints use this named builder instead of operator sugar).
+  static NamedConstraint equals(const NamedAffine& a, const NamedAffine& b) {
+    return NamedConstraint{a - b, true};
+  }
+};
+
+inline NamedConstraint operator>=(const NamedAffine& a, const NamedAffine& b) {
+  return NamedConstraint{a - b, false};
+}
+inline NamedConstraint operator<=(const NamedAffine& a, const NamedAffine& b) {
+  return NamedConstraint{b - a, false};
+}
+
+class ScopBuilder {
+ public:
+  ScopBuilder(std::string name, std::vector<std::string> params);
+
+  /// NamedAffine variable reference (parameter or iterator).
+  static NamedAffine var(const std::string& name) {
+    return NamedAffine::var(name);
+  }
+
+  /// Add a parameter constraint, e.g. b.context(var("N") >= 4).
+  void context(const NamedConstraint& c);
+
+  /// Declare an array with per-dimension extents over the parameters.
+  std::size_t array(const std::string& name, std::vector<NamedAffine> extents);
+
+  /// Open a loop `iterator = lower .. upper` (inclusive bounds, step 1).
+  /// Bounds may reference parameters and enclosing iterators.
+  void for_loop(const std::string& iterator, NamedAffine lower,
+                NamedAffine upper);
+  void end_loop();
+
+  /// Open a guard scope: every statement created until the matching
+  /// end_guard() additionally satisfies `c` (models `if` conditions).
+  void begin_guard(const NamedConstraint& c);
+  void end_guard();
+
+  /// Add statement `array[subs] = body;` at the current nesting. Returns
+  /// the statement index. A name is auto-assigned (S1, S2, ...) unless
+  /// given.
+  std::size_t stmt(std::size_t array_id, std::vector<NamedAffine> subscripts,
+                   ExprPtr body, std::string name = "");
+
+  /// Finish; validates structure and returns the Scop.
+  Scop build();
+
+ private:
+  std::vector<std::string> current_names() const;  // [open iters, params]
+
+  Scop scop_;
+  std::vector<int> open_;                  // open loop ids, outermost first
+  std::vector<NamedConstraint> guards_;    // active guard stack
+  std::size_t next_stmt_ = 1;
+  bool built_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Expression-building sugar.
+// ---------------------------------------------------------------------------
+
+/// Numeric literal.
+inline ExprPtr num(double v) { return make_number(v); }
+/// The value of an affine form (iterators/parameters) as a double.
+inline ExprPtr aff(const NamedAffine& a) { return make_affine(a); }
+/// Array read access.
+inline ExprPtr read(std::size_t array_id, std::vector<NamedAffine> subs) {
+  return make_access(array_id, std::move(subs));
+}
+/// Math call.
+inline ExprPtr call(std::string name, std::vector<ExprPtr> args) {
+  return make_call(std::move(name), std::move(args));
+}
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a) { return make_unary_minus(std::move(a)); }
+
+}  // namespace pf::ir

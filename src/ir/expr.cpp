@@ -1,0 +1,195 @@
+#include "ir/expr.h"
+
+#include <sstream>
+
+namespace pf::ir {
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+ExprPtr make_number(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kNumber;
+  e->number = v;
+  return e;
+}
+
+ExprPtr make_affine(NamedAffine a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kAffine;
+  e->affine = std::move(a);
+  return e;
+}
+
+ExprPtr make_access(std::size_t array_id, std::vector<NamedAffine> subs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kAccess;
+  e->array_id = array_id;
+  e->subscripts = std::move(subs);
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  PF_CHECK(lhs && rhs);
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr make_unary_minus(ExprPtr operand) {
+  PF_CHECK(operand);
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kUnaryMinus;
+  e->operand = std::move(operand);
+  return e;
+}
+
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kCall;
+  e->callee = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr resolve_expr(const ExprPtr& e, const std::vector<std::string>& names) {
+  PF_CHECK(e);
+  auto out = std::make_shared<Expr>(*e);
+  switch (e->kind) {
+    case Expr::Kind::kNumber:
+      break;
+    case Expr::Kind::kAffine:
+      out->affine_resolved = e->affine.resolve(names);
+      break;
+    case Expr::Kind::kAccess:
+      out->subscripts_resolved.clear();
+      for (const NamedAffine& s : e->subscripts)
+        out->subscripts_resolved.push_back(s.resolve(names));
+      break;
+    case Expr::Kind::kBinary:
+      out->lhs = resolve_expr(e->lhs, names);
+      out->rhs = resolve_expr(e->rhs, names);
+      break;
+    case Expr::Kind::kUnaryMinus:
+      out->operand = resolve_expr(e->operand, names);
+      break;
+    case Expr::Kind::kCall:
+      out->args.clear();
+      for (const ExprPtr& a : e->args) out->args.push_back(resolve_expr(a, names));
+      break;
+  }
+  return out;
+}
+
+void collect_accesses(const ExprPtr& e, std::vector<const Expr*>* out) {
+  PF_CHECK(e && out);
+  switch (e->kind) {
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kAffine:
+      break;
+    case Expr::Kind::kAccess:
+      out->push_back(e.get());
+      break;
+    case Expr::Kind::kBinary:
+      collect_accesses(e->lhs, out);
+      collect_accesses(e->rhs, out);
+      break;
+    case Expr::Kind::kUnaryMinus:
+      collect_accesses(e->operand, out);
+      break;
+    case Expr::Kind::kCall:
+      for (const ExprPtr& a : e->args) collect_accesses(a, out);
+      break;
+  }
+}
+
+namespace {
+
+int precedence(const Expr& e) {
+  if (e.kind != Expr::Kind::kBinary) return 3;
+  switch (e.op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+      return 1;
+    case BinOp::kMul:
+    case BinOp::kDiv:
+      return 2;
+  }
+  return 1;
+}
+
+void emit(const ExprPtr& e, const std::vector<std::string>& arrays,
+          std::ostringstream& os) {
+  switch (e->kind) {
+    case Expr::Kind::kNumber: {
+      std::ostringstream num;
+      num << e->number;
+      os << num.str();
+      break;
+    }
+    case Expr::Kind::kAffine:
+      os << "(" << e->affine.to_string() << ")";
+      break;
+    case Expr::Kind::kAccess: {
+      PF_CHECK(e->array_id < arrays.size());
+      os << arrays[e->array_id];
+      for (const NamedAffine& s : e->subscripts) os << "[" << s.to_string() << "]";
+      break;
+    }
+    case Expr::Kind::kBinary: {
+      const int p = precedence(*e);
+      const bool pl = precedence(*e->lhs) < p;
+      // Right operand needs parens at equal precedence for - and /.
+      const bool pr = precedence(*e->rhs) < p ||
+                      (precedence(*e->rhs) == p &&
+                       (e->op == BinOp::kSub || e->op == BinOp::kDiv));
+      if (pl) os << "(";
+      emit(e->lhs, arrays, os);
+      if (pl) os << ")";
+      os << " " << to_string(e->op) << " ";
+      if (pr) os << "(";
+      emit(e->rhs, arrays, os);
+      if (pr) os << ")";
+      break;
+    }
+    case Expr::Kind::kUnaryMinus:
+      os << "-(";
+      emit(e->operand, arrays, os);
+      os << ")";
+      break;
+    case Expr::Kind::kCall: {
+      os << e->callee << "(";
+      for (std::size_t i = 0; i < e->args.size(); ++i) {
+        if (i != 0) os << ", ";
+        emit(e->args[i], arrays, os);
+      }
+      os << ")";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string expr_to_string(const ExprPtr& e,
+                           const std::vector<std::string>& array_names) {
+  std::ostringstream os;
+  emit(e, array_names, os);
+  return os.str();
+}
+
+}  // namespace pf::ir

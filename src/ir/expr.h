@@ -1,0 +1,78 @@
+// Statement-body expression trees.
+//
+// A statement in a SCoP is `lhs_array[affine subs] = body;` where body is a
+// real arithmetic expression over array reads, affine values of iterators/
+// parameters, numeric literals and a few math calls. The tree drives three
+// consumers: access extraction (dependence analysis), the interpreter, and
+// the C emitter.
+//
+// Trees are immutable and shared (ExprPtr = shared_ptr<const Expr>).
+// Authoring-time access nodes carry name-based subscripts; Statement
+// finalization produces a resolved copy with positional subscripts so hot
+// paths (interpretation) never touch name maps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/named_affine.h"
+
+namespace pf::ir {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+const char* to_string(BinOp op);
+
+struct Expr {
+  enum class Kind { kNumber, kAffine, kAccess, kBinary, kUnaryMinus, kCall };
+
+  Kind kind;
+
+  // kNumber
+  double number = 0.0;
+
+  // kAffine: the (integer) value of an affine form, used as a double.
+  NamedAffine affine;
+  poly::AffineExpr affine_resolved;  // valid after Statement finalization
+
+  // kAccess
+  std::size_t array_id = 0;
+  std::vector<NamedAffine> subscripts;
+  std::vector<poly::AffineExpr> subscripts_resolved;  // after finalization
+
+  // kBinary
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;
+
+  // kUnaryMinus
+  ExprPtr operand;
+
+  // kCall (sqrt, fabs, exp, ...)
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+ExprPtr make_number(double v);
+ExprPtr make_affine(NamedAffine a);
+ExprPtr make_access(std::size_t array_id, std::vector<NamedAffine> subs);
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_unary_minus(ExprPtr operand);
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args);
+
+/// Resolve all name-based affine payloads against the variable order
+/// `names`, returning a structurally identical tree with the *_resolved
+/// fields populated.
+ExprPtr resolve_expr(const ExprPtr& e, const std::vector<std::string>& names);
+
+/// Collect the access nodes of a (sub)tree in evaluation order.
+void collect_accesses(const ExprPtr& e, std::vector<const Expr*>* out);
+
+/// Render as source-like text; array names looked up via callback.
+std::string expr_to_string(const ExprPtr& e,
+                           const std::vector<std::string>& array_names);
+
+}  // namespace pf::ir

@@ -1,0 +1,79 @@
+#include "ir/named_affine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pf::ir {
+
+bool NamedAffine::is_constant() const { return coeffs_.empty(); }
+
+NamedAffine NamedAffine::operator+(const NamedAffine& o) const {
+  NamedAffine r = *this;
+  r.const_ = checked_add(r.const_, o.const_);
+  for (const auto& [name, c] : o.coeffs_) {
+    const i64 v = checked_add(r.coeff(name), c);
+    if (v == 0)
+      r.coeffs_.erase(name);
+    else
+      r.coeffs_[name] = v;
+  }
+  return r;
+}
+
+NamedAffine NamedAffine::operator-(const NamedAffine& o) const {
+  return *this + (-o);
+}
+
+NamedAffine NamedAffine::operator-() const {
+  NamedAffine r;
+  r.const_ = checked_neg(const_);
+  for (const auto& [name, c] : coeffs_) r.coeffs_[name] = checked_neg(c);
+  return r;
+}
+
+NamedAffine NamedAffine::operator*(i64 s) const {
+  NamedAffine r;
+  if (s == 0) return r;
+  r.const_ = checked_mul(const_, s);
+  for (const auto& [name, c] : coeffs_) r.coeffs_[name] = checked_mul(c, s);
+  return r;
+}
+
+poly::AffineExpr NamedAffine::resolve(
+    const std::vector<std::string>& names) const {
+  poly::AffineExpr e(names.size(), const_);
+  for (const auto& [name, c] : coeffs_) {
+    const auto it = std::find(names.begin(), names.end(), name);
+    PF_CHECK_MSG(it != names.end(),
+                 "unknown variable '" << name << "' in affine expression "
+                                      << to_string());
+    e.set_coeff(static_cast<std::size_t>(it - names.begin()), c);
+  }
+  return e;
+}
+
+std::string NamedAffine::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, c] : coeffs_) {
+    if (first) {
+      if (c == -1)
+        os << "-";
+      else if (c != 1)
+        os << c << "*";
+      os << name;
+      first = false;
+    } else {
+      os << (c > 0 ? " + " : " - ");
+      if (c != 1 && c != -1) os << abs_i64(c) << "*";
+      os << name;
+    }
+  }
+  if (first)
+    os << const_;
+  else if (const_ != 0)
+    os << (const_ > 0 ? " + " : " - ") << abs_i64(const_);
+  return os.str();
+}
+
+}  // namespace pf::ir

@@ -1,0 +1,69 @@
+// Name-based affine expressions for program authoring.
+//
+// The polyhedral layers (poly::AffineExpr) are positional; when *writing*
+// programs (builder API or PolyLang frontend) it is far more convenient to
+// say `i + 2*N - 1` without tracking dimension layouts. NamedAffine keeps
+// coefficients per variable name and is resolved to a positional
+// poly::AffineExpr once the enclosing statement's variable order is known.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "poly/affine.h"
+
+namespace pf::ir {
+
+class NamedAffine {
+ public:
+  NamedAffine() : const_(0) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): constants embed naturally.
+  NamedAffine(i64 constant) : const_(constant) {}
+
+  static NamedAffine var(const std::string& name) {
+    NamedAffine e;
+    e.coeffs_[name] = 1;
+    return e;
+  }
+
+  i64 coeff(const std::string& name) const {
+    auto it = coeffs_.find(name);
+    return it == coeffs_.end() ? 0 : it->second;
+  }
+  i64 const_term() const { return const_; }
+  const std::map<std::string, i64>& coeffs() const { return coeffs_; }
+
+  bool is_constant() const;
+
+  NamedAffine operator+(const NamedAffine& o) const;
+  NamedAffine operator-(const NamedAffine& o) const;
+  NamedAffine operator-() const;
+  NamedAffine operator*(i64 s) const;
+  NamedAffine& operator+=(const NamedAffine& o) { return *this = *this + o; }
+  NamedAffine& operator-=(const NamedAffine& o) { return *this = *this - o; }
+
+  bool operator==(const NamedAffine& o) const {
+    return const_ == o.const_ && coeffs_ == o.coeffs_;
+  }
+
+  /// Resolve against an ordered variable list; every referenced name must
+  /// appear in `names` (unknown names throw with a clear message).
+  poly::AffineExpr resolve(const std::vector<std::string>& names) const;
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, i64> coeffs_;  // name -> coefficient (nonzero kept)
+  i64 const_;
+};
+
+inline NamedAffine operator*(i64 s, const NamedAffine& e) { return e * s; }
+inline NamedAffine operator+(i64 c, const NamedAffine& e) {
+  return NamedAffine(c) + e;
+}
+inline NamedAffine operator-(i64 c, const NamedAffine& e) {
+  return NamedAffine(c) - e;
+}
+
+}  // namespace pf::ir

@@ -1,0 +1,91 @@
+#include "ir/scop.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace pf::ir {
+
+std::optional<std::size_t> Scop::param_index(const std::string& name) const {
+  const auto it = std::find(params_.begin(), params_.end(), name);
+  if (it == params_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - params_.begin());
+}
+
+std::size_t Scop::add_array(Array a) {
+  for (const Array& existing : arrays_)
+    PF_CHECK_MSG(existing.name != a.name,
+                 "duplicate array name '" << a.name << "'");
+  arrays_.push_back(std::move(a));
+  return arrays_.size() - 1;
+}
+
+std::vector<std::string> Scop::array_names() const {
+  std::vector<std::string> names;
+  names.reserve(arrays_.size());
+  for (const Array& a : arrays_) names.push_back(a.name);
+  return names;
+}
+
+int Scop::add_loop(Loop l) {
+  PF_CHECK(l.parent >= -1 && l.parent < static_cast<int>(loops_.size()));
+  loops_.push_back(std::move(l));
+  return static_cast<int>(loops_.size()) - 1;
+}
+
+std::size_t Scop::common_loop_depth(const Statement& a,
+                                    const Statement& b) const {
+  const auto& ca = a.loop_chain();
+  const auto& cb = b.loop_chain();
+  std::size_t d = 0;
+  while (d < ca.size() && d < cb.size() && ca[d] == cb[d]) ++d;
+  return d;
+}
+
+std::vector<std::string> Scop::space_names(const Statement& s) const {
+  std::vector<std::string> names = s.iterators();
+  names.insert(names.end(), params_.begin(), params_.end());
+  return names;
+}
+
+std::string Scop::to_string() const {
+  std::ostringstream os;
+  os << "scop " << name_ << "(" << join(params_, ", ") << ")\n";
+  const std::vector<std::string> arrays = array_names();
+
+  // Emit statements in order, opening/closing loops as the chain changes.
+  std::vector<int> open;  // currently open loop ids
+  auto close_to = [&](std::size_t depth) {
+    while (open.size() > depth) {
+      open.pop_back();
+      os << indent(open.size()) << "}\n";
+    }
+  };
+
+  for (const Statement& s : stmts_) {
+    const auto& chain = s.loop_chain();
+    // Find how much of the open chain is shared.
+    std::size_t shared = 0;
+    while (shared < open.size() && shared < chain.size() &&
+           open[shared] == chain[shared])
+      ++shared;
+    close_to(shared);
+    for (std::size_t d = shared; d < chain.size(); ++d) {
+      const Loop& l = loops_[static_cast<std::size_t>(chain[d])];
+      os << indent(open.size()) << "for (" << l.iterator << " = "
+         << l.lower.to_string() << " .. " << l.upper.to_string() << ") {\n";
+      open.push_back(chain[d]);
+    }
+    const Access& w = s.write();
+    os << indent(open.size()) << s.name() << ": " << arrays[w.array_id];
+    const std::vector<std::string> names = space_names(s);
+    for (const poly::AffineExpr& sub : w.subscripts)
+      os << "[" << sub.to_string(names) << "]";
+    os << " = " << expr_to_string(s.body(), arrays) << ";\n";
+  }
+  close_to(0);
+  return os.str();
+}
+
+}  // namespace pf::ir

@@ -1,0 +1,143 @@
+// The SCoP (Static Control Part) intermediate representation.
+//
+// A Scop is the unit the whole pipeline operates on: global parameters
+// with a context, arrays, the original loop structure, and the statements
+// with their iteration domains, access functions and body expressions.
+//
+// Space conventions used everywhere downstream:
+//  * a statement-local space is [iterators (outermost first), parameters],
+//  * the context and array extents live in the parameter-only space.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "poly/set.h"
+
+namespace pf::ir {
+
+/// A (possibly parametric) rectangular array.
+struct Array {
+  std::string name;
+  /// Extent per dimension, an affine form over the parameters.
+  std::vector<NamedAffine> extents;
+
+  std::size_t rank() const { return extents.size(); }
+};
+
+/// One affine array reference of a statement.
+struct Access {
+  std::size_t array_id = 0;
+  /// Positional over the statement space [iters, params].
+  std::vector<poly::AffineExpr> subscripts;
+  bool is_write = false;
+};
+
+/// A loop of the *original* program structure (used for lexicographic
+/// precedence in dependence analysis and for printing the source).
+struct Loop {
+  std::string iterator;
+  NamedAffine lower;  // inclusive
+  NamedAffine upper;  // inclusive
+  int parent = -1;    // index of enclosing loop, -1 at top level
+};
+
+class Scop;
+
+class Statement {
+ public:
+  Statement(std::size_t index, std::string name,
+            std::vector<std::string> iterators, std::vector<int> loop_chain,
+            poly::IntegerSet domain, std::vector<Access> accesses,
+            ExprPtr body)
+      : index_(index),
+        name_(std::move(name)),
+        iterators_(std::move(iterators)),
+        loop_chain_(std::move(loop_chain)),
+        domain_(std::move(domain)),
+        accesses_(std::move(accesses)),
+        body_(std::move(body)) {}
+
+  std::size_t index() const { return index_; }
+  const std::string& name() const { return name_; }
+
+  /// Loop nest depth ("dimensionality" in the paper's terms).
+  std::size_t dim() const { return iterators_.size(); }
+  const std::vector<std::string>& iterators() const { return iterators_; }
+  /// Original enclosing loops, outermost first (indices into Scop::loops()).
+  const std::vector<int>& loop_chain() const { return loop_chain_; }
+
+  /// Iteration domain over [iterators, params].
+  const poly::IntegerSet& domain() const { return domain_; }
+
+  /// accesses()[0] is the write (statement lhs); the rest are reads in
+  /// evaluation order.
+  const std::vector<Access>& accesses() const { return accesses_; }
+  const Access& write() const { return accesses_.front(); }
+
+  /// Resolved body expression (rhs).
+  const ExprPtr& body() const { return body_; }
+
+ private:
+  std::size_t index_;
+  std::string name_;
+  std::vector<std::string> iterators_;
+  std::vector<int> loop_chain_;
+  poly::IntegerSet domain_;
+  std::vector<Access> accesses_;
+  ExprPtr body_;
+};
+
+class Scop {
+ public:
+  Scop(std::string name, std::vector<std::string> params)
+      : name_(std::move(name)),
+        params_(std::move(params)),
+        context_(params_.size()) {}
+
+  const std::string& name() const { return name_; }
+
+  const std::vector<std::string>& params() const { return params_; }
+  std::size_t num_params() const { return params_.size(); }
+  std::optional<std::size_t> param_index(const std::string& name) const;
+
+  /// Constraints on parameter values (e.g. N >= 4), over the param space.
+  const poly::IntegerSet& context() const { return context_; }
+  void add_context(poly::Constraint c) { context_.add_constraint(std::move(c)); }
+
+  const std::vector<Array>& arrays() const { return arrays_; }
+  std::size_t add_array(Array a);
+  const Array& array(std::size_t id) const { return arrays_.at(id); }
+  std::vector<std::string> array_names() const;
+
+  const std::vector<Loop>& loops() const { return loops_; }
+  int add_loop(Loop l);
+
+  const std::vector<Statement>& statements() const { return stmts_; }
+  std::size_t num_statements() const { return stmts_.size(); }
+  const Statement& statement(std::size_t i) const { return stmts_.at(i); }
+  void add_statement(Statement s) { stmts_.push_back(std::move(s)); }
+
+  /// Number of shared enclosing loops of two statements in the original
+  /// program (length of the common loop_chain prefix).
+  std::size_t common_loop_depth(const Statement& a, const Statement& b) const;
+
+  /// Variable names of a statement's space: [iterators, params].
+  std::vector<std::string> space_names(const Statement& s) const;
+
+  /// Pretty-print the original program (loops reconstructed from the loop
+  /// table; statements in textual order).
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> params_;
+  poly::IntegerSet context_;
+  std::vector<Array> arrays_;
+  std::vector<Loop> loops_;
+  std::vector<Statement> stmts_;
+};
+
+}  // namespace pf::ir

@@ -1,0 +1,99 @@
+// Integer linear programming by branch-and-bound over the exact rational
+// simplex.
+//
+// This plays the role PIP/ISL's ILP plays in Pluto: integer emptiness of
+// dependence polyhedra, integer min/max of affine forms over polyhedra
+// (dependence-satisfaction and parallelism tests), and the per-level
+// scheduler ILP with its lexicographic objective.
+//
+// Termination notes. Equality rows are GCD-normalized up front (an
+// equality with gcd(coeffs) not dividing the constant is reported
+// infeasible immediately) and inequality rows are GCD-tightened, which
+// eliminates the classic non-terminating branch patterns. A node cap
+// bounds the search regardless; hitting it yields kCapExceeded, which all
+// polyfuse callers treat conservatively (e.g. "dependence may exist").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "support/intmath.h"
+
+namespace pf::lp {
+
+enum class IlpStatus { kOptimal, kInfeasible, kUnbounded, kCapExceeded };
+
+const char* to_string(IlpStatus s);
+
+struct IlpOptions {
+  long node_cap = 200000;
+};
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::kInfeasible;
+  IntVector point;     // valid iff status == kOptimal
+  i64 objective = 0;   // valid iff status == kOptimal
+};
+
+/// An ILP/feasibility problem over integer variables. Constraints use
+/// integer coefficients: coeffs . x + constant >= 0 (or == 0).
+class IlpProblem {
+ public:
+  IlpProblem(std::size_t num_vars, std::vector<bool> nonneg);
+
+  static IlpProblem all_nonneg(std::size_t num_vars);
+  static IlpProblem all_free(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+
+  void add_inequality(IntVector coeffs, i64 constant);
+  void add_equality(IntVector coeffs, i64 constant);
+  /// x_v >= bound.
+  void add_lower_bound(std::size_t v, i64 bound);
+  /// x_v <= bound.
+  void add_upper_bound(std::size_t v, i64 bound);
+
+  /// min objective . x over integer points.
+  IlpResult minimize(const IntVector& objective,
+                     const IlpOptions& options = {}) const;
+
+  /// max objective . x over integer points.
+  IlpResult maximize(const IntVector& objective,
+                     const IlpOptions& options = {}) const;
+
+  /// Any integer point. status is kOptimal (point), kInfeasible, or
+  /// kCapExceeded.
+  IlpResult find_point(const IlpOptions& options = {}) const;
+
+  /// Lexicographic minimization: minimize objectives[0], fix its value,
+  /// minimize objectives[1], ... Returns the final point.
+  IlpResult lexmin(const std::vector<IntVector>& objectives,
+                   const IlpOptions& options = {}) const;
+
+  /// True if the constraint set has no integer point (kInfeasible). A
+  /// kCapExceeded search counts as "not proven empty" -> false.
+  bool proven_empty(const IlpOptions& options = {}) const;
+
+  /// Debug rendering of all rows.
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    IntVector coeffs;
+    i64 constant;
+    bool is_equality;
+  };
+
+  // Normalize a row by the gcd of its coefficients; returns false if an
+  // equality is thereby proven unsatisfiable over the integers.
+  static bool normalize(Row& row);
+
+  std::size_t num_vars_;
+  std::vector<bool> nonneg_;
+  std::vector<Row> rows_;
+  bool trivially_infeasible_ = false;
+};
+
+}  // namespace pf::lp

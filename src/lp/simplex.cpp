@@ -1,0 +1,240 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+
+namespace pf::lp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kUnbounded:
+      return "unbounded";
+  }
+  return "?";
+}
+
+SimplexSolver::SimplexSolver(std::size_t num_vars, std::vector<bool> nonneg)
+    : num_vars_(num_vars), nonneg_(std::move(nonneg)) {
+  PF_CHECK(nonneg_.size() == num_vars_);
+}
+
+SimplexSolver SimplexSolver::all_nonneg(std::size_t num_vars) {
+  return SimplexSolver(num_vars, std::vector<bool>(num_vars, true));
+}
+
+SimplexSolver SimplexSolver::all_free(std::size_t num_vars) {
+  return SimplexSolver(num_vars, std::vector<bool>(num_vars, false));
+}
+
+void SimplexSolver::add_inequality(RatVector coeffs, Rational constant) {
+  PF_CHECK(coeffs.size() == num_vars_);
+  rows_.push_back(Row{std::move(coeffs), constant, /*is_equality=*/false});
+}
+
+void SimplexSolver::add_equality(RatVector coeffs, Rational constant) {
+  PF_CHECK(coeffs.size() == num_vars_);
+  rows_.push_back(Row{std::move(coeffs), constant, /*is_equality=*/true});
+}
+
+namespace {
+
+// Dense simplex tableau. Columns 0..ncols-1 are structural/slack/artificial
+// variables; column ncols is the right-hand side. Row `m` (the last) is the
+// reduced-cost row; its RHS cell holds the negated objective value.
+struct Tableau {
+  std::size_t m = 0;      // constraint rows
+  std::size_t ncols = 0;  // variable columns (excl. rhs)
+  std::vector<RatVector> t;
+  std::vector<std::size_t> basis;  // basis[i] = column basic in row i
+
+  Rational& at(std::size_t r, std::size_t c) { return t[r][c]; }
+  const Rational& at(std::size_t r, std::size_t c) const { return t[r][c]; }
+  Rational& rhs(std::size_t r) { return t[r][ncols]; }
+  const Rational& rhs(std::size_t r) const { return t[r][ncols]; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const Rational inv = at(pr, pc).reciprocal();
+    for (auto& v : t[pr]) v *= inv;
+    for (std::size_t r = 0; r <= m; ++r) {
+      if (r == pr || at(r, pc).is_zero()) continue;
+      const Rational factor = at(r, pc);
+      for (std::size_t c = 0; c <= ncols; ++c) t[r][c] -= factor * t[pr][c];
+    }
+    basis[pr] = pc;
+  }
+
+  // One phase of Bland-rule simplex on the current cost row. `allowed`
+  // masks the columns eligible to enter the basis. Returns false if
+  // unbounded.
+  bool optimize(const std::vector<bool>& allowed) {
+    for (;;) {
+      // Entering: smallest-index allowed column with negative reduced cost.
+      std::size_t enter = ncols;
+      for (std::size_t c = 0; c < ncols; ++c) {
+        if (allowed[c] && at(m, c).sign() < 0) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == ncols) return true;  // optimal
+      // Leaving: min ratio rhs/entry over positive entries, Bland tie-break
+      // on smallest basis column.
+      std::size_t leave = m;
+      Rational best_ratio(0);
+      for (std::size_t r = 0; r < m; ++r) {
+        if (at(r, enter).sign() <= 0) continue;
+        const Rational ratio = rhs(r) / at(r, enter);
+        if (leave == m || ratio < best_ratio ||
+            (ratio == best_ratio && basis[r] < basis[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m) return false;  // unbounded
+      pivot(leave, enter);
+    }
+  }
+
+  // Installs cost vector c (size ncols) into the cost row, pricing out the
+  // current basis.
+  void set_costs(const RatVector& costs) {
+    for (std::size_t c = 0; c < ncols; ++c) at(m, c) = costs[c];
+    rhs(m) = Rational(0);
+    for (std::size_t r = 0; r < m; ++r) {
+      const Rational cb = costs[basis[r]];
+      if (cb.is_zero()) continue;
+      for (std::size_t c = 0; c <= ncols; ++c) t[m][c] -= cb * t[r][c];
+    }
+  }
+};
+
+}  // namespace
+
+SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const {
+  PF_CHECK(objective.size() == num_vars_);
+
+  // Column layout: for each variable j, col_pos[j]; for free vars also
+  // col_neg[j] (x_j = pos - neg). Then one slack per inequality, then one
+  // artificial per row.
+  std::vector<std::size_t> col_pos(num_vars_), col_neg(num_vars_, SIZE_MAX);
+  std::size_t nc = 0;
+  for (std::size_t j = 0; j < num_vars_; ++j) {
+    col_pos[j] = nc++;
+    if (!nonneg_[j]) col_neg[j] = nc++;
+  }
+  const std::size_t first_slack = nc;
+  std::size_t num_slacks = 0;
+  for (const Row& r : rows_)
+    if (!r.is_equality) ++num_slacks;
+  nc += num_slacks;
+  const std::size_t first_artificial = nc;
+  // Artificials only for rows whose slack cannot serve as the initial
+  // basic variable: equalities, and inequalities with negative slack
+  // value at x = 0 (i.e. constant < 0).
+  std::size_t num_artificials = 0;
+  for (const Row& r : rows_)
+    if (r.is_equality || r.constant < 0) ++num_artificials;
+  nc += num_artificials;
+
+  Tableau tab;
+  tab.m = rows_.size();
+  tab.ncols = nc;
+  tab.t.assign(tab.m + 1, RatVector(nc + 1, Rational(0)));
+  tab.basis.assign(tab.m, 0);
+
+  std::size_t slack_idx = 0;
+  std::size_t artificial_idx = 0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    // coeffs . x + constant >= 0  becomes  coeffs . x - s = -constant.
+    for (std::size_t j = 0; j < num_vars_; ++j) {
+      tab.at(i, col_pos[j]) = r.coeffs[j];
+      if (col_neg[j] != SIZE_MAX) tab.at(i, col_neg[j]) = -r.coeffs[j];
+    }
+    if (!r.is_equality) {
+      tab.at(i, first_slack + slack_idx) = Rational(-1);
+      ++slack_idx;
+    }
+    tab.rhs(i) = -r.constant;
+    if (!r.is_equality && r.constant >= 0) {
+      // Slack value at x = 0 is `constant` >= 0: negate the row so the
+      // slack column has +1 and a non-negative RHS, and make it basic.
+      for (std::size_t c = 0; c <= nc; ++c) tab.t[i][c] = -tab.t[i][c];
+      tab.basis[i] = first_slack + slack_idx - 1;
+      continue;
+    }
+    // Normalize RHS >= 0, then attach an artificial.
+    if (tab.rhs(i).sign() < 0) {
+      for (std::size_t c = 0; c <= nc; ++c) tab.t[i][c] = -tab.t[i][c];
+    }
+    tab.at(i, first_artificial + artificial_idx) = Rational(1);
+    tab.basis[i] = first_artificial + artificial_idx;
+    ++artificial_idx;
+  }
+
+  // Phase 1: minimize the sum of artificials (skipped when none exist).
+  if (num_artificials > 0) {
+    RatVector costs(nc, Rational(0));
+    for (std::size_t a = 0; a < num_artificials; ++a)
+      costs[first_artificial + a] = Rational(1);
+    tab.set_costs(costs);
+    std::vector<bool> allowed(nc, true);
+    const bool bounded = tab.optimize(allowed);
+    PF_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
+    // Objective value is -rhs of the cost row.
+    if ((-tab.rhs(tab.m)).sign() > 0)
+      return Result{Status::kInfeasible, {}, Rational(0)};
+    // Pivot remaining artificials (at value 0) out of the basis where
+    // possible; rows with no non-artificial entry are redundant and stay
+    // (they are all-zero, harmless).
+    for (std::size_t r = 0; r < tab.m; ++r) {
+      if (tab.basis[r] < first_artificial) continue;
+      std::size_t c = 0;
+      while (c < first_artificial && tab.at(r, c).is_zero()) ++c;
+      if (c < first_artificial) tab.pivot(r, c);
+    }
+  }
+
+  // Phase 2: original objective; artificial columns are barred.
+  {
+    RatVector costs(nc, Rational(0));
+    for (std::size_t j = 0; j < num_vars_; ++j) {
+      costs[col_pos[j]] = objective[j];
+      if (col_neg[j] != SIZE_MAX) costs[col_neg[j]] = -objective[j];
+    }
+    tab.set_costs(costs);
+    std::vector<bool> allowed(nc, true);
+    for (std::size_t c = first_artificial; c < nc; ++c) allowed[c] = false;
+    if (!tab.optimize(allowed)) return Result{Status::kUnbounded, {}, Rational(0)};
+  }
+
+  // Extract solution.
+  RatVector values(nc, Rational(0));
+  for (std::size_t r = 0; r < tab.m; ++r) values[tab.basis[r]] = tab.rhs(r);
+  Result res;
+  res.status = Status::kOptimal;
+  res.point.resize(num_vars_);
+  for (std::size_t j = 0; j < num_vars_; ++j) {
+    res.point[j] = values[col_pos[j]];
+    if (col_neg[j] != SIZE_MAX) res.point[j] -= values[col_neg[j]];
+  }
+  res.objective = -tab.rhs(tab.m);
+  return res;
+}
+
+SimplexSolver::Result SimplexSolver::maximize(const RatVector& objective) const {
+  RatVector neg(objective.size());
+  for (std::size_t i = 0; i < objective.size(); ++i) neg[i] = -objective[i];
+  Result r = minimize(neg);
+  if (r.status == Status::kOptimal) r.objective = -r.objective;
+  return r;
+}
+
+SimplexSolver::Result SimplexSolver::feasible_point() const {
+  return minimize(RatVector(num_vars_, Rational(0)));
+}
+
+}  // namespace pf::lp

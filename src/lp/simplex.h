@@ -1,0 +1,70 @@
+// Exact two-phase primal simplex over rationals.
+//
+// This is the LP core under all of polyfuse: dependence-polyhedron
+// emptiness tests, min/max of affine forms over polyhedra, and the LP
+// relaxations inside the branch-and-bound ILP used by the Pluto-style
+// scheduler. Bland's rule guarantees termination; all arithmetic is exact
+// (Rational), so answers are never victims of floating-point noise.
+//
+// Problem form. Variables x_0..x_{n-1}; each is either free or constrained
+// non-negative. Constraints are affine: coeffs . x + constant >= 0 (or
+// == 0). minimize() solves min objective . x.
+#pragma once
+
+#include <vector>
+
+#include "support/linalg.h"
+#include "support/rational.h"
+
+namespace pf::lp {
+
+enum class Status { kOptimal, kInfeasible, kUnbounded };
+
+const char* to_string(Status s);
+
+class SimplexSolver {
+ public:
+  /// `nonneg[j]` marks variable j as >= 0; free variables are internally
+  /// split into a difference of two non-negative columns.
+  SimplexSolver(std::size_t num_vars, std::vector<bool> nonneg);
+
+  /// Convenience: all variables non-negative (the scheduler's case).
+  static SimplexSolver all_nonneg(std::size_t num_vars);
+  /// Convenience: all variables free (the dependence-polyhedron case).
+  static SimplexSolver all_free(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+
+  /// Adds coeffs . x + constant >= 0.
+  void add_inequality(RatVector coeffs, Rational constant);
+  /// Adds coeffs . x + constant == 0.
+  void add_equality(RatVector coeffs, Rational constant);
+
+  struct Result {
+    Status status = Status::kInfeasible;
+    RatVector point;      // valid iff status == kOptimal
+    Rational objective;   // valid iff status == kOptimal
+  };
+
+  /// min objective . x over the current constraint set.
+  Result minimize(const RatVector& objective) const;
+
+  /// max objective . x (negated minimize).
+  Result maximize(const RatVector& objective) const;
+
+  /// Any feasible point (phase-1 only).
+  Result feasible_point() const;
+
+ private:
+  struct Row {
+    RatVector coeffs;
+    Rational constant;
+    bool is_equality;
+  };
+
+  std::size_t num_vars_;
+  std::vector<bool> nonneg_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pf::lp

@@ -1,0 +1,105 @@
+#include "machine/cachesim.h"
+
+#include <algorithm>
+
+namespace pf::machine {
+
+CacheConfig CacheConfig::xeon_e5_2650() {
+  CacheConfig c;
+  c.levels = {
+      CacheLevelConfig{32 * 1024, 64, 8, "L1"},
+      CacheLevelConfig{256 * 1024, 64, 8, "L2"},
+      CacheLevelConfig{20 * 1024 * 1024, 64, 20, "L3"},
+  };
+  return c;
+}
+
+CacheConfig CacheConfig::tiny() {
+  CacheConfig c;
+  c.levels = {
+      CacheLevelConfig{256, 64, 2, "L1"},
+      CacheLevelConfig{1024, 64, 4, "L2"},
+  };
+  return c;
+}
+
+bool CacheSim::Level::touch(std::uint64_t line_addr) {
+  Set& set = sets[line_addr % num_sets];
+  const std::uint64_t tag = line_addr / num_sets;
+  auto it = std::find(set.tags.begin(), set.tags.end(), tag);
+  if (it != set.tags.end()) {
+    // Move to front (MRU).
+    set.tags.erase(it);
+    set.tags.insert(set.tags.begin(), tag);
+    return true;
+  }
+  set.tags.insert(set.tags.begin(), tag);
+  if (set.tags.size() > config.associativity) set.tags.pop_back();
+  return false;
+}
+
+CacheSim::CacheSim(CacheConfig config) {
+  PF_CHECK_MSG(!config.levels.empty(), "cache needs at least one level");
+  for (CacheLevelConfig& lc : config.levels) {
+    PF_CHECK_MSG(lc.line_bytes > 0 && lc.associativity > 0 &&
+                     lc.size_bytes >= lc.line_bytes * lc.associativity,
+                 "bad cache level config for " << lc.name);
+    Level level;
+    level.config = lc;
+    level.num_sets = lc.size_bytes / (lc.line_bytes * lc.associativity);
+    PF_CHECK(level.num_sets > 0);
+    level.sets.resize(level.num_sets);
+    levels_.push_back(std::move(level));
+  }
+  stats_.hits.assign(levels_.size(), 0);
+  stats_.misses.assign(levels_.size(), 0);
+}
+
+void CacheSim::access(std::uint64_t address, bool /*is_write*/) {
+  ++stats_.accesses;
+  // All levels share the line size of L1 for simplicity (true of the
+  // modeled hardware).
+  const std::uint64_t line = address / levels_[0].config.line_bytes;
+  std::size_t hit_level = levels_.size();
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    if (levels_[k].touch(line)) {
+      hit_level = k;
+      break;
+    }
+  }
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    if (k < hit_level)
+      ++stats_.misses[k];
+    else if (k == hit_level)
+      ++stats_.hits[k];
+  }
+  // Fill levels above the hit: Level::touch already inserted on miss.
+}
+
+void CacheSim::reset_stats() {
+  std::fill(stats_.hits.begin(), stats_.hits.end(), 0);
+  std::fill(stats_.misses.begin(), stats_.misses.end(), 0);
+  stats_.accesses = 0;
+}
+
+AddressMap::AddressMap(const std::vector<std::size_t>& sizes,
+                       std::size_t line_bytes)
+    : sizes_(sizes) {
+  std::uint64_t next = 0;
+  for (const std::size_t n : sizes) {
+    bases_.push_back(next);
+    const std::uint64_t bytes = static_cast<std::uint64_t>(n) * 8;
+    next += (bytes + line_bytes - 1) / line_bytes * line_bytes;
+  }
+}
+
+std::uint64_t AddressMap::address(std::size_t array_id,
+                                  i64 element_index) const {
+  PF_CHECK(array_id < bases_.size());
+  PF_CHECK_MSG(element_index >= 0 &&
+                   static_cast<std::size_t>(element_index) < sizes_[array_id],
+               "address out of array bounds");
+  return bases_[array_id] + static_cast<std::uint64_t>(element_index) * 8;
+}
+
+}  // namespace pf::machine

@@ -1,0 +1,91 @@
+// Multi-level set-associative LRU cache simulator.
+//
+// This is the measurement half of the simulated testbed (DESIGN.md
+// substitution #2): the interpreter's access trace is replayed through a
+// cache hierarchy configured like the paper's Xeon E5-2650 (32 KB L1 /
+// 256 KB L2 private, 20 MB shared L3, 64-byte lines), turning "data
+// reuse" -- the quantity loop fusion optimizes -- into counted hits and
+// misses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+namespace pf::machine {
+
+struct CacheLevelConfig {
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 64;
+  std::size_t associativity = 8;
+  std::string name = "L?";
+};
+
+struct CacheConfig {
+  std::vector<CacheLevelConfig> levels;
+
+  /// The paper's testbed: Intel Xeon E5-2650 (Sandy Bridge-EP).
+  static CacheConfig xeon_e5_2650();
+  /// A tiny hierarchy for tests (hit/miss behavior easy to reason about).
+  static CacheConfig tiny();
+};
+
+struct CacheStats {
+  std::vector<std::uint64_t> hits;    // per level
+  std::vector<std::uint64_t> misses;  // per level (miss at that level)
+  std::uint64_t accesses = 0;
+
+  /// Misses at the last level = trips to memory.
+  std::uint64_t memory_accesses() const {
+    return misses.empty() ? 0 : misses.back();
+  }
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(CacheConfig config);
+
+  /// Simulate one access. Lookup proceeds L1 -> L2 -> ...; a hit at level
+  /// k counts hits[k] and misses[0..k); the line is filled into every
+  /// level above the hit (inclusive hierarchy).
+  void access(std::uint64_t address, bool is_write);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats();
+
+  std::size_t num_levels() const { return levels_.size(); }
+
+ private:
+  struct Set {
+    // Tags in LRU order: front = most recently used.
+    std::vector<std::uint64_t> tags;
+  };
+  struct Level {
+    CacheLevelConfig config;
+    std::size_t num_sets = 0;
+    std::vector<Set> sets;
+    // Returns true on hit; on miss inserts the line (LRU eviction).
+    bool touch(std::uint64_t line_addr);
+  };
+
+  std::vector<Level> levels_;
+  CacheStats stats_;
+};
+
+/// Deterministic synthetic address layout for a set of arrays: array `a`
+/// element `idx` lives at base(a) + 8*idx, bases line-aligned and packed.
+class AddressMap {
+ public:
+  /// sizes[a] = element count of array a.
+  explicit AddressMap(const std::vector<std::size_t>& sizes,
+                      std::size_t line_bytes = 64);
+  std::uint64_t address(std::size_t array_id, i64 element_index) const;
+
+ private:
+  std::vector<std::uint64_t> bases_;
+  std::vector<std::size_t> sizes_;
+};
+
+}  // namespace pf::machine

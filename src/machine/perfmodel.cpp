@@ -1,0 +1,250 @@
+#include "machine/perfmodel.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "exec/interp.h"
+#include "support/strings.h"
+
+namespace pf::machine {
+
+const char* to_string(NestParallelism p) {
+  switch (p) {
+    case NestParallelism::kParallel:
+      return "parallel";
+    case NestParallelism::kPipelined:
+      return "pipelined";
+    case NestParallelism::kSerial:
+      return "serial";
+  }
+  return "?";
+}
+
+namespace {
+
+// Arithmetic-op count of a statement body (calls weighted heavier).
+std::uint64_t body_ops(const ir::ExprPtr& e) {
+  using K = ir::Expr::Kind;
+  switch (e->kind) {
+    case K::kNumber:
+    case K::kAffine:
+    case K::kAccess:
+      return 0;
+    case K::kBinary:
+      return 1 + body_ops(e->lhs) + body_ops(e->rhs);
+    case K::kUnaryMinus:
+      return 1 + body_ops(e->operand);
+    case K::kCall: {
+      std::uint64_t acc = 4;
+      for (const ir::ExprPtr& a : e->args) acc += body_ops(a);
+      return acc;
+    }
+  }
+  return 0;
+}
+
+// Trip count of a loop whose bounds depend only on parameters.
+std::uint64_t outer_trip_count(const codegen::AstNode& loop,
+                               const exec::ArrayStore& store,
+                               std::size_t /*q_unused*/) {
+  // Size the environment from the bound expressions' own space.
+  PF_CHECK(!loop.lower.alternatives.empty() &&
+           !loop.lower.alternatives[0].empty());
+  const std::size_t dims = loop.lower.alternatives[0][0].expr.dims();
+  PF_CHECK(dims >= store.scop().num_params());
+  const std::size_t q = dims - store.scop().num_params();
+  IntVector env(dims, 0);
+  for (std::size_t j = 0; j < store.scop().num_params(); ++j)
+    env[q + j] = store.params()[j];
+  auto eval = [&](const codegen::LoopBound& b, bool lower) {
+    bool first_alt = true;
+    i64 result = 0;
+    for (const auto& terms : b.alternatives) {
+      bool first = true;
+      i64 acc = 0;
+      for (const codegen::BoundTerm& t : terms) {
+        const i64 raw = t.expr.eval(env);
+        const i64 v = lower ? ceil_div(raw, t.denom) : floor_div(raw, t.denom);
+        if (first || (lower ? v > acc : v < acc)) acc = v;
+        first = false;
+      }
+      if (first_alt || (lower ? acc < result : acc > result)) result = acc;
+      first_alt = false;
+    }
+    return result;
+  };
+  const i64 lo = eval(loop.lower, true);
+  const i64 hi = eval(loop.upper, false);
+  return hi >= lo ? static_cast<std::uint64_t>(hi - lo + 1) : 0;
+}
+
+bool subtree_has_loop(const codegen::AstNode& n) {
+  switch (n.kind) {
+    case codegen::AstNode::Kind::kLoop:
+      return true;
+    case codegen::AstNode::Kind::kBlock:
+      return std::any_of(
+          n.children.begin(), n.children.end(),
+          [](const codegen::AstPtr& c) { return subtree_has_loop(*c); });
+    case codegen::AstNode::Kind::kStmt:
+      return false;
+  }
+  return false;
+}
+
+std::size_t count_t_vars(const codegen::AstNode& n) {
+  switch (n.kind) {
+    case codegen::AstNode::Kind::kLoop:
+      return std::max(n.t_index + 1, count_t_vars(*n.body));
+    case codegen::AstNode::Kind::kBlock: {
+      std::size_t q = 0;
+      for (const codegen::AstPtr& c : n.children)
+        q = std::max(q, count_t_vars(*c));
+      return q;
+    }
+    case codegen::AstNode::Kind::kStmt:
+      return 0;
+  }
+  return 0;
+}
+
+CacheStats delta(const CacheStats& after, const CacheStats& before) {
+  CacheStats d;
+  d.accesses = after.accesses - before.accesses;
+  d.hits.resize(after.hits.size());
+  d.misses.resize(after.misses.size());
+  for (std::size_t k = 0; k < after.hits.size(); ++k) {
+    d.hits[k] = after.hits[k] - before.hits[k];
+    d.misses[k] = after.misses[k] - before.misses[k];
+  }
+  return d;
+}
+
+}  // namespace
+
+ModelReport evaluate(const codegen::AstNode& root, exec::ArrayStore& store,
+                     const MachineConfig& config) {
+  const ir::Scop& scop = store.scop();
+  PF_CHECK_MSG(config.hit_latency.size() == config.cache.levels.size(),
+               "hit_latency must match cache level count");
+
+  // Address layout + shared cache simulator for the whole program (so
+  // inter-nest reuse is captured).
+  std::vector<std::size_t> sizes;
+  for (std::size_t a = 0; a < store.num_arrays(); ++a)
+    sizes.push_back(store.size(a));
+  const AddressMap amap(sizes,
+                        config.cache.levels.front().line_bytes);
+  CacheSim sim(config.cache);
+
+  std::vector<std::uint64_t> stmt_ops;
+  for (const ir::Statement& s : scop.statements())
+    stmt_ops.push_back(body_ops(s.body()) + 1);  // +1 for the store
+
+  const std::size_t q = count_t_vars(root);
+
+  // Top-level segments: maximal loop nests (or lone statements) reached by
+  // flattening blocks -- nested scalar levels produce nested blocks, and
+  // each loop nest under them is its own fork/join region.
+  std::vector<const codegen::AstNode*> segments;
+  const std::function<void(const codegen::AstNode&)> collect =
+      [&](const codegen::AstNode& n) {
+        if (n.kind == codegen::AstNode::Kind::kBlock) {
+          for (const codegen::AstPtr& c : n.children) collect(*c);
+        } else {
+          segments.push_back(&n);
+        }
+      };
+  collect(root);
+
+  ModelReport report;
+  const exec::TraceHook hook = [&](std::size_t array, i64 idx, bool write) {
+    sim.access(amap.address(array, idx), write);
+  };
+
+  for (const codegen::AstNode* seg : segments) {
+    const CacheStats before = sim.stats();
+    const exec::InterpStats stats = exec::interpret(*seg, store, hook);
+
+    NestReport r;
+    r.cache = delta(sim.stats(), before);
+    r.instances = stats.statements_executed;
+    for (std::size_t s = 0; s < stmt_ops.size(); ++s)
+      r.flops += stats.per_statement[s] * stmt_ops[s];
+
+    std::uint64_t outer_trips = 1;
+    if (seg->kind == codegen::AstNode::Kind::kLoop) {
+      outer_trips = outer_trip_count(*seg, store, q);
+      if (seg->parallel)
+        r.parallelism = NestParallelism::kParallel;
+      else if (subtree_has_loop(*seg->body))
+        // Legality guarantees all carried dependences are forward, so a
+        // multi-dimensional nest with a carried outer loop can always run
+        // as a doacross/wavefront pipeline -- the paper's "pipelined
+        // parallel" codes -- at one synchronization per outer iteration.
+        r.parallelism = NestParallelism::kPipelined;
+      else
+        r.parallelism = NestParallelism::kSerial;
+    } else {
+      r.parallelism = NestParallelism::kSerial;
+    }
+    r.wavefronts =
+        r.parallelism == NestParallelism::kPipelined ? outer_trips : 1;
+
+    r.compute_cycles = static_cast<double>(r.flops) * config.op_cost;
+    r.memory_cycles = 0;
+    for (std::size_t k = 0; k < r.cache.hits.size(); ++k)
+      r.memory_cycles +=
+          static_cast<double>(r.cache.hits[k]) * config.hit_latency[k];
+    r.memory_cycles += static_cast<double>(r.cache.memory_accesses()) *
+                       config.memory_latency;
+    r.serial_cycles = r.compute_cycles + r.memory_cycles;
+
+    const double p_eff = std::max(
+        1.0, std::min(static_cast<double>(config.cores),
+                      static_cast<double>(std::max<std::uint64_t>(
+                          outer_trips, 1))));
+    switch (r.parallelism) {
+      case NestParallelism::kParallel:
+        r.modeled_cycles = r.serial_cycles / p_eff + config.sync_cycles;
+        break;
+      case NestParallelism::kPipelined:
+        r.modeled_cycles = r.serial_cycles / p_eff +
+                           static_cast<double>(r.wavefronts) *
+                               config.sync_cycles;
+        break;
+      case NestParallelism::kSerial:
+        r.modeled_cycles = r.serial_cycles;
+        break;
+    }
+    report.nests.push_back(std::move(r));
+  }
+
+  report.cache = sim.stats();
+  for (const NestReport& r : report.nests) {
+    report.serial_cycles += r.serial_cycles;
+    report.modeled_cycles += r.modeled_cycles;
+  }
+  return report;
+}
+
+std::string ModelReport::to_string() const {
+  TextTable t({"nest", "par", "instances", "flops", "L1-miss", "LL-miss",
+               "serial cycles", "modeled cycles"});
+  for (std::size_t i = 0; i < nests.size(); ++i) {
+    const NestReport& r = nests[i];
+    t.add_row({std::to_string(i), machine::to_string(r.parallelism),
+               std::to_string(r.instances), std::to_string(r.flops),
+               std::to_string(r.cache.misses.empty() ? 0 : r.cache.misses[0]),
+               std::to_string(r.cache.memory_accesses()),
+               fmt_double(r.serial_cycles, 0), fmt_double(r.modeled_cycles, 0)});
+  }
+  std::ostringstream os;
+  os << t.to_string();
+  os << "total serial cycles:  " << fmt_double(serial_cycles, 0) << "\n";
+  os << "total modeled cycles: " << fmt_double(modeled_cycles, 0) << "\n";
+  return os.str();
+}
+
+}  // namespace pf::machine

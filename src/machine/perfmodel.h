@@ -1,0 +1,76 @@
+// Analytic multicore performance model (DESIGN.md substitution #2).
+//
+// The paper evaluates wall-clock on an 8-core Xeon; this container has one
+// core, so the *parallelism* half of the evaluation is modeled:
+//
+//   For each top-level nest of the generated AST we measure, by
+//   interpreting with a cache-simulator trace,
+//     compute  = statement instances x per-instance op cost
+//     memory   = hits/misses per level x level latencies
+//   and classify the nest:
+//     parallel  -- outermost loop carries no dependence: one fork/join,
+//                  cycles = (compute + memory)/P' + sync
+//     pipelined -- outermost loop carries a dependence but an inner level
+//                  is parallel: wavefront execution, one synchronization
+//                  per outer iteration:
+//                  cycles = (compute + memory)/P' + wavefronts x sync
+//     serial    -- no parallel level: cycles = compute + memory
+//   with P' = min(cores, outer trip count).
+//
+// This is deliberately simple; it reproduces the paper's *shape*: fusion
+// lowers the memory term (reuse), losing outer parallelism turns one sync
+// into `wavefronts` syncs (the paper's "constant communication costs
+// after each wavefront"), and the parallel/pipelined gap grows with core
+// count.
+#pragma once
+
+#include "codegen/ast.h"
+#include "exec/storage.h"
+#include "machine/cachesim.h"
+
+namespace pf::machine {
+
+struct MachineConfig {
+  CacheConfig cache = CacheConfig::xeon_e5_2650();
+  int cores = 8;
+  /// Access latencies in cycles, per hit level; the final entry is main
+  /// memory (miss in the last cache level).
+  std::vector<double> hit_latency = {4.0, 12.0, 40.0};
+  double memory_latency = 200.0;
+  /// Cycles per arithmetic operation in a statement body.
+  double op_cost = 1.0;
+  /// Fork/join or wavefront barrier cost in cycles.
+  double sync_cycles = 20000.0;
+};
+
+enum class NestParallelism { kParallel, kPipelined, kSerial };
+
+const char* to_string(NestParallelism p);
+
+struct NestReport {
+  NestParallelism parallelism = NestParallelism::kSerial;
+  std::uint64_t instances = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t wavefronts = 1;  // outer trip count when pipelined
+  CacheStats cache;              // deltas attributable to this nest
+  double compute_cycles = 0;
+  double memory_cycles = 0;
+  double serial_cycles = 0;    // compute + memory
+  double modeled_cycles = 0;   // on `cores` cores per the model above
+};
+
+struct ModelReport {
+  std::vector<NestReport> nests;
+  CacheStats cache;  // whole-program totals
+  double serial_cycles = 0;
+  double modeled_cycles = 0;
+
+  std::string to_string() const;
+};
+
+/// Run the model. Interprets the AST (so the store is updated exactly as
+/// a normal run would) while feeding the cache simulator.
+ModelReport evaluate(const codegen::AstNode& root, exec::ArrayStore& store,
+                     const MachineConfig& config = {});
+
+}  // namespace pf::machine

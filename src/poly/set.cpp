@@ -1,0 +1,322 @@
+#include "poly/set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lp/simplex.h"
+
+namespace pf::poly {
+
+bool IntegerSet::normalize(Constraint& c) const {
+  PF_CHECK_MSG(c.expr.dims() == dims_, "constraint space mismatch: "
+                                           << c.expr.dims() << " vs " << dims_);
+  i64 g = 0;
+  for (i64 v : c.expr.coeffs()) g = gcd(g, v);
+  if (g == 0) {
+    // Constant constraint.
+    if (c.is_equality) return c.expr.const_term() == 0;
+    return c.expr.const_term() >= 0;
+  }
+  if (g > 1) {
+    AffineExpr e(dims_);
+    for (std::size_t i = 0; i < dims_; ++i) e.set_coeff(i, c.expr.coeff(i) / g);
+    if (c.is_equality) {
+      if (c.expr.const_term() % g != 0) return false;
+      e.set_const_term(c.expr.const_term() / g);
+    } else {
+      e.set_const_term(floor_div(c.expr.const_term(), g));
+    }
+    c.expr = e;
+  }
+  return true;
+}
+
+void IntegerSet::add_constraint(Constraint c) {
+  if (trivially_empty_) return;
+  i64 g = 0;
+  for (i64 v : c.expr.coeffs()) g = gcd(g, v);
+  if (g == 0) {
+    // Constant: either trivially true (drop) or proves emptiness.
+    const bool ok = c.is_equality ? c.expr.const_term() == 0
+                                  : c.expr.const_term() >= 0;
+    if (!ok) trivially_empty_ = true;
+    return;
+  }
+  if (!normalize(c)) {
+    trivially_empty_ = true;
+    return;
+  }
+  for (const Constraint& existing : constraints_)
+    if (existing == c) return;
+  constraints_.push_back(std::move(c));
+}
+
+void IntegerSet::intersect(const IntegerSet& other) {
+  PF_CHECK(other.dims_ == dims_);
+  if (other.trivially_empty_) trivially_empty_ = true;
+  for (const Constraint& c : other.constraints_) add_constraint(c);
+}
+
+lp::IlpProblem IntegerSet::to_ilp() const {
+  lp::IlpProblem p = lp::IlpProblem::all_free(dims_);
+  for (const Constraint& c : constraints_) {
+    if (c.is_equality)
+      p.add_equality(c.expr.coeffs(), c.expr.const_term());
+    else
+      p.add_inequality(c.expr.coeffs(), c.expr.const_term());
+  }
+  return p;
+}
+
+bool IntegerSet::is_empty(const lp::IlpOptions& options) const {
+  if (trivially_empty_) return true;
+  return to_ilp().proven_empty(options);
+}
+
+bool IntegerSet::contains(const IntVector& point) const {
+  if (trivially_empty_) return false;
+  for (const Constraint& c : constraints_) {
+    const i64 v = c.expr.eval(point);
+    if (c.is_equality ? v != 0 : v < 0) return false;
+  }
+  return true;
+}
+
+std::optional<IntVector> IntegerSet::sample_point(
+    const lp::IlpOptions& options) const {
+  if (trivially_empty_) return std::nullopt;
+  const lp::IlpResult r = to_ilp().find_point(options);
+  if (r.status == lp::IlpStatus::kOptimal) return r.point;
+  return std::nullopt;
+}
+
+IntegerSet::Opt IntegerSet::integer_min(const AffineExpr& e,
+                                        const lp::IlpOptions& options) const {
+  PF_CHECK(e.dims() == dims_);
+  if (trivially_empty_) return Opt{Opt::kEmpty, 0};
+  const lp::IlpResult r = to_ilp().minimize(e.coeffs(), options);
+  switch (r.status) {
+    case lp::IlpStatus::kOptimal:
+      return Opt{Opt::kOk, checked_add(r.objective, e.const_term())};
+    case lp::IlpStatus::kInfeasible:
+      return Opt{Opt::kEmpty, 0};
+    case lp::IlpStatus::kUnbounded:
+      return Opt{Opt::kUnbounded, 0};
+    case lp::IlpStatus::kCapExceeded:
+      return Opt{Opt::kUnknown, 0};
+  }
+  return Opt{Opt::kUnknown, 0};
+}
+
+IntegerSet::Opt IntegerSet::integer_max(const AffineExpr& e,
+                                        const lp::IlpOptions& options) const {
+  Opt r = integer_min(-e, options);
+  if (r.kind == Opt::kOk) r.value = checked_neg(r.value);
+  return r;
+}
+
+void IntegerSet::dedupe(std::vector<Constraint>& cs) {
+  std::vector<Constraint> out;
+  out.reserve(cs.size());
+  for (Constraint& c : cs) {
+    bool seen = false;
+    for (const Constraint& o : out)
+      if (o == c) {
+        seen = true;
+        break;
+      }
+    if (!seen) out.push_back(std::move(c));
+  }
+  cs = std::move(out);
+}
+
+void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
+                                     std::size_t k, bool* trivially_empty) {
+  // Prefer exact substitution through an equality with a +-1 coefficient
+  // on x_k: x_k = -(rest) keeps the projection integer-exact.
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (!cs[i].is_equality) continue;
+    const i64 a = cs[i].expr.coeff(k);
+    if (a != 1 && a != -1) continue;
+    // e: a*x_k + rest == 0  =>  x_k == -a*rest (since a^2 == 1).
+    const AffineExpr e = cs[i].expr;
+    std::vector<Constraint> out;
+    out.reserve(cs.size() - 1);
+    for (std::size_t j = 0; j < cs.size(); ++j) {
+      if (j == i) continue;
+      Constraint c = cs[j];
+      const i64 b = c.expr.coeff(k);
+      if (b != 0) c.expr = c.expr - e * checked_mul(b, a);
+      PF_CHECK(c.expr.coeff(k) == 0);
+      out.push_back(std::move(c));
+    }
+    cs = std::move(out);
+    return;
+  }
+
+  // Expand remaining equalities involving x_k into inequality pairs, then
+  // run classic Fourier-Motzkin (rational projection).
+  std::vector<Constraint> work;
+  work.reserve(cs.size());
+  for (Constraint& c : cs) {
+    if (c.is_equality && c.expr.coeff(k) != 0) {
+      work.push_back(Constraint::ge0(c.expr));
+      work.push_back(Constraint::ge0(-c.expr));
+    } else {
+      work.push_back(std::move(c));
+    }
+  }
+
+  std::vector<Constraint> lowers, uppers, rest;
+  for (Constraint& c : work) {
+    const i64 a = c.expr.coeff(k);
+    if (a > 0)
+      lowers.push_back(std::move(c));  // a*x_k >= -(rest)
+    else if (a < 0)
+      uppers.push_back(std::move(c));  // (-a)*x_k <= rest
+    else
+      rest.push_back(std::move(c));
+  }
+
+  for (const Constraint& lo : lowers) {
+    for (const Constraint& up : uppers) {
+      const i64 a = lo.expr.coeff(k);        // > 0
+      const i64 b = checked_neg(up.expr.coeff(k));  // > 0
+      // b*lo + a*up eliminates x_k.
+      AffineExpr combined = lo.expr * b + up.expr * a;
+      PF_CHECK(combined.coeff(k) == 0);
+      if (combined.is_constant()) {
+        if (combined.const_term() < 0) *trivially_empty = true;
+        continue;
+      }
+      rest.push_back(Constraint::ge0(std::move(combined)));
+    }
+  }
+  cs = std::move(rest);
+}
+
+IntegerSet IntegerSet::eliminate_dims(const std::vector<bool>& remove) const {
+  PF_CHECK(remove.size() == dims_);
+  std::vector<Constraint> cs = constraints_;
+  bool empty = trivially_empty_;
+
+  // Eliminate cheapest column first (fewest lower*upper combinations).
+  std::vector<std::size_t> pending;
+  for (std::size_t d = 0; d < dims_; ++d)
+    if (remove[d]) pending.push_back(d);
+
+  while (!pending.empty() && !empty) {
+    std::size_t best_idx = 0;
+    long best_cost = -1;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::size_t d = pending[i];
+      long lo = 0, up = 0;
+      bool has_unit_eq = false;
+      for (const Constraint& c : cs) {
+        const i64 a = c.expr.coeff(d);
+        if (a == 0) continue;
+        if (c.is_equality && (a == 1 || a == -1)) has_unit_eq = true;
+        if (a > 0)
+          ++lo;
+        else
+          ++up;
+      }
+      const long cost = has_unit_eq ? 0 : lo * up;
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_idx = i;
+      }
+    }
+    const std::size_t d = pending[best_idx];
+    pending.erase(pending.begin() + static_cast<long>(best_idx));
+    fm_eliminate_column(cs, d, &empty);
+    dedupe(cs);
+  }
+
+  // Shrink: drop the removed columns (all zero now).
+  std::size_t new_dims = 0;
+  for (std::size_t d = 0; d < dims_; ++d)
+    if (!remove[d]) ++new_dims;
+  IntegerSet out(new_dims);
+  out.trivially_empty_ = empty;
+  if (!empty) {
+    for (Constraint& c : cs) {
+      Constraint shrunk{c.expr.drop_dims(remove), c.is_equality};
+      out.add_constraint(std::move(shrunk));
+    }
+  }
+  return out;
+}
+
+IntegerSet IntegerSet::eliminate_dim(std::size_t k) const {
+  std::vector<bool> remove(dims_, false);
+  remove[k] = true;
+  return eliminate_dims(remove);
+}
+
+IntegerSet IntegerSet::project_onto_prefix(std::size_t n) const {
+  PF_CHECK(n <= dims_);
+  std::vector<bool> remove(dims_, false);
+  for (std::size_t d = n; d < dims_; ++d) remove[d] = true;
+  return eliminate_dims(remove);
+}
+
+IntegerSet IntegerSet::insert_dims(std::size_t pos, std::size_t count) const {
+  IntegerSet out(dims_ + count);
+  out.trivially_empty_ = trivially_empty_;
+  for (const Constraint& c : constraints_)
+    out.constraints_.push_back(
+        Constraint{c.expr.insert_dims(pos, count), c.is_equality});
+  return out;
+}
+
+void IntegerSet::remove_redundant() {
+  if (trivially_empty_) return;
+  for (std::size_t i = 0; i < constraints_.size();) {
+    if (constraints_[i].is_equality) {
+      ++i;
+      continue;
+    }
+    // Is expr >= 0 implied by the others (over the rationals)?
+    lp::SimplexSolver lp = lp::SimplexSolver::all_free(dims_);
+    for (std::size_t j = 0; j < constraints_.size(); ++j) {
+      if (j == i) continue;
+      const Constraint& c = constraints_[j];
+      RatVector coeffs(dims_);
+      for (std::size_t d = 0; d < dims_; ++d)
+        coeffs[d] = Rational(c.expr.coeff(d));
+      if (c.is_equality)
+        lp.add_equality(std::move(coeffs), Rational(c.expr.const_term()));
+      else
+        lp.add_inequality(std::move(coeffs), Rational(c.expr.const_term()));
+    }
+    RatVector obj(dims_);
+    for (std::size_t d = 0; d < dims_; ++d)
+      obj[d] = Rational(constraints_[i].expr.coeff(d));
+    const auto r = lp.minimize(obj);
+    const bool redundant =
+        r.status == lp::Status::kOptimal &&
+        r.objective + Rational(constraints_[i].expr.const_term()) >=
+            Rational(0);
+    if (redundant)
+      constraints_.erase(constraints_.begin() + static_cast<long>(i));
+    else
+      ++i;
+  }
+}
+
+std::string IntegerSet::to_string(
+    const std::vector<std::string>& names) const {
+  if (trivially_empty_) return "{ false }";
+  std::ostringstream os;
+  os << "{ ";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i != 0) os << " and ";
+    os << constraints_[i].to_string(names);
+  }
+  if (constraints_.empty()) os << "true";
+  os << " }";
+  return os.str();
+}
+
+}  // namespace pf::poly

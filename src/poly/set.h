@@ -1,0 +1,93 @@
+// IntegerSet: a conjunction of affine constraints over a positional space,
+// interpreted over the integers.
+//
+// This is polyfuse's polyhedron type: iteration domains, dependence
+// polyhedra and transformed-domain projections are all IntegerSets.
+// Supported operations:
+//  * integer emptiness / min / max of affine forms (exact, via the
+//    branch-and-bound ILP),
+//  * Fourier-Motzkin elimination (rational projection -- an
+//    overapproximation of the integer projection, which is the standard,
+//    safe choice for loop-bound generation),
+//  * LP-based redundant-constraint removal (keeps emitted bounds tidy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/ilp.h"
+#include "poly/affine.h"
+
+namespace pf::poly {
+
+class IntegerSet {
+ public:
+  explicit IntegerSet(std::size_t dims) : dims_(dims) {}
+
+  static IntegerSet universe(std::size_t dims) { return IntegerSet(dims); }
+
+  std::size_t dims() const { return dims_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  /// Add a constraint (gcd-normalized; equalities unsatisfiable over the
+  /// integers mark the set trivially empty). Exact duplicates are dropped.
+  void add_constraint(Constraint c);
+  /// Intersect with another set over the same space.
+  void intersect(const IntegerSet& other);
+
+  /// Syntactically empty (a normalization proved emptiness without ILP).
+  bool trivially_empty() const { return trivially_empty_; }
+
+  /// True if the set provably contains no integer point. A capped ILP
+  /// search returns false ("may be non-empty") -- the conservative answer
+  /// for dependence analysis.
+  bool is_empty(const lp::IlpOptions& options = {}) const;
+
+  /// Membership test for an integer point.
+  bool contains(const IntVector& point) const;
+
+  /// Any integer point, if one is found.
+  std::optional<IntVector> sample_point(const lp::IlpOptions& options = {}) const;
+
+  /// Result of an integer optimization over the set.
+  struct Opt {
+    enum Kind { kOk, kEmpty, kUnbounded, kUnknown } kind = kEmpty;
+    i64 value = 0;  // valid iff kind == kOk
+  };
+  Opt integer_min(const AffineExpr& e, const lp::IlpOptions& options = {}) const;
+  Opt integer_max(const AffineExpr& e, const lp::IlpOptions& options = {}) const;
+
+  /// Fourier-Motzkin eliminate every dim with remove[d] == true; the
+  /// result's dims are the remaining ones in original order.
+  IntegerSet eliminate_dims(const std::vector<bool>& remove) const;
+  IntegerSet eliminate_dim(std::size_t k) const;
+  /// Keep only dims [0, n): eliminate the rest.
+  IntegerSet project_onto_prefix(std::size_t n) const;
+
+  /// Insert `count` unconstrained dims at position `pos`.
+  IntegerSet insert_dims(std::size_t pos, std::size_t count) const;
+
+  /// Remove inequalities implied (over the rationals) by the rest.
+  void remove_redundant();
+
+  /// Lower the set onto an ILP problem (all variables free integers).
+  lp::IlpProblem to_ilp() const;
+
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+
+ private:
+  // Returns false if the normalized constraint is unsatisfiable.
+  bool normalize(Constraint& c) const;
+  // FM elimination of a single dim, in place on the constraint list
+  // (column k becomes all-zero; caller drops it).
+  static void fm_eliminate_column(std::vector<Constraint>& cs, std::size_t k,
+                                  bool* trivially_empty);
+  static void dedupe(std::vector<Constraint>& cs);
+
+  std::size_t dims_;
+  std::vector<Constraint> constraints_;
+  bool trivially_empty_ = false;
+};
+
+}  // namespace pf::poly

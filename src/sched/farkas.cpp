@@ -1,0 +1,56 @@
+#include "sched/farkas.h"
+
+namespace pf::sched {
+
+std::vector<poly::Constraint> farkas_constraints(
+    const poly::IntegerSet& p, const std::vector<ParamAffine>& coeff_of_x,
+    const ParamAffine& const_term, std::size_t num_unknowns) {
+  PF_CHECK(coeff_of_x.size() == p.dims());
+
+  // Split equalities so all multipliers are non-negative.
+  std::vector<poly::AffineExpr> ineqs;
+  for (const poly::Constraint& c : p.constraints()) {
+    ineqs.push_back(c.expr);
+    if (c.is_equality) ineqs.push_back(-c.expr);
+  }
+  const std::size_t m = ineqs.size();
+
+  // Meta space: [y (num_unknowns), l0, l_1..l_m].
+  const std::size_t total = num_unknowns + 1 + m;
+  poly::IntegerSet meta(total);
+
+  // Coefficient matching per x dimension:
+  //   coeff_of_x[d](y) - sum_k l_k * C_k.coeff(d) == 0.
+  for (std::size_t d = 0; d < p.dims(); ++d) {
+    poly::AffineExpr e(total, coeff_of_x[d].constant);
+    for (std::size_t u = 0; u < num_unknowns; ++u)
+      e.set_coeff(u, coeff_of_x[d].coeffs[u]);
+    for (std::size_t k = 0; k < m; ++k)
+      e.set_coeff(num_unknowns + 1 + k, checked_neg(ineqs[k].coeff(d)));
+    meta.add_constraint(poly::Constraint::eq0(std::move(e)));
+  }
+  // Constant matching: const_term(y) - l0 - sum_k l_k * C_k.const == 0.
+  {
+    poly::AffineExpr e(total, const_term.constant);
+    for (std::size_t u = 0; u < num_unknowns; ++u)
+      e.set_coeff(u, const_term.coeffs[u]);
+    e.set_coeff(num_unknowns, -1);
+    for (std::size_t k = 0; k < m; ++k)
+      e.set_coeff(num_unknowns + 1 + k, checked_neg(ineqs[k].const_term()));
+    meta.add_constraint(poly::Constraint::eq0(std::move(e)));
+  }
+  // Multipliers non-negative.
+  for (std::size_t k = 0; k <= m; ++k)
+    meta.add_constraint(poly::Constraint::ge0(
+        poly::AffineExpr::var(total, num_unknowns + k)));
+
+  // Eliminate all multipliers.
+  std::vector<bool> remove(total, false);
+  for (std::size_t k = 0; k <= m; ++k) remove[num_unknowns + k] = true;
+  poly::IntegerSet reduced = meta.eliminate_dims(remove);
+  PF_CHECK_MSG(!reduced.trivially_empty(),
+               "Farkas elimination produced an empty system (P empty?)");
+  return reduced.constraints();
+}
+
+}  // namespace pf::sched

@@ -1,0 +1,44 @@
+// The affine form of Farkas' lemma, used to linearize universally
+// quantified legality/bounding conditions into constraints on schedule
+// coefficients.
+//
+// Given a polyhedron P (over x) and an affine form E(x) whose coefficients
+// are themselves affine in a vector of unknowns y (schedule coefficients,
+// cost variables), the condition
+//
+//   E(x) >= 0   for all x in P
+//
+// holds iff E can be written as a non-negative combination of P's
+// constraints: E(x) === l0 + sum_k l_k * C_k(x), l >= 0. Equating
+// coefficients of each x dimension and the constant yields equalities over
+// (y, l); Fourier-Motzkin elimination of the multipliers l leaves the
+// desired constraints over y alone. This is exactly Pluto's construction
+// (Bondhugula et al., CC'08).
+#pragma once
+
+#include <vector>
+
+#include "poly/set.h"
+
+namespace pf::sched {
+
+/// An affine form in the unknown vector y: coeffs . y + constant.
+struct ParamAffine {
+  IntVector coeffs;
+  i64 constant = 0;
+
+  explicit ParamAffine(std::size_t num_unknowns, i64 cst = 0)
+      : coeffs(num_unknowns, 0), constant(cst) {}
+};
+
+/// Constraints on y equivalent (over the rationals) to
+///   (sum_d coeff_of_x[d](y) * x_d) + const_term(y) >= 0  for all x in P.
+///
+/// P must be non-empty (callers pass dependence polyhedra, which are
+/// non-empty by construction). Equalities in P are handled as multiplier
+/// pairs (split into two inequalities).
+std::vector<poly::Constraint> farkas_constraints(
+    const poly::IntegerSet& p, const std::vector<ParamAffine>& coeff_of_x,
+    const ParamAffine& const_term, std::size_t num_unknowns);
+
+}  // namespace pf::sched

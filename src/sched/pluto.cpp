@@ -1,0 +1,651 @@
+#include "sched/pluto.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <iostream>
+#include <sstream>
+
+#include "sched/analysis.h"
+#include "sched/farkas.h"
+
+namespace pf::sched {
+
+namespace {
+
+class Scheduler {
+ public:
+  Scheduler(const ir::Scop& scop, const ddg::DependenceGraph& dg,
+            FusionPolicy& policy, const SchedulerOptions& opts)
+      : scop_(scop), dg_(dg), policy_(policy), opts_(opts) {
+    const std::size_t n = scop_.num_statements();
+    const std::size_t p = scop_.num_params();
+
+    // Unknown layout: [u_0..u_{p-1}, w, per stmt: c_0..c_{m-1}, c0].
+    w_index_ = p;
+    std::size_t next = p + 1;
+    c_base_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      c_base_[s] = next;
+      next += scop_.statement(s).dim() + 1;
+    }
+    num_unknowns_ = next;
+
+    rows_.resize(n);
+    h_.assign(n, IntMatrix());
+    for (std::size_t s = 0; s < n; ++s)
+      h_[s] = IntMatrix(0, scop_.statement(s).dim());
+    scalar_prefix_.resize(n);
+
+    satisfied_.assign(dg_.deps().size(), false);
+    satisfied_at_.assign(dg_.deps().size(), SIZE_MAX);
+    dep_constraints_.resize(dg_.deps().size());
+
+    // The policy's pre-fusion schedule, over the ORIGINAL SCCs of the DDG.
+    orig_sccs_ = dg_.sccs();
+    orig_order_ = policy_.prefusion_order(scop_, dg_, orig_sccs_);
+    PF_CHECK_MSG(orig_order_.size() == orig_sccs_.num_sccs(),
+                 "policy returned pre-fusion order of wrong size");
+    std::vector<std::size_t> pos_of_scc(orig_order_.size());
+    {
+      std::vector<bool> seen(orig_order_.size(), false);
+      for (std::size_t pos = 0; pos < orig_order_.size(); ++pos) {
+        PF_CHECK_MSG(orig_order_[pos] < orig_order_.size() &&
+                         !seen[orig_order_[pos]],
+                     "pre-fusion order is not a permutation");
+        seen[orig_order_[pos]] = true;
+        pos_of_scc[orig_order_[pos]] = pos;
+      }
+    }
+    stmt_pref_pos_.resize(n);
+    for (std::size_t s = 0; s < n; ++s)
+      stmt_pref_pos_[s] =
+          pos_of_scc[static_cast<std::size_t>(orig_sccs_.scc_of[s])];
+    // Validate precedence of the pre-fusion order.
+    for (const ddg::Dependence& d : dg_.deps())
+      PF_CHECK_MSG(stmt_pref_pos_[d.src] <= stmt_pref_pos_[d.dst],
+                   "pre-fusion order of policy '"
+                       << policy_.name()
+                       << "' violates the precedence constraint");
+  }
+
+  Schedule run() {
+    refresh_current();
+    {
+      const std::vector<i64> init = policy_.initial_cut(make_cut_context());
+      if (!init.empty()) apply_scalar_level(init);
+    }
+
+    while (level_linear_.size() < opts_.max_levels) {
+      const std::vector<std::size_t> active = active_deps();
+      const bool full = all_full_rank();
+      if (full && active.empty()) break;
+
+      if (!full) {
+        auto hyperplane = find_hyperplane(active);
+        if (opts_.trace) {
+          std::cerr << "[sched] level " << level_linear_.size() << ": "
+                    << (hyperplane ? "hyperplane" : "INFEASIBLE") << " ("
+                    << active.size() << " active deps)";
+          if (!hyperplane) {
+            for (const std::size_t dep_idx : active) {
+              const ddg::Dependence& d = dg_.deps()[dep_idx];
+              std::cerr << " " << scop_.statement(d.src).name() << "->"
+                        << scop_.statement(d.dst).name() << "/"
+                        << ddg::to_string(d.kind) << "/d" << d.depth;
+            }
+          }
+          if (hyperplane) {
+            for (std::size_t s = 0; s < scop_.num_statements(); ++s)
+              std::cerr << " "
+                        << (*hyperplane)[s].to_string(
+                               scop_.space_names(scop_.statement(s)));
+          }
+          std::cerr << "\n";
+        }
+        if (hyperplane) {
+          if (policy_.enforce_outer_parallelism() && !seen_linear_level_ &&
+              cut_for_outer_parallelism(active, *hyperplane))
+            continue;  // hyperplane discarded; a scalar level was applied
+          record_linear_level(active, std::move(*hyperplane));
+          continue;
+        }
+      }
+
+      // Infeasible (or full rank with unsatisfied deps): cut. SCCs are
+      // recomputed over the *active* dependences (Pluto does the same),
+      // so statements of an original SCC whose internal cycle is already
+      // satisfied can now be distributed.
+      refresh_current();
+      std::vector<i64> values = policy_.cut_on_infeasible(make_cut_context());
+      if (count_satisfied_by(values, active) == 0)
+        values = cut_all(cur_order_.size());
+      if (count_satisfied_by(values, active) == 0) {
+        std::ostringstream os;
+        for (const std::size_t dep_idx : active) {
+          const ddg::Dependence& d = dg_.deps()[dep_idx];
+          os << " " << scop_.statement(d.src).name() << "->"
+             << scop_.statement(d.dst).name() << "(" << ddg::to_string(d.kind)
+             << ",depth" << d.depth << ")";
+        }
+        os << "; rows so far:";
+        for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+          os << " " << scop_.statement(s).name() << "=(";
+          for (std::size_t l = 0; l < rows_[s].size(); ++l)
+            os << (l ? "," : "")
+               << rows_[s][l].to_string(scop_.space_names(scop_.statement(s)));
+          os << ")";
+        }
+        PF_FAIL("stuck: active dependences within single SCCs cannot be "
+                "satisfied by any hyperplane with non-negative coefficients "
+                "(policy '"
+                << policy_.name() << "'); active:" << os.str());
+      }
+      apply_scalar_level(values);
+    }
+    PF_CHECK_MSG(level_linear_.size() < opts_.max_levels,
+                 "scheduler exceeded max_levels");
+
+    Schedule out;
+    out.scop = &scop_;
+    out.rows = std::move(rows_);
+    out.level_linear = std::move(level_linear_);
+    out.satisfied_at = std::move(satisfied_at_);
+    out.carried_at = std::move(carried_at_);
+    for (const ddg::Dependence& d : dg_.deps())
+      out.dep_endpoints.emplace_back(d.src, d.dst);
+    out.scc_of_stmt = orig_sccs_.scc_of;
+    out.prefusion_order = orig_order_;
+    return out;
+  }
+
+ private:
+  // --- current (active-dependence) SCC structure -----------------------------
+
+  void refresh_current() {
+    const std::size_t n = scop_.num_statements();
+    std::vector<ddg::Edge> edges;
+    for (std::size_t i = 0; i < satisfied_.size(); ++i) {
+      if (satisfied_[i]) continue;
+      const ddg::Dependence& d = dg_.deps()[i];
+      edges.emplace_back(d.src, d.dst);
+    }
+    cur_sccs_ = ddg::kosaraju_sccs(n, edges);
+    const auto cedges = ddg::condensation_edges(cur_sccs_, edges);
+    std::vector<std::size_t> prio(cur_sccs_.num_sccs(), SIZE_MAX);
+    for (std::size_t s = 0; s < n; ++s) {
+      auto& p = prio[static_cast<std::size_t>(cur_sccs_.scc_of[s])];
+      p = std::min(p, stmt_pref_pos_[s]);
+    }
+    cur_order_ = ddg::topological_order_by_priority(cur_sccs_.num_sccs(),
+                                                    cedges, prio);
+    cur_pos_of_scc_.assign(cur_order_.size(), 0);
+    for (std::size_t pos = 0; pos < cur_order_.size(); ++pos)
+      cur_pos_of_scc_[cur_order_[pos]] = pos;
+    cur_scc_dim_.assign(cur_sccs_.num_sccs(), 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      auto& d = cur_scc_dim_[static_cast<std::size_t>(cur_sccs_.scc_of[s])];
+      d = std::max(d, scop_.statement(s).dim());
+    }
+  }
+
+  std::size_t cur_pos_of_stmt(std::size_t s) const {
+    return cur_pos_of_scc_[static_cast<std::size_t>(cur_sccs_.scc_of[s])];
+  }
+
+  CutContext make_cut_context() {
+    CutContext ctx;
+    ctx.scop = &scop_;
+    ctx.dg = &dg_;
+    ctx.sccs = &cur_sccs_;
+    ctx.order = &cur_order_;
+    ctx.scc_dim = &cur_scc_dim_;
+    active_cache_ = active_deps();
+    ctx.active_deps = &active_cache_;
+    ctx.scalar_prefix = &scalar_prefix_;
+    return ctx;
+  }
+
+  bool all_full_rank() const {
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s)
+      if (h_[s].rows() < scop_.statement(s).dim()) return false;
+    return true;
+  }
+
+  std::vector<std::size_t> active_deps() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < satisfied_.size(); ++i)
+      if (!satisfied_[i]) out.push_back(i);
+    return out;
+  }
+
+  // Farkas-linearized legality + bounding constraints of one dependence,
+  // over the unknown vector; computed once and cached.
+  const std::vector<poly::Constraint>& constraints_for(std::size_t dep_idx) {
+    auto& cached = dep_constraints_[dep_idx];
+    if (cached) return *cached;
+    const ddg::Dependence& d = dg_.deps()[dep_idx];
+    const std::size_t ms = d.src_dim, mt = d.dst_dim, p = d.num_params;
+
+    // Legality E1 = phi_dst(t) - phi_src(s).
+    std::vector<ParamAffine> e1(ms + mt + p, ParamAffine(num_unknowns_));
+    for (std::size_t k = 0; k < ms; ++k)
+      e1[k].coeffs[c_base_[d.src] + k] = -1;
+    for (std::size_t k = 0; k < mt; ++k)
+      e1[ms + k].coeffs[c_base_[d.dst] + k] = 1;
+    ParamAffine e1c(num_unknowns_);
+    e1c.coeffs[c_base_[d.dst] + mt] += 1;   // c0_dst
+    e1c.coeffs[c_base_[d.src] + ms] += -1;  // c0_src
+    auto legality = farkas_constraints(d.poly, e1, e1c, num_unknowns_);
+
+    // Bounding E2 = u.n + w - E1.
+    std::vector<ParamAffine> e2(ms + mt + p, ParamAffine(num_unknowns_));
+    for (std::size_t k = 0; k < ms; ++k)
+      e2[k].coeffs[c_base_[d.src] + k] = 1;
+    for (std::size_t k = 0; k < mt; ++k)
+      e2[ms + k].coeffs[c_base_[d.dst] + k] = -1;
+    for (std::size_t q = 0; q < p; ++q) e2[ms + mt + q].coeffs[q] = 1;
+    ParamAffine e2c(num_unknowns_);
+    e2c.coeffs[w_index_] = 1;
+    e2c.coeffs[c_base_[d.dst] + mt] += -1;
+    e2c.coeffs[c_base_[d.src] + ms] += 1;
+    auto bounding = farkas_constraints(d.poly, e2, e2c, num_unknowns_);
+
+    // Drop redundancy within this dependence's system to keep the ILP
+    // small.
+    poly::IntegerSet sys(num_unknowns_);
+    for (auto& c : legality) sys.add_constraint(std::move(c));
+    for (auto& c : bounding) sys.add_constraint(std::move(c));
+    sys.remove_redundant();
+    cached = sys.constraints();
+    return *cached;
+  }
+
+  // The linear-independence condition ("the new row has a nonzero
+  // component in the orthogonal complement of the rows found so far") is a
+  // disjunction; Pluto's encoding keeps only one branch, sum(M c) >= 1,
+  // whose sign depends on the arbitrary orientation of the null-space
+  // basis and can contradict legality (e.g. legality forcing c1 >= 4*c2
+  // while the complement row came out as (-1, 4)). We first try the
+  // default orientation, then enumerate per-statement sign flips (fewest
+  // flips first) before giving up.
+  std::optional<std::vector<poly::AffineExpr>> find_hyperplane(
+      const std::vector<std::size_t>& active) {
+    std::vector<std::size_t> unfinished;
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s)
+      if (h_[s].rows() < scop_.statement(s).dim()) unfinished.push_back(s);
+
+    const std::size_t k = unfinished.size();
+    std::vector<std::uint64_t> combos;
+    if (k <= 6) {
+      for (std::uint64_t c = 0; c < (std::uint64_t{1} << k); ++c)
+        combos.push_back(c);
+      std::stable_sort(combos.begin(), combos.end(),
+                       [](std::uint64_t a, std::uint64_t b) {
+                         return __builtin_popcountll(a) <
+                                __builtin_popcountll(b);
+                       });
+    } else {
+      combos.push_back(0);                              // default
+      for (std::size_t i = 0; i < k; ++i)
+        combos.push_back(std::uint64_t{1} << i);        // single flips
+      combos.push_back((std::uint64_t{1} << k) - 1);    // all flipped
+    }
+    bool first = true;
+    for (const std::uint64_t combo : combos) {
+      std::vector<int> sign(scop_.num_statements(), +1);
+      for (std::size_t i = 0; i < k; ++i)
+        if ((combo >> i) & 1) sign[unfinished[i]] = -1;
+      if (auto hp = find_hyperplane_signed(active, sign)) return hp;
+      if (first) {
+        // Cheap triage: if the system is infeasible even *without* any
+        // independence constraint (sign 0 = omit), the dependences
+        // themselves are the blocker and a cut is needed -- skip the
+        // sign enumeration.
+        first = false;
+        const std::vector<int> none(scop_.num_statements(), 0);
+        if (!find_hyperplane_signed(active, none)) return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::vector<poly::AffineExpr>> find_hyperplane_signed(
+      const std::vector<std::size_t>& active, const std::vector<int>& sign) {
+    lp::IlpProblem ilp = lp::IlpProblem::all_nonneg(num_unknowns_);
+    // Bounds.
+    const std::size_t p = scop_.num_params();
+    for (std::size_t q = 0; q < p; ++q) ilp.add_upper_bound(q, opts_.u_bound);
+    ilp.add_upper_bound(w_index_, opts_.w_bound);
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+      const std::size_t m = scop_.statement(s).dim();
+      for (std::size_t k = 0; k < m; ++k)
+        ilp.add_upper_bound(c_base_[s] + k, opts_.coeff_bound);
+      ilp.add_upper_bound(c_base_[s] + m, opts_.shift_bound);
+    }
+    // Dependence constraints, deduplicated across dependences (different
+    // depth cases of one access pair often linearize identically).
+    {
+      std::set<std::pair<std::vector<i64>, std::pair<i64, bool>>> seen;
+      for (const std::size_t dep_idx : active) {
+        for (const poly::Constraint& c : constraints_for(dep_idx)) {
+          if (!seen
+                   .emplace(c.expr.coeffs(),
+                            std::make_pair(c.expr.const_term(), c.is_equality))
+                   .second)
+            continue;
+          if (c.is_equality)
+            ilp.add_equality(c.expr.coeffs(), c.expr.const_term());
+          else
+            ilp.add_inequality(c.expr.coeffs(), c.expr.const_term());
+        }
+      }
+    }
+    // Linear independence for unfinished statements (sign[s] == 0 omits
+    // the constraint -- used only for the infeasibility triage; a zero
+    // row returned in that mode is rejected below).
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+      const std::size_t m = scop_.statement(s).dim();
+      if (h_[s].rows() >= m) continue;  // finished (or 0-dim)
+      if (sign[s] == 0) continue;
+      const IntMatrix comp = orthogonal_complement_rows(h_[s]);
+      PF_CHECK(comp.rows() > 0);
+      IntVector row(num_unknowns_, 0);
+      for (std::size_t j = 0; j < comp.rows(); ++j)
+        for (std::size_t k = 0; k < m; ++k)
+          row[c_base_[s] + k] = checked_add(
+              row[c_base_[s] + k], checked_mul(sign[s], comp(j, k)));
+      ilp.add_inequality(std::move(row), -1);  // sign * sum >= 1
+    }
+
+    // Lexicographic objective: sum(u), then w, then all coefficients,
+    // then a tie-break preferring earlier original iterators (so a free
+    // choice keeps the source loop order and its spatial locality --
+    // row-major innermost stride stays innermost).
+    IntVector obj_u(num_unknowns_, 0), obj_w(num_unknowns_, 0),
+        obj_c(num_unknowns_, 0), obj_order(num_unknowns_, 0);
+    for (std::size_t q = 0; q < p; ++q) obj_u[q] = 1;
+    obj_w[w_index_] = 1;
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+      const std::size_t m = scop_.statement(s).dim();
+      for (std::size_t k = 0; k <= m; ++k) obj_c[c_base_[s] + k] = 1;
+      for (std::size_t k = 0; k < m; ++k)
+        obj_order[c_base_[s] + k] = static_cast<i64>(k);
+    }
+    const lp::IlpResult r =
+        ilp.lexmin({obj_u, obj_w, obj_c, obj_order}, opts_.ilp);
+    if (r.status != lp::IlpStatus::kOptimal) {
+      if (opts_.trace)
+        std::cerr << "[sched] lexmin status: " << lp::to_string(r.status)
+                  << "\nILP:\n" << ilp.to_string();
+      return std::nullopt;
+    }
+
+    std::vector<poly::AffineExpr> hp;
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+      const ir::Statement& st = scop_.statement(s);
+      const std::size_t m = st.dim();
+      poly::AffineExpr row(m + scop_.num_params(), r.point[c_base_[s] + m]);
+      for (std::size_t k = 0; k < m; ++k)
+        row.set_coeff(k, r.point[c_base_[s] + k]);
+      hp.push_back(std::move(row));
+    }
+    return hp;
+  }
+
+  // phi_dst - phi_src over the dependence polyhedron.
+  poly::AffineExpr phi_diff(const ddg::Dependence& d,
+                            const std::vector<poly::AffineExpr>& rows) const {
+    return d.lift_dst(rows[d.dst]) - d.lift_src(rows[d.src]);
+  }
+
+  // Algorithm 2 (paper Section 4.2): at the outermost linear level, if the
+  // found hyperplane carries a forward dependence between two different
+  // (current) SCCs, cut precisely between those SCCs and report true
+  // (hyperplane discarded).
+  bool cut_for_outer_parallelism(const std::vector<std::size_t>& active,
+                                 const std::vector<poly::AffineExpr>& hp) {
+    refresh_current();
+    // The paper's Algorithm 2 distributes one offending SCC pair per
+    // iteration (cut, discard hyperplane, re-solve). An SCC pair is
+    // offending iff
+    //   (a) the found hyperplane carries some dependence of the pair
+    //       (phi-diff max >= 1: the loop would be a forward-dependence,
+    //       i.e. pipelined, loop), and
+    //   (b) some dependence of the pair has *intrinsic* nonzero distance
+    //       along this hyperplane direction (the shift-free phi-diff is
+    //       not identically zero).
+    // Without (b), staggered shifts of an unrelated legality fix would
+    // make plain loop-independent dependences look carried and the pass
+    // would over-distribute.
+    struct PairState {
+      bool carried = false;
+      bool intrinsic = false;
+    };
+    std::map<std::pair<std::size_t, std::size_t>, PairState> pairs;
+    for (const std::size_t dep_idx : active) {
+      const ddg::Dependence& d = dg_.deps()[dep_idx];
+      const std::size_t scc_s =
+          static_cast<std::size_t>(cur_sccs_.scc_of[d.src]);
+      const std::size_t scc_t =
+          static_cast<std::size_t>(cur_sccs_.scc_of[d.dst]);
+      if (scc_s == scc_t) continue;  // cannot distribute within an SCC
+      PairState& st = pairs[{cur_pos_of_scc_[scc_s], cur_pos_of_scc_[scc_t]}];
+
+      if (!st.carried) {
+        const auto mx = d.poly.integer_max(phi_diff(d, hp), opts_.ilp);
+        st.carried = mx.kind == poly::IntegerSet::Opt::kUnbounded ||
+                     mx.kind == poly::IntegerSet::Opt::kUnknown ||
+                     (mx.kind == poly::IntegerSet::Opt::kOk && mx.value >= 1);
+      }
+      if (!st.intrinsic) {
+        poly::AffineExpr src_row = hp[d.src];
+        poly::AffineExpr dst_row = hp[d.dst];
+        src_row.set_const_term(0);
+        dst_row.set_const_term(0);
+        const poly::AffineExpr diff =
+            d.lift_dst(dst_row) - d.lift_src(src_row);
+        const auto mn = d.poly.integer_min(diff, opts_.ilp);
+        const auto mx = d.poly.integer_max(diff, opts_.ilp);
+        const bool both_zero = mn.kind == poly::IntegerSet::Opt::kOk &&
+                               mn.value == 0 &&
+                               mx.kind == poly::IntegerSet::Opt::kOk &&
+                               mx.value == 0;
+        st.intrinsic = !both_zero;
+      }
+    }
+    for (const auto& [pair_pos, st] : pairs) {
+      if (!st.carried || !st.intrinsic) continue;
+      const std::size_t pos_t = pair_pos.second;
+      PF_CHECK(pair_pos.first < pos_t);
+      std::vector<i64> values(cur_order_.size(), 0);
+      for (std::size_t pos = pos_t; pos < cur_order_.size(); ++pos)
+        values[pos] = 1;
+      apply_scalar_level(values);
+      return true;
+    }
+
+    // Extension in the same spirit: an SCC whose *internal* dependence
+    // (e.g. a reduction recurrence) is carried by the fused outermost
+    // hyperplane serializes every statement fused with it. Distribution
+    // cannot remove the recurrence, but isolating the SCC frees its own
+    // hyperplane choice (a reduction can run its parallel dimension
+    // outermost once its alignment constraints to neighbors are satisfied
+    // by the cut) and keeps the rest of the partition coarse-grained
+    // parallel. Only fires when the SCC actually shares a partition.
+    for (const std::size_t dep_idx : active) {
+      const ddg::Dependence& d = dg_.deps()[dep_idx];
+      const std::size_t scc_s =
+          static_cast<std::size_t>(cur_sccs_.scc_of[d.src]);
+      if (static_cast<std::size_t>(cur_sccs_.scc_of[d.dst]) != scc_s)
+        continue;
+      // Shares a partition with another SCC?
+      bool shared = false;
+      for (std::size_t other = 0; other < scop_.num_statements() && !shared;
+           ++other) {
+        if (static_cast<std::size_t>(cur_sccs_.scc_of[other]) == scc_s)
+          continue;
+        shared = scalar_prefix_[other] == scalar_prefix_[d.src];
+      }
+      if (!shared) continue;
+      const auto mx = d.poly.integer_max(phi_diff(d, hp), opts_.ilp);
+      const bool carried = mx.kind == poly::IntegerSet::Opt::kUnbounded ||
+                           mx.kind == poly::IntegerSet::Opt::kUnknown ||
+                           (mx.kind == poly::IntegerSet::Opt::kOk &&
+                            mx.value >= 1);
+      if (!carried) continue;
+      // Isolate the SCC: [0..pos) -> 0, pos -> 1, (pos..end) -> 2.
+      const std::size_t pos = cur_pos_of_scc_[scc_s];
+      std::vector<i64> values(cur_order_.size(), 0);
+      for (std::size_t q = 0; q < cur_order_.size(); ++q)
+        values[q] = q < pos ? 0 : (q == pos ? 1 : 2);
+      apply_scalar_level(values);
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t count_satisfied_by(const std::vector<i64>& values,
+                                 const std::vector<std::size_t>& active) const {
+    PF_CHECK(values.size() == cur_order_.size());
+    std::size_t count = 0;
+    for (const std::size_t dep_idx : active) {
+      const ddg::Dependence& d = dg_.deps()[dep_idx];
+      const i64 vs = values[cur_pos_of_stmt(d.src)];
+      const i64 vt = values[cur_pos_of_stmt(d.dst)];
+      PF_CHECK_MSG(vs <= vt, "cut values violate precedence");
+      if (vs < vt) ++count;
+    }
+    return count;
+  }
+
+  void apply_scalar_level(const std::vector<i64>& values) {
+    PF_CHECK(values.size() == cur_order_.size());
+    for (std::size_t pos = 1; pos < values.size(); ++pos)
+      PF_CHECK_MSG(values[pos - 1] <= values[pos],
+                   "cut values must be non-decreasing in pre-fusion order");
+    const std::size_t level = level_linear_.size();
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+      const ir::Statement& st = scop_.statement(s);
+      const i64 v = values[cur_pos_of_stmt(s)];
+      rows_[s].push_back(
+          poly::AffineExpr::constant(st.dim() + scop_.num_params(), v));
+      scalar_prefix_[s].push_back(v);
+    }
+    for (std::size_t i = 0; i < satisfied_.size(); ++i) {
+      if (satisfied_[i]) continue;
+      const ddg::Dependence& d = dg_.deps()[i];
+      const i64 vs = values[cur_pos_of_stmt(d.src)];
+      const i64 vt = values[cur_pos_of_stmt(d.dst)];
+      if (vs < vt) {
+        satisfied_[i] = true;
+        satisfied_at_[i] = level;
+      }
+    }
+    level_linear_.push_back(false);
+    carried_at_.emplace_back();
+  }
+
+  void record_linear_level(const std::vector<std::size_t>& active,
+                           std::vector<poly::AffineExpr> hp) {
+    const std::size_t level = level_linear_.size();
+    std::vector<std::size_t> carried;
+    for (const std::size_t dep_idx : active) {
+      const ddg::Dependence& d = dg_.deps()[dep_idx];
+      const poly::AffineExpr diff = phi_diff(d, hp);
+      const auto mn = d.poly.integer_min(diff, opts_.ilp);
+      PF_CHECK_MSG(mn.kind != poly::IntegerSet::Opt::kUnbounded,
+                   "hyperplane violates legality (unbounded-below "
+                   "dependence distance)");
+      if (mn.kind == poly::IntegerSet::Opt::kOk) {
+        PF_CHECK_MSG(mn.value >= 0, "hyperplane violates legality");
+        if (mn.value >= 1) {
+          satisfied_[dep_idx] = true;
+          satisfied_at_[dep_idx] = level;
+        }
+      }
+      const auto mx = d.poly.integer_max(diff, opts_.ilp);
+      const bool is_carried =
+          mx.kind == poly::IntegerSet::Opt::kUnbounded ||
+          mx.kind == poly::IntegerSet::Opt::kUnknown ||
+          (mx.kind == poly::IntegerSet::Opt::kOk && mx.value >= 1);
+      if (is_carried) carried.push_back(dep_idx);
+    }
+    // Update independence state.
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
+      const std::size_t m = scop_.statement(s).dim();
+      if (h_[s].rows() >= m) continue;
+      IntVector linear(m);
+      bool nonzero = false;
+      for (std::size_t k = 0; k < m; ++k) {
+        linear[k] = hp[s].coeff(k);
+        nonzero = nonzero || linear[k] != 0;
+      }
+      PF_CHECK_MSG(nonzero,
+                   "independence constraint produced a zero row for an "
+                   "unfinished statement");
+      h_[s].append_row(linear);
+    }
+    for (std::size_t s = 0; s < scop_.num_statements(); ++s)
+      rows_[s].push_back(std::move(hp[s]));
+    level_linear_.push_back(true);
+    carried_at_.push_back(std::move(carried));
+    seen_linear_level_ = true;
+  }
+
+  const ir::Scop& scop_;
+  const ddg::DependenceGraph& dg_;
+  FusionPolicy& policy_;
+  const SchedulerOptions& opts_;
+
+  std::size_t num_unknowns_ = 0;
+  std::size_t w_index_ = 0;
+  std::vector<std::size_t> c_base_;
+
+  std::vector<std::vector<poly::AffineExpr>> rows_;
+  std::vector<bool> level_linear_;
+  std::vector<std::vector<std::size_t>> carried_at_;
+  std::vector<IntMatrix> h_;
+  std::vector<std::vector<i64>> scalar_prefix_;
+  std::vector<bool> satisfied_;
+  std::vector<std::size_t> satisfied_at_;
+  std::vector<std::optional<std::vector<poly::Constraint>>> dep_constraints_;
+  std::vector<std::size_t> active_cache_;
+  bool seen_linear_level_ = false;
+
+  // Original SCCs + pre-fusion schedule (policy's view; kept for
+  // reporting) and per-statement pre-fusion positions.
+  ddg::SccResult orig_sccs_;
+  std::vector<std::size_t> orig_order_;
+  std::vector<std::size_t> stmt_pref_pos_;
+
+  // Current SCC structure over the active dependences.
+  ddg::SccResult cur_sccs_;
+  std::vector<std::size_t> cur_order_;
+  std::vector<std::size_t> cur_pos_of_scc_;
+  std::vector<std::size_t> cur_scc_dim_;
+};
+
+}  // namespace
+
+Schedule compute_schedule(const ir::Scop& scop,
+                          const ddg::DependenceGraph& dg, FusionPolicy& policy,
+                          const SchedulerOptions& options) {
+  PF_CHECK_MSG(&dg.scop() == &scop, "dependence graph built for another scop");
+  try {
+    return Scheduler(scop, dg, policy, options).run();
+  } catch (const Error& e) {
+    if (std::string(e.what()).find("stuck:") == std::string::npos) throw;
+    // The greedy per-level search occasionally strands a dependence that
+    // only a different earlier choice could have satisfied (no
+    // backtracking, like Pluto). The original execution order is always
+    // legal: degrade gracefully to the identity schedule instead of
+    // failing.
+    Schedule fallback = identity_schedule(scop);
+    annotate_dependences(fallback, dg, options.ilp);
+    return fallback;
+  }
+}
+
+}  // namespace pf::sched

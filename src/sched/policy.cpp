@@ -1,0 +1,32 @@
+#include "sched/policy.h"
+
+namespace pf::sched {
+
+std::vector<i64> cut_all(std::size_t num_positions) {
+  std::vector<i64> values(num_positions);
+  for (std::size_t p = 0; p < num_positions; ++p)
+    values[p] = static_cast<i64>(p);
+  return values;
+}
+
+std::vector<i64> cut_dim_based(const CutContext& ctx) {
+  PF_CHECK(ctx.order != nullptr && ctx.scc_dim != nullptr);
+  const auto& order = *ctx.order;
+  std::vector<i64> values(order.size(), 0);
+  i64 current = 0;
+  for (std::size_t p = 1; p < order.size(); ++p) {
+    if ((*ctx.scc_dim)[order[p]] != (*ctx.scc_dim)[order[p - 1]]) ++current;
+    values[p] = current;
+  }
+  return values;
+}
+
+std::vector<i64> cut_at_boundary(std::size_t num_positions,
+                                 std::size_t boundary) {
+  PF_CHECK(boundary > 0 && boundary < num_positions);
+  std::vector<i64> values(num_positions, 0);
+  for (std::size_t p = boundary; p < num_positions; ++p) values[p] = 1;
+  return values;
+}
+
+}  // namespace pf::sched

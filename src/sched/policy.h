@@ -1,0 +1,80 @@
+// FusionPolicy: the scheduler's pluggable cost model for fusion.
+//
+// The Pluto-style scheduler (pluto.h) is policy-agnostic; everything the
+// paper varies between fusion models is behind this interface:
+//  * the pre-fusion schedule (the ordering of SCCs -- paper Section 4.1),
+//  * the initial cut, if any (nofuse distributes everything up front),
+//  * the cut issued when the hyperplane ILP is infeasible,
+//  * whether Algorithm 2 (outer-parallelism enforcement) runs.
+//
+// Concrete policies (wisefuse, smartfuse, nofuse, maxfuse) live in
+// src/fusion. Cut values are expressed per *position* in the pre-fusion
+// order and must be non-decreasing, which keeps scalar dimensions legal
+// because every pre-fusion order respects the precedence constraint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ddg/dependences.h"
+#include "ir/scop.h"
+
+namespace pf::sched {
+
+/// Everything a policy may inspect when deciding a cut.
+struct CutContext {
+  const ir::Scop* scop = nullptr;
+  const ddg::DependenceGraph* dg = nullptr;
+  const ddg::SccResult* sccs = nullptr;
+  /// Pre-fusion order: position -> scc id.
+  const std::vector<std::size_t>* order = nullptr;
+  /// Max statement dimensionality per scc id.
+  const std::vector<std::size_t>* scc_dim = nullptr;
+  /// Indices (into dg->deps()) of still-unsatisfied dependences.
+  const std::vector<std::size_t>* active_deps = nullptr;
+  /// Current scalar-prefix partition value tuple per statement.
+  const std::vector<std::vector<i64>>* scalar_prefix = nullptr;
+};
+
+class FusionPolicy {
+ public:
+  virtual ~FusionPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The pre-fusion schedule: a permutation of SCC ids (as produced by
+  /// DependenceGraph::sccs(), whose ids are already topological) giving
+  /// their intended execution order. Must respect precedence.
+  virtual std::vector<std::size_t> prefusion_order(
+      const ir::Scop& scop, const ddg::DependenceGraph& dg,
+      const ddg::SccResult& sccs) = 0;
+
+  /// Partition values (per position in the pre-fusion order) applied as a
+  /// scalar dimension before any hyperplane is searched; empty = none.
+  virtual std::vector<i64> initial_cut(const CutContext&) { return {}; }
+
+  /// Partition values applied when the hyperplane ILP is infeasible.
+  /// Non-decreasing per position. The scheduler escalates to a full cut
+  /// if the returned cut fails to satisfy any active dependence.
+  virtual std::vector<i64> cut_on_infeasible(const CutContext& ctx) = 0;
+
+  /// Algorithm 2: when true, the scheduler refuses outermost hyperplanes
+  /// that carry an inter-SCC forward dependence, cutting precisely between
+  /// the offending SCCs and re-solving.
+  virtual bool enforce_outer_parallelism() const { return false; }
+};
+
+// Reusable cut recipes ------------------------------------------------------
+
+/// One partition per position: full distribution.
+std::vector<i64> cut_all(std::size_t num_positions);
+
+/// Split at boundaries where consecutive SCCs (in pre-fusion order) have
+/// different dimensionality (Pluto's dimensionality-based cut).
+std::vector<i64> cut_dim_based(const CutContext& ctx);
+
+/// Split at one boundary: positions [0, boundary) vs [boundary, end).
+std::vector<i64> cut_at_boundary(std::size_t num_positions,
+                                 std::size_t boundary);
+
+}  // namespace pf::sched

@@ -1,0 +1,93 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace pf::sched {
+
+namespace {
+
+// Partition statements by their scalar values at the scalar levels
+// selected by `use_level`, assigning dense ids in key (execution) order.
+std::vector<int> partition_by_scalars(
+    const Schedule& sch, const std::vector<std::size_t>& levels) {
+  const std::size_t n = sch.num_statements();
+  std::map<std::vector<i64>, int> id_of_key;
+  auto key_of = [&](std::size_t s) {
+    std::vector<i64> key;
+    for (const std::size_t l : levels) {
+      PF_CHECK_MSG(sch.rows[s][l].is_constant(),
+                   "scalar level with non-constant row");
+      key.push_back(sch.rows[s][l].const_term());
+    }
+    return key;
+  };
+  for (std::size_t s = 0; s < n; ++s) id_of_key.emplace(key_of(s), 0);
+  int next = 0;
+  for (auto& [key, id] : id_of_key) id = next++;
+  std::vector<int> out(n);
+  for (std::size_t s = 0; s < n; ++s) out[s] = id_of_key.at(key_of(s));
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> Schedule::outer_partitions() const {
+  std::vector<std::size_t> levels;
+  for (std::size_t l = 0; l < num_levels() && !level_linear[l]; ++l)
+    levels.push_back(l);
+  return partition_by_scalars(*this, levels);
+}
+
+std::vector<int> Schedule::leaf_partitions() const {
+  std::vector<std::size_t> levels;
+  for (std::size_t l = 0; l < num_levels(); ++l)
+    if (!level_linear[l]) levels.push_back(l);
+  return partition_by_scalars(*this, levels);
+}
+
+std::vector<int> Schedule::nest_partitions() const {
+  std::size_t last_linear = 0;
+  for (std::size_t l = 0; l < num_levels(); ++l)
+    if (level_linear[l]) last_linear = l;
+  std::vector<std::size_t> levels;
+  for (std::size_t l = 0; l < last_linear; ++l)
+    if (!level_linear[l]) levels.push_back(l);
+  return partition_by_scalars(*this, levels);
+}
+
+bool Schedule::is_parallel_for(const std::vector<std::size_t>& stmts,
+                               std::size_t level) const {
+  PF_CHECK(level < num_levels() && level_linear[level]);
+  std::vector<bool> in(num_statements(), false);
+  for (const std::size_t s : stmts) in.at(s) = true;
+  return std::none_of(carried_at[level].begin(), carried_at[level].end(),
+                      [&](std::size_t dep_idx) {
+                        const auto& [src, dst] = dep_endpoints.at(dep_idx);
+                        return in[src] && in[dst];
+                      });
+}
+
+std::string Schedule::statement_to_string(std::size_t stmt) const {
+  PF_CHECK(scop != nullptr && stmt < num_statements());
+  const ir::Statement& s = scop->statement(stmt);
+  const std::vector<std::string> names = scop->space_names(s);
+  std::ostringstream os;
+  os << "T_" << s.name() << " = (";
+  for (std::size_t l = 0; l < rows[stmt].size(); ++l) {
+    if (l != 0) os << ", ";
+    os << rows[stmt][l].to_string(names);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < num_statements(); ++s)
+    os << statement_to_string(s) << "\n";
+  return os.str();
+}
+
+}  // namespace pf::sched

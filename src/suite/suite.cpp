@@ -1,0 +1,382 @@
+#include "suite/suite.h"
+
+#include <algorithm>
+
+#include "frontend/parser.h"
+
+namespace pf::suite {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small kernels (the paper's own listings).
+// ---------------------------------------------------------------------------
+
+// Figure 1 / Figure 3.
+constexpr const char* kGemver = R"(
+scop gemver(N) {
+  context N >= 4;
+  array A[N][N]; array B[N][N];
+  array u1[N]; array v1[N]; array u2[N]; array v2[N];
+  array x[N]; array y[N]; array w[N]; array z[N];
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S1: B[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j]; } }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S2: x[i] = x[i] + 2.5*B[j][i]*y[j]; } }
+  for (i = 0 .. N-1) {
+    S3: x[i] = x[i] + z[i]; }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S4: w[i] = w[i] + 1.5*B[i][j]*x[j]; } }
+}
+)";
+
+// Figure 4 / Figure 6. S4's forward reads of wk4 make unshifted full
+// fusion illegal: maxfuse must shift S4 (losing outer parallelism),
+// wisefuse's Algorithm 2 distributes S4 instead.
+constexpr const char* kAdvect = R"(
+scop advect(N) {
+  context N >= 4;
+  array wk1[N+2][N+2]; array wk2[N+2][N+2]; array wk4[N+2][N+2];
+  array u[N+2][N+2]; array v[N+2][N+2];
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S1: wk1[i][j] = u[i][j] + u[i][j+1]; } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S2: wk2[i][j] = v[i][j] + v[i+1][j]; } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S3: wk4[i][j] = wk1[i][j] + wk2[i][j]; } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S4: u[i][j] = wk4[i][j] - wk4[i][j+1] + wk4[i+1][j]; } }
+}
+)";
+
+// Gaussian elimination; non-rectangular iteration space (the case the
+// paper uses to show polyhedral compilers beating icc on parallelism).
+constexpr const char* kLu = R"(
+scop lu(N) {
+  context N >= 3;
+  array A[N][N];
+  for (k = 0 .. N-2) {
+    for (i = k+1 .. N-1) { S1: A[i][k] = A[i][k] / A[k][k]; }
+    for (i = k+1 .. N-1) { for (j = k+1 .. N-1) {
+      S2: A[i][j] = A[i][j] - A[i][k] * A[k][j]; } }
+  }
+}
+)";
+
+// Tensor-contraction chain (TCE, computational quantum chemistry): four
+// nests with deliberately different loop orders, so a syntactic fuser
+// finds no conformable pattern while the polyhedral scheduler aligns
+// hyperplanes across nests.
+constexpr const char* kTce = R"(
+scop tce(N) {
+  context N >= 3;
+  array A[N][N][N][N]; array T1[N][N][N][N]; array T2[N][N][N][N];
+  array T3[N][N][N][N]; array B[N][N][N][N];
+  array C1[N][N]; array C2[N][N]; array C3[N][N]; array C4[N][N];
+  for (p = 0 .. N-1) { for (q = 0 .. N-1) { for (r = 0 .. N-1) {
+    for (s = 0 .. N-1) { for (a = 0 .. N-1) {
+      S1: T1[a][q][r][s] = T1[a][q][r][s] + A[p][q][r][s]*C4[p][a]; } } } } }
+  for (b = 0 .. N-1) { for (a = 0 .. N-1) { for (s = 0 .. N-1) {
+    for (r = 0 .. N-1) { for (q = 0 .. N-1) {
+      S2: T2[a][b][r][s] = T2[a][b][r][s] + T1[a][q][r][s]*C3[q][b]; } } } } }
+  for (r = 0 .. N-1) { for (c = 0 .. N-1) { for (a = 0 .. N-1) {
+    for (b = 0 .. N-1) { for (s = 0 .. N-1) {
+      S3: T3[a][b][c][s] = T3[a][b][c][s] + T2[a][b][r][s]*C2[r][c]; } } } } }
+  for (s = 0 .. N-1) { for (d = 0 .. N-1) { for (b = 0 .. N-1) {
+    for (c = 0 .. N-1) { for (a = 0 .. N-1) {
+      S4: B[a][b][c][d] = B[a][b][c][d] + T3[a][b][c][s]*C1[s][d]; } } } } }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Large programs (structural models; see DESIGN.md substitution #1).
+// ---------------------------------------------------------------------------
+
+// swim, SPEC OMP: the paper's Figure 2 excerpt. S1-S3 compute the new
+// time level (2-d, heavy RAR through z/cu/cv/h); S4-S12 are 1-d boundary
+// updates touching unew/vnew (and z) only; S13-S18 are the time filter +
+// copy-back, where S13/S14/S16/S17 run over the full range including the
+// boundary (hence depend on S4-S12) while S15/S18 touch only pnew-related
+// data and can legally join the first nest -- the paper's Figure 5(b)
+// 5-statement fusion.
+constexpr const char* kSwim = R"(
+scop swim(N) {
+  context N >= 4;
+  array u[N+2][N+2]; array v[N+2][N+2]; array p[N+2][N+2];
+  array unew[N+2][N+2]; array vnew[N+2][N+2]; array pnew[N+2][N+2];
+  array uold[N+2][N+2]; array vold[N+2][N+2]; array pold[N+2][N+2];
+  array cu[N+2][N+2]; array cv[N+2][N+2]; array z[N+2][N+2]; array h[N+2][N+2];
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S1: unew[i][j] = uold[i][j] + 0.7*(z[i][j+1] + z[i][j])*(cv[i][j+1] + cv[i][j]) - 0.6*(h[i+1][j] - h[i][j]);
+  } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S2: vnew[i][j] = vold[i][j] - 0.7*(z[i+1][j] + z[i][j])*(cu[i+1][j] + cu[i][j]) - 0.6*(h[i][j+1] - h[i][j]);
+  } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S3: pnew[i][j] = pold[i][j] - 0.5*(cu[i+1][j] - cu[i][j]) - 0.5*(cv[i][j+1] - cv[i][j]);
+  } }
+  for (j = 1 .. N) { S4: unew[0][j] = unew[N][j]; }
+  for (j = 1 .. N) { S5: vnew[0][j] = vnew[N][j]; }
+  for (i = 1 .. N) { S6: unew[i][0] = unew[i][N]; }
+  for (i = 1 .. N) { S7: vnew[i][0] = vnew[i][N]; }
+  for (j = 1 .. N) { S8: unew[N+1][j] = unew[1][j]; }
+  for (j = 1 .. N) { S9: vnew[N+1][j] = vnew[1][j]; }
+  for (i = 1 .. N) { S10: unew[i][N+1] = unew[i][1]; }
+  for (i = 1 .. N) { S11: vnew[i][N+1] = vnew[i][1]; }
+  for (j = 1 .. N) { S12: z[0][j] = z[N][j]; }
+  for (i = 0 .. N+1) { for (j = 0 .. N+1) {
+    S13: uold[i][j] = u[i][j] + 0.2*(unew[i][j] - 2.0*u[i][j] + uold[i][j]);
+  } }
+  for (i = 0 .. N+1) { for (j = 0 .. N+1) {
+    S14: vold[i][j] = v[i][j] + 0.2*(vnew[i][j] - 2.0*v[i][j] + vold[i][j]);
+  } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S15: pold[i][j] = p[i][j] + 0.2*(pnew[i][j] - 2.0*p[i][j] + pold[i][j]);
+  } }
+  for (i = 0 .. N+1) { for (j = 0 .. N+1) {
+    S16: u[i][j] = unew[i][j];
+  } }
+  for (i = 0 .. N+1) { for (j = 0 .. N+1) {
+    S17: v[i][j] = vnew[i][j];
+  } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S18: p[i][j] = pnew[i][j];
+  } }
+}
+)";
+
+// gemsfdtd, SPEC 2006: UPMLupdateh-like routine. Eleven SCCs of mixed
+// dimensionality: 3-d field/flux updates interleaved in program order
+// with 1-d PML recurrences that consume far-boundary values of the
+// fields (so they cannot share even the outermost loop with their
+// producers -- the cut is forced at level 1). Wisefuse's pre-fusion
+// schedule groups the 3-d SCCs together and the 1-d SCCs together
+// (Figure 8); smartfuse's DFS order interleaves them and the
+// dimensionality-based cuts fragment the code, losing the e- and h-field
+// reuse across the 3-d updates.
+constexpr const char* kGemsfdtd = R"(
+scop gemsfdtd(N) {
+  context N >= 4;
+  array hx[N+2][N+2][N+2]; array hy[N+2][N+2][N+2]; array hz[N+2][N+2][N+2];
+  array bx[N+2][N+2][N+2]; array by[N+2][N+2][N+2]; array bz[N+2][N+2][N+2];
+  array ex[N+2][N+2][N+2]; array ey[N+2][N+2][N+2]; array ez[N+2][N+2][N+2];
+  array psix[N+2]; array psiy[N+2]; array psiz[N+2];
+  array qx[N+2]; array qy[N+2];
+  array pcf[N+2];
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S1: hx[i][j][k] = hx[i][j][k] + 0.5*(ey[i][j][k+1] - ey[i][j][k]) - 0.5*(ez[i][j+1][k] - ez[i][j][k]);
+  } } }
+  for (j = 1 .. N) {
+    S2: psix[j] = 0.4*psix[j] + 0.1*pcf[j]*(hx[N][j][N] - hx[j][N][N]);
+  }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S3: hy[i][j][k] = hy[i][j][k] + 0.5*(ez[i+1][j][k] - ez[i][j][k]) - 0.5*(ex[i][j][k+1] - ex[i][j][k]);
+  } } }
+  for (j = 1 .. N) {
+    S4: psiy[j] = 0.4*psiy[j] + 0.1*pcf[j]*(hy[N][j][N] - hy[j][N][N]);
+  }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S5: hz[i][j][k] = hz[i][j][k] + 0.5*(ex[i][j+1][k] - ex[i][j][k]) - 0.5*(ey[i+1][j][k] - ey[i][j][k]);
+  } } }
+  for (j = 1 .. N) {
+    S6: psiz[j] = 0.4*psiz[j] + 0.1*pcf[j]*(hz[N][j][N] - hz[j][N][N]);
+  }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S7: bx[i][j][k] = 0.9*bx[i][j][k] + 0.2*hx[i][j][k];
+  } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S8: by[i][j][k] = 0.9*by[i][j][k] + 0.2*hy[i][j][k];
+  } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S9: bz[i][j][k] = 0.9*bz[i][j][k] + 0.2*hz[i][j][k];
+  } } }
+  for (j = 1 .. N) {
+    S10: qx[j] = psix[j] + pcf[j]*(bx[N][j][N] - bx[j][N][N]);
+  }
+  for (j = 1 .. N) {
+    S11: qy[j] = psiy[j] + pcf[j]*(by[N][j][N] - by[j][N][N]);
+  }
+}
+)";
+
+// applu, SPEC OMP: the x-/y-/z-pass sweep structure of the SSOR RHS. Nine
+// 3-d statements in three passes; statements of one pass share reads
+// (flux temporaries, u), which is exactly the reuse wisefuse's
+// program-order heuristic captures.
+constexpr const char* kApplu = R"(
+scop applu(N) {
+  context N >= 4;
+  array u[N+2][N+2][N+2]; array rsd[N+2][N+2][N+2];
+  array fx[N+2][N+2][N+2]; array fy[N+2][N+2][N+2]; array fz[N+2][N+2][N+2];
+  array qx[N+2][N+2][N+2]; array qy[N+2][N+2][N+2]; array unew2[N+2][N+2][N+2];
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S1: fx[i][j][k] = 0.5*(u[i+1][j][k] - u[i-1][j][k]); } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S2: rsd[i][j][k] = rsd[i][j][k] + 0.3*fx[i][j][k] + 0.1*u[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S3: qx[i][j][k] = fx[i][j][k]*fx[i][j][k] + 0.2*u[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S4: fy[i][j][k] = 0.5*(u[i][j+1][k] - u[i][j-1][k]) + 0.1*(qx[i+1][j][k] + qx[i][j+1][k] + qx[i][j][k+1] - 3.0*qx[i][j][k]); } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S5: rsd[i][j][k] = rsd[i][j][k] + 0.3*fy[i][j][k] + 0.1*qx[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S6: qy[i][j][k] = fy[i][j][k]*fy[i][j][k] + 0.2*qx[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S7: fz[i][j][k] = 0.5*(u[i][j][k+1] - u[i][j][k-1]) + 0.1*(qy[i+1][j][k] + qy[i][j+1][k] + qy[i][j][k+1] - 3.0*qy[i][j][k]); } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S8: rsd[i][j][k] = rsd[i][j][k] + 0.3*fz[i][j][k] + 0.1*qy[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S9: unew2[i][j][k] = u[i][j][k] + 0.05*rsd[i][j][k]; } } }
+}
+)";
+
+// bt, NPB: compute_rhs-like directional flux differences plus the add
+// phase. Same sweep discipline as applu with a different stencil shape
+// and a per-direction squared-flux term.
+constexpr const char* kBt = R"(
+scop bt(N) {
+  context N >= 4;
+  array us[N+2][N+2][N+2]; array rhs[N+2][N+2][N+2];
+  array flux[N+2][N+2][N+2]; array gux[N+2][N+2][N+2];
+  array guy[N+2][N+2][N+2]; array guz[N+2][N+2][N+2];
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S1: flux[i][j][k] = 0.25*(us[i+1][j][k] + us[i-1][j][k] - 2.0*us[i][j][k]); } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S2: gux[i][j][k] = flux[i][j][k] + 0.4*us[i][j][k]*us[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S3: rhs[i][j][k] = rhs[i][j][k] + gux[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S4: guy[i][j][k] = 0.25*(us[i][j+1][k] + us[i][j-1][k] - 2.0*us[i][j][k]) + 0.1*(gux[i+1][j][k] + gux[i][j+1][k] + gux[i][j][k+1] - 3.0*gux[i][j][k]); } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S5: rhs[i][j][k] = rhs[i][j][k] + guy[i][j][k]; } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S6: guz[i][j][k] = 0.25*(us[i][j][k+1] + us[i][j][k-1] - 2.0*us[i][j][k]) + 0.1*(guy[i+1][j][k] + guy[i][j+1][k] + guy[i][j][k+1] - 3.0*guy[i][j][k]); } } }
+  for (i = 1 .. N) { for (j = 1 .. N) { for (k = 1 .. N) {
+    S7: rhs[i][j][k] = rhs[i][j][k] + guz[i][j][k]; } } }
+}
+)";
+
+// sp, NPB: scalar pentadiagonal RHS sweeps (wider stencil than bt).
+constexpr const char* kSp = R"(
+scop sp(N) {
+  context N >= 5;
+  array q[N+4][N+4][N+4]; array rhs[N+4][N+4][N+4];
+  array wx[N+4][N+4][N+4]; array wy[N+4][N+4][N+4]; array wz[N+4][N+4][N+4];
+  for (i = 2 .. N+1) { for (j = 2 .. N+1) { for (k = 2 .. N+1) {
+    S1: wx[i][j][k] = q[i-2][j][k] - 4.0*q[i-1][j][k] + 6.0*q[i][j][k] - 4.0*q[i+1][j][k] + q[i+2][j][k]; } } }
+  for (i = 2 .. N+1) { for (j = 2 .. N+1) { for (k = 2 .. N+1) {
+    S2: rhs[i][j][k] = rhs[i][j][k] - 0.1*wx[i][j][k] + 0.05*q[i][j][k]; } } }
+  for (i = 2 .. N+1) { for (j = 2 .. N+1) { for (k = 2 .. N+1) {
+    S3: wy[i][j][k] = q[i][j-2][k] - 4.0*q[i][j-1][k] + 6.0*q[i][j][k] - 4.0*q[i][j+1][k] + q[i][j+2][k] + 0.1*(wx[i+1][j][k] + wx[i][j+1][k] + wx[i][j][k+1] - 3.0*wx[i][j][k]); } } }
+  for (i = 2 .. N+1) { for (j = 2 .. N+1) { for (k = 2 .. N+1) {
+    S4: rhs[i][j][k] = rhs[i][j][k] - 0.1*wy[i][j][k] + 0.05*q[i][j][k]; } } }
+  for (i = 2 .. N+1) { for (j = 2 .. N+1) { for (k = 2 .. N+1) {
+    S5: wz[i][j][k] = q[i][j][k-2] - 4.0*q[i][j][k-1] + 6.0*q[i][j][k] - 4.0*q[i][j][k+1] + q[i][j][k+2] + 0.1*(wy[i+1][j][k] + wy[i][j+1][k] + wy[i][j][k+1] - 3.0*wy[i][j][k]); } } }
+  for (i = 2 .. N+1) { for (j = 2 .. N+1) { for (k = 2 .. N+1) {
+    S6: rhs[i][j][k] = rhs[i][j][k] - 0.1*wz[i][j][k] + 0.05*q[i][j][k]; } } }
+}
+)";
+
+// wupwise, SPEC OMP: zgemm (complex matrix multiply) written, as in the
+// SPEC source, as imperfect nests of different dimensionality (2-d
+// initialization + 3-d update + 2-d scaling).
+constexpr const char* kWupwise = R"(
+scop wupwise(N) {
+  context N >= 4;
+  array ar[N][N]; array ai[N][N]; array br[N][N]; array bi[N][N];
+  array cr[N][N]; array ci[N][N]; array dr[N][N]; array di[N][N];
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S1: cr[i][j] = 0.0; } }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S2: ci[i][j] = 0.0; } }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) { for (k = 0 .. N-1) {
+    S3: cr[i][j] = cr[i][j] + ar[i][k]*br[k][j] - ai[i][k]*bi[k][j]; } } }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) { for (k = 0 .. N-1) {
+    S4: ci[i][j] = ci[i][j] + ar[i][k]*bi[k][j] + ai[i][k]*br[k][j]; } } }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S5: dr[i][j] = 0.5*cr[i][j]; } }
+  for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+    S6: di[i][j] = 0.5*ci[i][j]; } }
+}
+)";
+
+std::vector<Benchmark> make_benchmarks() {
+  std::vector<Benchmark> list;
+  auto add = [&](std::string name, std::string suite_name,
+                 std::string category, const char* source, IntVector bench,
+                 IntVector test, bool large, std::string expect) {
+    Benchmark b;
+    b.name = std::move(name);
+    b.suite_name = std::move(suite_name);
+    b.category = std::move(category);
+    b.source = source;
+    b.bench_params = std::move(bench);
+    b.test_params = std::move(test);
+    b.is_large = large;
+    b.paper_expectation = std::move(expect);
+    list.push_back(std::move(b));
+  };
+  // Large programs first (paper Table 2 order).
+  add("gemsfdtd", "SPEC 2006 (modeled)", "Computational Electromagnetics",
+      kGemsfdtd, {40}, {5}, true,
+      "wisefuse 1.7x-7.2x over smartfuse; fewest fusion partitions (Fig 8)");
+  add("swim", "SPEC OMP (modeled)", "Shallow Water Modeling", kSwim, {200},
+      {6}, true,
+      "5-statement fused nest incl. S15/S18 (Fig 5); wisefuse > smartfuse");
+  add("applu", "SPEC OMP (modeled)", "Computational Fluid Dynamics", kApplu,
+      {24}, {5}, true, "pass-local fusion with RAR reuse; wisefuse wins");
+  add("bt", "NPB (modeled)", "Block Tri-diagonal solver", kBt, {26}, {5},
+      true, "pass-local fusion; wisefuse >= smartfuse");
+  add("sp", "NPB (modeled)", "Scalar Penta-diagonal solver", kSp, {24}, {5},
+      true, "pass-local fusion; wisefuse >= smartfuse");
+  // Small kernels.
+  add("advect", "PLuTo", "Weather modeling", kAdvect, {256}, {6}, false,
+      "wisefuse cuts S4, keeps outer parallelism (Fig 6); maxfuse/smartfuse "
+      "pipelined");
+  add("lu", "Polybench", "Linear Algebra", kLu, {96}, {6}, false,
+      "wisefuse == smartfuse, both beat icc via coarse-grained parallelism");
+  add("tce", "Polybench", "Computational Chemistry", kTce, {14}, {3}, false,
+      "polyhedral fusion across permuted nests; wisefuse == smartfuse");
+  add("gemver", "Polybench", "Linear Algebra", kGemver, {400}, {6}, false,
+      "wisefuse == smartfuse; nofuse competitive at this size (paper 5.3)");
+  add("wupwise", "SPEC OMP (modeled)", "Quantum Chromodynamics", kWupwise,
+      {56}, {5}, false,
+      "imperfect nests distributed into perfect ones; selective "
+      "parallelization");
+  return list;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> list = make_benchmarks();
+  return list;
+}
+
+const Benchmark& benchmark(const std::string& name) {
+  for (const Benchmark& b : all_benchmarks())
+    if (b.name == name) return b;
+  PF_FAIL("unknown benchmark '" << name << "'");
+}
+
+ir::Scop parse(const Benchmark& b) { return frontend::parse_scop(b.source); }
+
+void init_store(exec::ArrayStore& store) {
+  for (std::size_t a = 0; a < store.num_arrays(); ++a) {
+    const double salt = static_cast<double>(a + 1);
+    const auto& ext = store.extents(a);
+    const bool square2d = ext.size() == 2 && ext[0] == ext[1];
+    store.fill(a, [&](const IntVector& idx) {
+      double v = 0.17 * salt + 1.0;
+      for (std::size_t d = 0; d < idx.size(); ++d)
+        v += 0.01 * static_cast<double>(idx[d]) * (1.0 + 0.3 * static_cast<double>(d)) /
+             salt;
+      // Make square matrices diagonally dominant so LU-style kernels stay
+      // well-conditioned.
+      if (square2d && idx[0] == idx[1]) v += 50.0;
+      return v;
+    });
+  }
+}
+
+}  // namespace pf::suite

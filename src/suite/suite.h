@@ -1,0 +1,49 @@
+// The benchmark suite: PolyLang models of the paper's ten programs
+// (Table 2).
+//
+// SPEC / NPB sources are proprietary or Fortran, so each large program is
+// modeled by a PolyLang kernel reproducing the structure the paper
+// describes and exploits: statement counts, dimensionalities, the
+// dependence/RAR shape that drives each fusion model's decisions (see
+// DESIGN.md, substitution #1). The small kernels (gemver, advect, lu,
+// tce) follow the paper's own listings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/storage.h"
+#include "ir/scop.h"
+
+namespace pf::suite {
+
+struct Benchmark {
+  std::string name;        // e.g. "swim"
+  std::string suite_name;  // e.g. "SPEC OMP (modeled)"
+  std::string category;    // Table 2 category
+  std::string source;      // PolyLang text
+  /// Parameter values used by the benchmark harness (sized so arrays
+  /// exceed L2 and the trace stays tractable for the simulator).
+  IntVector bench_params;
+  /// Small values for correctness tests.
+  IntVector test_params;
+  /// Paper category: large program vs small kernel.
+  bool is_large = false;
+  /// What the paper reports for this benchmark (used in EXPERIMENTS.md).
+  std::string paper_expectation;
+};
+
+/// All ten benchmarks in the paper's Table 2 order.
+const std::vector<Benchmark>& all_benchmarks();
+
+/// Lookup by name; throws if unknown.
+const Benchmark& benchmark(const std::string& name);
+
+/// Parse a benchmark's PolyLang source.
+ir::Scop parse(const Benchmark& b);
+
+/// Deterministic data initialization shared by tests and benches (values
+/// bounded away from zero; LU-style kernels stay well-conditioned).
+void init_store(exec::ArrayStore& store);
+
+}  // namespace pf::suite

@@ -1,0 +1,59 @@
+// Diagnostics: the single exception type used across polyfuse, and the
+// assertion macros that raise it.
+//
+// Every failure in the library -- arithmetic overflow, infeasible internal
+// state, malformed input -- surfaces as pf::Error carrying a human-readable
+// message. Library code never calls abort()/assert() directly so that
+// embedding applications (tests, benches, the JIT driver) can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pf {
+
+/// Exception thrown on any polyfuse failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line, const char* cond,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed";
+  if (cond != nullptr && *cond != '\0') os << " (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pf
+
+/// Check an invariant; throws pf::Error with file/line context on failure.
+/// Active in all build types: polyfuse invariants guard exactness of the
+/// math, so they are never compiled out.
+#define PF_CHECK(cond)                                               \
+  do {                                                               \
+    if (!(cond)) ::pf::detail::raise(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+/// PF_CHECK with a streamed message: PF_CHECK_MSG(x > 0, "x=" << x).
+#define PF_CHECK_MSG(cond, stream_expr)                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream pf_os_;                                  \
+      pf_os_ << stream_expr;                                      \
+      ::pf::detail::raise(__FILE__, __LINE__, #cond, pf_os_.str()); \
+    }                                                             \
+  } while (0)
+
+/// Unconditional failure with a streamed message.
+#define PF_FAIL(stream_expr)                                    \
+  do {                                                          \
+    std::ostringstream pf_os_;                                  \
+    pf_os_ << stream_expr;                                      \
+    ::pf::detail::raise(__FILE__, __LINE__, "", pf_os_.str()); \
+  } while (0)

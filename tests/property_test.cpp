@@ -1,0 +1,244 @@
+// Cross-cutting randomized property tests for the math foundations:
+//  * Farkas linearization is exact: the generated constraint system on the
+//    unknowns accepts exactly those coefficient vectors for which the
+//    affine form is non-negative over the polyhedron (checked by
+//    enumeration on boxed instances).
+//  * remove_redundant() preserves set membership.
+//  * lexmin() agrees with brute-force lexicographic search.
+//  * permutable_bands() never groups a level that breaks a satisfied
+//    dependence's non-negativity.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ddg/dependences.h"
+#include "frontend/parser.h"
+#include "fusion/models.h"
+#include "lp/simplex.h"
+#include "poly/set.h"
+#include "sched/analysis.h"
+#include "sched/farkas.h"
+#include "sched/pluto.h"
+
+namespace pf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Farkas exactness.
+// ---------------------------------------------------------------------------
+
+class FarkasExactness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FarkasExactness, MatchesUniversalCheck) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<i64> coef(-2, 2);
+  std::uniform_int_distribution<i64> cst(0, 4);
+
+  // P: a random non-empty subset of the box [0,B]^2.
+  const i64 kBox = 4;
+  poly::IntegerSet p(2);
+  for (std::size_t d = 0; d < 2; ++d) {
+    p.add_constraint(poly::Constraint::ge(poly::AffineExpr::var(2, d),
+                                          poly::AffineExpr::constant(2, 0)));
+    p.add_constraint(poly::Constraint::le(poly::AffineExpr::var(2, d),
+                                          poly::AffineExpr::constant(2, kBox)));
+  }
+  // One random extra constraint that keeps the origin feasible.
+  {
+    poly::AffineExpr e(2, cst(rng));
+    e.set_coeff(0, coef(rng));
+    e.set_coeff(1, coef(rng));
+    p.add_constraint(poly::Constraint::ge0(e));
+  }
+  ASSERT_FALSE(p.is_empty());
+
+  // E(x) = (y0) * x0 + (y1) * x1 + y2, unknowns y = (y0, y1, y2).
+  std::vector<sched::ParamAffine> coeffs(2, sched::ParamAffine(3));
+  coeffs[0].coeffs = {1, 0, 0};
+  coeffs[1].coeffs = {0, 1, 0};
+  sched::ParamAffine constant(3);
+  constant.coeffs = {0, 0, 1};
+  const auto system = sched::farkas_constraints(p, coeffs, constant, 3);
+
+  // For every small y: the Farkas system accepts y iff min E(x) >= 0 over
+  // the RATIONAL polytope (the affine Farkas lemma is exact over the
+  // rationals; fractional vertices make integer enumeration insufficient).
+  for (i64 y0 = -2; y0 <= 2; ++y0) {
+    for (i64 y1 = -2; y1 <= 2; ++y1) {
+      for (i64 y2 = -3; y2 <= 3; ++y2) {
+        const IntVector y = {y0, y1, y2};
+        bool farkas_ok = true;
+        for (const poly::Constraint& c : system) {
+          const i64 v = c.expr.eval(y);
+          if (c.is_equality ? v != 0 : v < 0) {
+            farkas_ok = false;
+            break;
+          }
+        }
+        lp::SimplexSolver solver = lp::SimplexSolver::all_free(2);
+        for (const poly::Constraint& c : p.constraints()) {
+          RatVector coeffs = {Rational(c.expr.coeff(0)),
+                              Rational(c.expr.coeff(1))};
+          if (c.is_equality)
+            solver.add_equality(std::move(coeffs),
+                                Rational(c.expr.const_term()));
+          else
+            solver.add_inequality(std::move(coeffs),
+                                  Rational(c.expr.const_term()));
+        }
+        const auto mn = solver.minimize({Rational(y0), Rational(y1)});
+        ASSERT_EQ(mn.status, lp::Status::kOptimal);
+        const bool universal = mn.objective + Rational(y2) >= Rational(0);
+        EXPECT_EQ(farkas_ok, universal)
+            << "seed " << GetParam() << " y=(" << y0 << "," << y1 << ","
+            << y2 << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FarkasExactness, ::testing::Range(0u, 15u));
+
+// ---------------------------------------------------------------------------
+// Redundancy removal preserves membership.
+// ---------------------------------------------------------------------------
+
+class RedundancyRemoval : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RedundancyRemoval, MembershipUnchanged) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<i64> coef(-3, 3);
+  std::uniform_int_distribution<i64> cst(-4, 8);
+
+  poly::IntegerSet s(2);
+  for (std::size_t d = 0; d < 2; ++d) {
+    s.add_constraint(poly::Constraint::ge(poly::AffineExpr::var(2, d),
+                                          poly::AffineExpr::constant(2, -5)));
+    s.add_constraint(poly::Constraint::le(poly::AffineExpr::var(2, d),
+                                          poly::AffineExpr::constant(2, 5)));
+  }
+  for (int k = 0; k < 5; ++k) {
+    poly::AffineExpr e(2, cst(rng));
+    e.set_coeff(0, coef(rng));
+    e.set_coeff(1, coef(rng));
+    s.add_constraint(poly::Constraint::ge0(e));
+  }
+  poly::IntegerSet reduced = s;
+  reduced.remove_redundant();
+  EXPECT_LE(reduced.num_constraints(), s.num_constraints());
+  for (i64 x = -6; x <= 6; ++x)
+    for (i64 y = -6; y <= 6; ++y)
+      EXPECT_EQ(s.contains({x, y}), reduced.contains({x, y}))
+          << "seed " << GetParam() << " point (" << x << "," << y << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyRemoval, ::testing::Range(0u, 20u));
+
+// ---------------------------------------------------------------------------
+// Lexicographic minimization vs brute force.
+// ---------------------------------------------------------------------------
+
+class LexminProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LexminProperty, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<i64> coef(-3, 3);
+  std::uniform_int_distribution<i64> cst(-4, 8);
+
+  const i64 kLo = -3, kHi = 3;
+  lp::IlpProblem p = lp::IlpProblem::all_free(2);
+  p.add_lower_bound(0, kLo);
+  p.add_upper_bound(0, kHi);
+  p.add_lower_bound(1, kLo);
+  p.add_upper_bound(1, kHi);
+  std::vector<IntVector> rows;
+  std::vector<i64> consts;
+  for (int k = 0; k < 3; ++k) {
+    IntVector c = {coef(rng), coef(rng)};
+    const i64 b = cst(rng);
+    p.add_inequality(c, b);
+    rows.push_back(c);
+    consts.push_back(b);
+  }
+  // lexmin of (x, then y).
+  const auto r = p.lexmin({{1, 0}, {0, 1}});
+
+  bool found = false;
+  IntVector best;
+  for (i64 x = kLo; x <= kHi && !found; ++x) {
+    for (i64 y = kLo; y <= kHi; ++y) {
+      bool ok = true;
+      for (std::size_t k = 0; k < rows.size() && ok; ++k)
+        ok = rows[k][0] * x + rows[k][1] * y + consts[k] >= 0;
+      if (ok) {
+        best = {x, y};
+        found = true;
+        break;  // smallest y for this (smallest feasible) x
+      }
+    }
+  }
+  if (!found) {
+    EXPECT_EQ(r.status, lp::IlpStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(r.status, lp::IlpStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_EQ(r.point, best) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexminProperty, ::testing::Range(0u, 30u));
+
+// ---------------------------------------------------------------------------
+// Permutable bands are sound.
+// ---------------------------------------------------------------------------
+
+TEST(PermutableBands, SeidelBreaksMatmulDoesNot) {
+  {
+    // Matmul: one fully permutable 3-d band.
+    const ir::Scop scop = frontend::parse_scop(R"(
+      scop mm(N) { context N >= 4;
+        array A[N][N]; array B[N][N]; array C[N][N];
+        for (i = 0 .. N-1) { for (j = 0 .. N-1) { for (k = 0 .. N-1) {
+          S1: C[i][j] = C[i][j] + A[i][k]*B[k][j]; } } } })");
+    const auto dg = ddg::DependenceGraph::analyze(scop);
+    auto policy = fusion::make_policy(fusion::FusionModel::kSmartfuse);
+    const auto sch = sched::compute_schedule(scop, dg, *policy);
+    const auto bands = sched::permutable_bands(sch, dg);
+    ASSERT_EQ(bands.size(), 3u);
+    EXPECT_EQ(bands[0], bands[1]);
+    EXPECT_EQ(bands[1], bands[2]);
+  }
+  {
+    // A dependence satisfied at level 0 with a NEGATIVE level-1 component
+    // must split the band: a[i][j] = a[i-1][j+1].
+    const ir::Scop scop = frontend::parse_scop(R"(
+      scop sk(N) { context N >= 4;
+        array a[N+2][N+2];
+        for (i = 1 .. N) { for (j = 1 .. N) {
+          S1: a[i][j] = a[i-1][j+1] * 0.5; } } })");
+    const auto dg = ddg::DependenceGraph::analyze(scop);
+    auto policy = fusion::make_policy(fusion::FusionModel::kSmartfuse);
+    const auto sch = sched::compute_schedule(scop, dg, *policy);
+    const auto bands = sched::permutable_bands(sch, dg);
+    // However the scheduler chose the rows, grouping both levels into one
+    // band is only allowed if the satisfied dep keeps min >= 0 at the
+    // inner level -- verify the reported banding against that definition.
+    std::vector<std::size_t> linear;
+    for (std::size_t l = 0; l < sch.num_levels(); ++l)
+      if (sch.level_linear[l]) linear.push_back(l);
+    ASSERT_EQ(bands.size(), linear.size());
+    for (std::size_t k = 1; k < linear.size(); ++k) {
+      if (bands[k] != bands[k - 1]) continue;
+      for (std::size_t i = 0; i < dg.deps().size(); ++i) {
+        if (sch.satisfied_at[i] != linear[k - 1]) continue;
+        const ddg::Dependence& d = dg.deps()[i];
+        const auto mn = d.poly.integer_min(
+            d.lift_dst(sch.rows[d.dst][linear[k]]) -
+            d.lift_src(sch.rows[d.src][linear[k]]));
+        EXPECT_TRUE(mn.kind == poly::IntegerSet::Opt::kOk && mn.value >= 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,273 @@
+// Unit tests for the support module: checked integer math, rationals,
+// matrices, exact linear algebra, string/table helpers.
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/intmath.h"
+#include "support/linalg.h"
+#include "support/matrix.h"
+#include "support/rational.h"
+#include "support/strings.h"
+
+namespace pf {
+namespace {
+
+TEST(IntMath, CheckedAddDetectsOverflow) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(INT64_MAX, -1), INT64_MAX - 1);
+  EXPECT_THROW(checked_add(INT64_MAX, 1), Error);
+  EXPECT_THROW(checked_add(INT64_MIN, -1), Error);
+}
+
+TEST(IntMath, CheckedMulDetectsOverflow) {
+  EXPECT_EQ(checked_mul(1000000, 1000000), 1000000000000LL);
+  EXPECT_THROW(checked_mul(INT64_MAX, 2), Error);
+  EXPECT_THROW(checked_mul(INT64_MIN, -1), Error);
+}
+
+TEST(IntMath, GcdLcm) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(0, 7), 7);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(-4, 6), 12);
+  EXPECT_EQ(lcm(0, 5), 0);
+}
+
+TEST(IntMath, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_THROW(floor_div(1, 0), Error);
+  EXPECT_THROW(floor_div(1, -2), Error);
+}
+
+TEST(IntMath, ModFloorInRange) {
+  for (i64 a = -10; a <= 10; ++a) {
+    for (i64 b = 1; b <= 5; ++b) {
+      const i64 m = mod_floor(a, b);
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, b);
+      EXPECT_EQ(floor_div(a, b) * b + m, a);
+    }
+  }
+}
+
+TEST(Rational, CanonicalForm) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+  EXPECT_EQ(a.reciprocal(), Rational(2));
+  EXPECT_THROW(Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, AsIntegerRequiresIntegrality) {
+  EXPECT_EQ(Rational(8, 2).as_integer(), 4);
+  EXPECT_THROW(Rational(1, 2).as_integer(), Error);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3).to_string(), "3");
+  EXPECT_EQ(Rational(-3, 2).to_string(), "-3/2");
+}
+
+TEST(Matrix, BasicAccessAndBounds) {
+  Matrix<i64> m(2, 3, 0);
+  m(1, 2) = 7;
+  EXPECT_EQ(m(1, 2), 7);
+  EXPECT_EQ(m(0, 0), 0);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 3), Error);
+}
+
+TEST(Matrix, InitializerListAndTranspose) {
+  Matrix<i64> m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), 6);
+}
+
+TEST(Matrix, AppendRowDefinesWidth) {
+  Matrix<i64> m;
+  m.append_row({1, 2});
+  m.append_row({3, 4});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_THROW(m.append_row({1, 2, 3}), Error);
+}
+
+TEST(Matrix, Identity) {
+  const auto id = Matrix<i64>::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(id(i, j), i == j ? 1 : 0);
+}
+
+TEST(LinAlg, RankOfSingularAndFullRank) {
+  RatMatrix full{{Rational(1), Rational(0)}, {Rational(1), Rational(1)}};
+  EXPECT_EQ(rank(full), 2u);
+  RatMatrix sing{{Rational(1), Rational(2)}, {Rational(2), Rational(4)}};
+  EXPECT_EQ(rank(sing), 1u);
+  EXPECT_EQ(rank(RatMatrix(0, 0)), 0u);
+}
+
+TEST(LinAlg, NullSpaceAnnihilates) {
+  RatMatrix m{{Rational(1), Rational(2), Rational(3)},
+              {Rational(0), Rational(1), Rational(1)}};
+  const RatMatrix ns = null_space(m);
+  EXPECT_EQ(ns.rows(), 1u);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    Rational acc(0);
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += m(r, c) * ns(0, c);
+    EXPECT_EQ(acc, Rational(0));
+  }
+}
+
+TEST(LinAlg, NullSpaceOfEmptyIsIdentity) {
+  const RatMatrix ns = null_space(RatMatrix(0, 3));
+  EXPECT_EQ(ns.rows(), 3u);
+  EXPECT_EQ(rank(ns), 3u);
+}
+
+TEST(LinAlg, InvertRoundTrip) {
+  RatMatrix m{{Rational(2), Rational(1)}, {Rational(1), Rational(1)}};
+  const auto inv = invert(m);
+  ASSERT_TRUE(inv.has_value());
+  // m * inv == I
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      Rational acc(0);
+      for (std::size_t k = 0; k < 2; ++k) acc += m(i, k) * (*inv)(k, j);
+      EXPECT_EQ(acc, Rational(i == j ? 1 : 0));
+    }
+  }
+}
+
+TEST(LinAlg, InvertSingularFails) {
+  RatMatrix m{{Rational(1), Rational(2)}, {Rational(2), Rational(4)}};
+  EXPECT_FALSE(invert(m).has_value());
+}
+
+TEST(LinAlg, SolveConsistentAndInconsistent) {
+  RatMatrix a{{Rational(1), Rational(1)}, {Rational(1), Rational(-1)}};
+  const auto x = solve(a, {Rational(3), Rational(1)});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Rational(2));
+  EXPECT_EQ((*x)[1], Rational(1));
+
+  RatMatrix b{{Rational(1), Rational(1)}, {Rational(2), Rational(2)}};
+  EXPECT_FALSE(solve(b, {Rational(1), Rational(3)}).has_value());
+  // Underdetermined: free vars zeroed, still a valid solution.
+  const auto y = solve(b, {Rational(1), Rational(2)});
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ((*y)[0] + (*y)[1], Rational(1));
+}
+
+TEST(LinAlg, Determinant) {
+  RatMatrix m{{Rational(2), Rational(1)}, {Rational(1), Rational(1)}};
+  EXPECT_EQ(determinant(m), Rational(1));
+  RatMatrix s{{Rational(1), Rational(2)}, {Rational(2), Rational(4)}};
+  EXPECT_EQ(determinant(s), Rational(0));
+  RatMatrix skew{{Rational(1), Rational(0)}, {Rational(1), Rational(1)}};
+  EXPECT_EQ(determinant(skew), Rational(1));
+}
+
+TEST(LinAlg, ToIntegerRowClearsDenominators) {
+  const IntVector v =
+      to_integer_row({Rational(1, 2), Rational(1, 3), Rational(0)});
+  EXPECT_EQ(v, (IntVector{3, 2, 0}));
+  const IntVector w = to_integer_row({Rational(2), Rational(4)});
+  EXPECT_EQ(w, (IntVector{1, 2}));
+}
+
+TEST(LinAlg, OrthogonalComplementIsOrthogonal) {
+  IntMatrix h;
+  h.append_row({1, 0, 0});
+  const IntMatrix comp = orthogonal_complement_rows(h);
+  EXPECT_EQ(comp.rows(), 2u);
+  for (std::size_t r = 0; r < comp.rows(); ++r)
+    EXPECT_EQ(dot(h.row(0), comp.row(r)), 0);
+}
+
+TEST(LinAlg, OrthogonalComplementEmptyWhenFullRank) {
+  IntMatrix h;
+  h.append_row({1, 0});
+  h.append_row({0, 1});
+  EXPECT_EQ(orthogonal_complement_rows(h).rows(), 0u);
+}
+
+TEST(LinAlg, OrthogonalComplementOfNothingIsIdentity) {
+  IntMatrix h(0, 3);
+  const IntMatrix comp = orthogonal_complement_rows(h);
+  EXPECT_EQ(comp.rows(), 3u);
+}
+
+TEST(Strings, JoinRepeatPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("xyz", 2), "xyz");
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+TEST(Strings, TextTableAlignsColumns) {
+  TextTable t({"name", "val"});
+  t.add_row({"longname", "1"});
+  t.add_row({"x", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name     | val |"), std::string::npos);
+  EXPECT_NE(s.find("| longname | 1   |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ErrorMacros, CheckAndFail) {
+  EXPECT_NO_THROW(PF_CHECK(1 + 1 == 2));
+  EXPECT_THROW(PF_CHECK(1 == 2), Error);
+  try {
+    PF_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pf

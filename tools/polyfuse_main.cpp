@@ -1,0 +1,253 @@
+// polyfuse: command-line source-to-source polyhedral loop optimizer.
+//
+//   polyfuse [options] <input.pf | ->
+//
+//   --model=NAME      wisefuse (default) | smartfuse | nofuse | maxfuse |
+//                     baseline (original order)
+//   --emit=WHAT       c (default) | ast | sched | deps | source
+//   --tile[=SIZE]     tile permutable bands (default size 32)
+//   --no-openmp       omit OpenMP pragmas from emitted C
+//   --params=V1,V2    parameter values for --validate / --machine-report
+//   --validate        interpret original and transformed, compare outputs
+//   --machine-report  modeled cache/parallelism report (needs --params)
+//   --report          fusion & parallelism summary
+//
+// Example:
+//   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "codegen/cemit.h"
+#include "codegen/codegen.h"
+#include "codegen/tiling.h"
+#include "ddg/dependences.h"
+#include "exec/interp.h"
+#include "frontend/parser.h"
+#include "fusion/models.h"
+#include "machine/perfmodel.h"
+#include "sched/analysis.h"
+#include "sched/pluto.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace pf;
+
+struct Options {
+  std::string model = "wisefuse";
+  std::string emit = "c";
+  bool tile = false;
+  i64 tile_size = 32;
+  bool openmp = true;
+  bool validate = false;
+  bool machine_report = false;
+  bool report = false;
+  IntVector params;
+  std::string input;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "polyfuse: " << error << "\n";
+  std::cerr <<
+      R"(usage: polyfuse [options] <input.pf | ->
+  --model=NAME      wisefuse | smartfuse | nofuse | maxfuse | baseline
+  --emit=WHAT       c | ast | sched | deps | source
+  --tile[=SIZE]     tile permutable bands (default 32)
+  --no-openmp       omit OpenMP pragmas
+  --params=V1,V2    parameter values (for --validate / --machine-report)
+  --validate        check transformed output == original output
+  --machine-report  modeled cache/parallelism report
+  --report          fusion & parallelism summary
+)";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") usage();
+    else if (arg.rfind("--model=", 0) == 0) o.model = value_of("--model=");
+    else if (arg.rfind("--emit=", 0) == 0) o.emit = value_of("--emit=");
+    else if (arg == "--tile") o.tile = true;
+    else if (arg.rfind("--tile=", 0) == 0) {
+      o.tile = true;
+      o.tile_size = std::stoll(value_of("--tile="));
+    } else if (arg == "--no-openmp") o.openmp = false;
+    else if (arg == "--validate") o.validate = true;
+    else if (arg == "--machine-report") o.machine_report = true;
+    else if (arg == "--report") o.report = true;
+    else if (arg.rfind("--params=", 0) == 0) {
+      std::stringstream ss(value_of("--params="));
+      std::string tok;
+      while (std::getline(ss, tok, ',')) o.params.push_back(std::stoll(tok));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      usage("unknown option '" + arg + "'");
+    } else if (o.input.empty()) {
+      o.input = arg;
+    } else {
+      usage("multiple inputs given");
+    }
+  }
+  if (o.input.empty()) usage("no input file");
+  return o;
+}
+
+std::string read_input(const std::string& path) {
+  if (path == "-") {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "polyfuse: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void default_params(const ir::Scop& scop, IntVector* params) {
+  if (!params->empty()) {
+    if (params->size() != scop.num_params()) {
+      std::cerr << "polyfuse: program has " << scop.num_params()
+                << " parameter(s); --params gave " << params->size() << "\n";
+      std::exit(2);
+    }
+    return;
+  }
+  // Pick a small value satisfying the context.
+  for (i64 guess : {16, 32, 64, 128, 256}) {
+    IntVector cand(scop.num_params(), guess);
+    if (scop.context().contains(cand)) {
+      *params = cand;
+      return;
+    }
+  }
+  std::cerr << "polyfuse: could not guess parameter values; use --params\n";
+  std::exit(2);
+}
+
+int run(const Options& o) {
+  const ir::Scop scop = frontend::parse_scop(read_input(o.input));
+
+  if (o.emit == "source") {
+    std::cout << scop.to_string();
+    return 0;
+  }
+
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  if (o.emit == "deps") {
+    std::cout << dg.to_string();
+    return 0;
+  }
+
+  sched::Schedule sch;
+  if (o.model == "baseline") {
+    sch = sched::identity_schedule(scop);
+    sched::annotate_dependences(sch, dg);
+  } else {
+    std::unique_ptr<sched::FusionPolicy> policy;
+    if (o.model == "wisefuse")
+      policy = fusion::make_policy(fusion::FusionModel::kWisefuse);
+    else if (o.model == "smartfuse")
+      policy = fusion::make_policy(fusion::FusionModel::kSmartfuse);
+    else if (o.model == "nofuse")
+      policy = fusion::make_policy(fusion::FusionModel::kNofuse);
+    else if (o.model == "maxfuse")
+      policy = fusion::make_policy(fusion::FusionModel::kMaxfuse);
+    else
+      usage("unknown model '" + o.model + "'");
+    sch = sched::compute_schedule(scop, dg, *policy);
+  }
+
+  if (o.report) {
+    const auto parts = sch.nest_partitions();
+    std::set<int> distinct(parts.begin(), parts.end());
+    std::cerr << "polyfuse: model=" << o.model << " statements="
+              << scop.num_statements() << " dependences=" << dg.deps().size()
+              << " (+" << dg.rar_deps().size() << " RAR) fusion partitions="
+              << distinct.size() << "\n";
+    for (std::size_t s = 0; s < scop.num_statements(); ++s)
+      std::cerr << "  " << sch.statement_to_string(s) << "\n";
+  }
+
+  if (o.emit == "sched") {
+    std::cout << sch.to_string();
+    return 0;
+  }
+
+  codegen::AstPtr ast = codegen::generate_ast(scop, sch);
+  if (o.tile) {
+    codegen::TilingOptions topts;
+    topts.tile_size = o.tile_size;
+    const std::size_t bands = codegen::tile_ast(*ast, sch, dg, topts);
+    std::cerr << "polyfuse: tiled " << bands << " band(s) with size "
+              << o.tile_size << "\n";
+  }
+
+  if (o.validate || o.machine_report) {
+    IntVector params = o.params;
+    default_params(scop, &params);
+    if (o.validate) {
+      sched::Schedule ident = sched::identity_schedule(scop);
+      sched::annotate_dependences(ident, dg);
+      const auto orig = codegen::generate_ast(scop, ident);
+      exec::ArrayStore a(scop, params), b(scop, params);
+      auto init = [](exec::ArrayStore& s) {
+        for (std::size_t arr = 0; arr < s.num_arrays(); ++arr) {
+          const double salt = static_cast<double>(arr + 1);
+          s.fill(arr, [&](const IntVector& idx) {
+            double v = 1.0 + 0.2 * salt;
+            for (std::size_t d = 0; d < idx.size(); ++d)
+              v += 0.01 * static_cast<double>(idx[d]) / salt;
+            if (idx.size() == 2 && idx[0] == idx[1]) v += 50.0;
+            return v;
+          });
+        }
+      };
+      init(a);
+      init(b);
+      exec::interpret(*orig, a);
+      exec::interpret(*ast, b);
+      const double diff = exec::ArrayStore::max_abs_diff(a, b);
+      std::cerr << "polyfuse: validation max |diff| = " << diff
+                << (diff == 0.0 ? " (ok)" : " (MISMATCH)") << "\n";
+      if (diff != 0.0) return 1;
+    }
+    if (o.machine_report) {
+      exec::ArrayStore store(scop, params);
+      const machine::ModelReport r = machine::evaluate(*ast, store);
+      std::cerr << r.to_string();
+    }
+  }
+
+  if (o.emit == "ast") {
+    std::cout << codegen::ast_to_string(*ast, scop);
+  } else if (o.emit == "c") {
+    codegen::CEmitOptions eopts;
+    eopts.openmp = o.openmp;
+    std::cout << codegen::emit_c(*ast, scop, eopts);
+  } else {
+    usage("unknown --emit '" + o.emit + "'");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const pf::Error& e) {
+    std::cerr << "polyfuse: " << e.what() << "\n";
+    return 1;
+  }
+}
