@@ -24,6 +24,7 @@
 #include "sched/analysis.h"
 #include "sched/pluto.h"
 #include "suite/suite.h"
+#include "support/stats.h"
 #include "support/strings.h"
 
 namespace pf::bench {
@@ -64,40 +65,63 @@ struct Variant {
 };
 
 /// Parse + analyze + schedule + generate for one benchmark and strategy.
+/// Feeds the pipeline-wide perf counters (support/stats.h): per-phase
+/// wall times accumulate so solver_stats_json() can be archived next to
+/// the timing tables.
 inline Variant build_variant(const suite::Benchmark& b, Strategy strategy) {
   Variant v;
-  v.scop = std::make_shared<ir::Scop>(suite::parse(b));
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto dg = ddg::DependenceGraph::analyze(*v.scop);
-  if (strategy == Strategy::kBaseline) {
-    v.schedule = sched::identity_schedule(*v.scop);
-    sched::annotate_dependences(v.schedule, dg);
-  } else {
-    fusion::FusionModel m = fusion::FusionModel::kWisefuse;
-    switch (strategy) {
-      case Strategy::kWisefuse:
-        m = fusion::FusionModel::kWisefuse;
-        break;
-      case Strategy::kSmartfuse:
-        m = fusion::FusionModel::kSmartfuse;
-        break;
-      case Strategy::kNofuse:
-        m = fusion::FusionModel::kNofuse;
-        break;
-      case Strategy::kMaxfuse:
-        m = fusion::FusionModel::kMaxfuse;
-        break;
-      case Strategy::kBaseline:
-        break;
-    }
-    auto policy = fusion::make_policy(m);
-    v.schedule = sched::compute_schedule(*v.scop, dg, *policy);
+  {
+    support::PhaseTimer timer("parse");
+    v.scop = std::make_shared<ir::Scop>(suite::parse(b));
   }
-  v.ast = codegen::generate_ast(*v.scop, v.schedule);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<ddg::DependenceGraph> analyzed;
+  {
+    support::PhaseTimer timer("deps");
+    analyzed = ddg::DependenceGraph::analyze(*v.scop);
+  }
+  const auto& dg = *analyzed;
+  {
+    support::PhaseTimer timer("schedule");
+    if (strategy == Strategy::kBaseline) {
+      v.schedule = sched::identity_schedule(*v.scop);
+      sched::annotate_dependences(v.schedule, dg);
+    } else {
+      fusion::FusionModel m = fusion::FusionModel::kWisefuse;
+      switch (strategy) {
+        case Strategy::kWisefuse:
+          m = fusion::FusionModel::kWisefuse;
+          break;
+        case Strategy::kSmartfuse:
+          m = fusion::FusionModel::kSmartfuse;
+          break;
+        case Strategy::kNofuse:
+          m = fusion::FusionModel::kNofuse;
+          break;
+        case Strategy::kMaxfuse:
+          m = fusion::FusionModel::kMaxfuse;
+          break;
+        case Strategy::kBaseline:
+          break;
+      }
+      auto policy = fusion::make_policy(m);
+      v.schedule = sched::compute_schedule(*v.scop, dg, *policy);
+    }
+  }
+  {
+    support::PhaseTimer timer("codegen");
+    v.ast = codegen::generate_ast(*v.scop, v.schedule);
+  }
   v.schedule_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return v;
+}
+
+/// Accumulated solver work (counters + phase wall times) as JSON, for
+/// embedding in BENCH_*.json records.
+inline std::string solver_stats_json() {
+  return support::Stats::instance().to_json();
 }
 
 /// Modeled 8-core evaluation at the benchmark's bench_params.

@@ -1,0 +1,125 @@
+// Compile-time scaling micro-bench: times dependence analysis at 1/2/4
+// analysis threads plus Pluto scheduling, and reports solver/cache
+// counters. Output is one JSON object so the bench harness can archive
+// it next to the kernel results.
+//
+// Two synthetic SCoPs are used. Analysis scaling runs on the largest
+// program the generator family produces (~30 statements with dense read
+// sets: the quadratic statement-pair x access-pair fan-out is the
+// dominant cost, which is exactly what the thread pool parallelizes).
+// Scheduling is level-by-level ILP and inherently serial, and its
+// branch-and-bound cost explodes with statement count, so it is timed
+// once on a test-sized program.
+//
+// The solve cache and stats are reset between configurations so each
+// run pays the full cost; "speedup_analyze_4" is what the acceptance
+// bar (>= 1.8x on 4 threads) reads.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddg/dependences.h"
+#include "frontend/parser.h"
+#include "fusion/models.h"
+#include "poly/set.h"
+#include "sched/pluto.h"
+#include "suite/synthetic.h"
+#include "support/stats.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Median-of-reps wall time for one (jobs) configuration of analyze().
+double time_analyze(const pf::ir::Scop& scop, std::size_t jobs, int reps) {
+  std::cerr << "... analyze jobs=" << jobs << " x" << reps << "\n";
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    pf::poly::clear_solve_cache();
+    pf::ddg::AnalysisOptions opts;
+    opts.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto dg = pf::ddg::DependenceGraph::analyze(scop, opts);
+    times.push_back(seconds_since(t0));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pf::support::Stats;
+
+  unsigned seed = 11;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--seed=", 0) == 0) seed = std::stoul(a.substr(7));
+    if (a.rfind("--reps=", 0) == 0) reps = std::stoi(a.substr(7));
+  }
+
+  // Many nests, two statements each, dense read sets: access pairs per
+  // statement pair grow quadratically in the reads, making each of the
+  // ~900 statement pairs substantial.
+  pf::suite::SyntheticOptions big;
+  big.min_arrays = 6;
+  big.max_arrays = 8;
+  big.min_nests = 10;
+  big.max_nests = 12;
+  big.min_stmts = 2;
+  big.max_stmts = 3;
+  big.min_reads = 4;
+  big.max_reads = 6;
+  const pf::ir::Scop analyze_scop =
+      pf::frontend::parse_scop(pf::suite::synthetic_program(seed, big));
+
+  // Scheduling input: the end-to-end test generator's defaults.
+  const pf::ir::Scop sched_scop =
+      pf::frontend::parse_scop(pf::suite::synthetic_program(seed));
+
+  std::cout << "{\n  \"bench\": \"compile_scaling\",\n";
+  std::cout << "  \"seed\": " << seed << ",\n";
+  // Speedups are only meaningful when the host actually has the cores:
+  // on a single-core container every configuration measures ~1.0x.
+  std::cout << "  \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency() << ",\n";
+  std::cout << "  \"analyze_statements\": " << analyze_scop.statements().size()
+            << ",\n";
+  std::cout << "  \"schedule_statements\": " << sched_scop.statements().size()
+            << ",\n"
+            << std::flush;
+
+  // Dependence analysis at 1/2/4 threads.
+  Stats::instance().reset();
+  const double t1 = time_analyze(analyze_scop, 1, reps);
+  const double t2 = time_analyze(analyze_scop, 2, reps);
+  const double t4 = time_analyze(analyze_scop, 4, reps);
+  std::cout << "  \"analyze_seconds\": {\"jobs1\": " << t1
+            << ", \"jobs2\": " << t2 << ", \"jobs4\": " << t4 << "},\n";
+  std::cout << "  \"speedup_analyze_2\": " << (t1 / t2) << ",\n";
+  std::cout << "  \"speedup_analyze_4\": " << (t1 / t4) << ",\n"
+            << std::flush;
+
+  // Pluto (wisefuse) scheduling; the solve cache is warm from the
+  // program's own analysis, matching the real CLI pipeline.
+  std::cerr << "... schedule\n";
+  Stats::instance().reset();
+  pf::poly::clear_solve_cache();
+  const auto dg = pf::ddg::DependenceGraph::analyze(sched_scop);
+  auto policy = pf::fusion::make_policy(pf::fusion::FusionModel::kWisefuse);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sch = pf::sched::compute_schedule(sched_scop, dg, *policy);
+  std::cout << "  \"schedule_seconds\": " << seconds_since(t0) << ",\n";
+  std::cout << "  \"schedule_levels\": "
+            << (sch.rows.empty() ? 0 : sch.rows[0].size()) << ",\n";
+  std::cout << "  \"stats\": " << Stats::instance().to_json() << "\n}\n";
+  return 0;
+}

@@ -75,5 +75,7 @@ int main() {
     std::cout << "\n== Single-thread JIT wall-clock (reuse only; median of 3) "
                  "==\n"
               << wall.to_string();
+  std::cout << "\n== Solver work (pipeline-wide perf counters, JSON) ==\n"
+            << bench::solver_stats_json() << "\n";
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "ddg/dependences.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "support/stats.h"
+#include "support/threadpool.h"
 
 namespace pf::ddg {
 
@@ -47,106 +51,140 @@ DepKind classify(bool src_write, bool dst_write) {
 
 }  // namespace
 
+namespace {
+
+// All dependences of one (src, dst) statement pair, in the serial
+// discovery order (access pair major, depth minor), ids unassigned.
+// Pairs share nothing -- each candidate polyhedron's ILP emptiness test
+// is independent -- so pairs are the unit of parallelism.
+std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
+                                     std::size_t sj,
+                                     const AnalysisOptions& options) {
+  support::count(support::Counter::kDepPairsAnalyzed);
+  const std::size_t p = scop.num_params();
+  const ir::Statement& a = scop.statement(si);
+  const ir::Statement& b = scop.statement(sj);
+  const std::size_t common = scop.common_loop_depth(a, b);
+  const std::size_t ms = a.dim(), mt = b.dim();
+  const std::size_t total = ms + mt + p;
+  std::vector<Dependence> found;
+
+  // Shared building blocks for every access pair of this statement
+  // pair: embedded domains + context.
+  poly::IntegerSet base(total);
+  {
+    Dependence proto;  // only for the lift helpers
+    proto.src_dim = ms;
+    proto.dst_dim = mt;
+    proto.num_params = p;
+    for (const poly::Constraint& c : a.domain().constraints())
+      base.add_constraint(
+          poly::Constraint{proto.lift_src(c.expr), c.is_equality});
+    for (const poly::Constraint& c : b.domain().constraints())
+      base.add_constraint(
+          poly::Constraint{proto.lift_dst(c.expr), c.is_equality});
+    for (const poly::Constraint& c : scop.context().constraints()) {
+      std::vector<std::size_t> map(p);
+      for (std::size_t q = 0; q < p; ++q) map[q] = ms + mt + q;
+      base.add_constraint(
+          poly::Constraint{c.expr.remap(total, map), c.is_equality});
+    }
+  }
+
+  for (std::size_t xa = 0; xa < a.accesses().size(); ++xa) {
+    for (std::size_t xb = 0; xb < b.accesses().size(); ++xb) {
+      const ir::Access& ax = a.accesses()[xa];
+      const ir::Access& bx = b.accesses()[xb];
+      if (ax.array_id != bx.array_id) continue;
+      const DepKind kind = classify(ax.is_write, bx.is_write);
+      if (kind == DepKind::kInput) {
+        if (!options.compute_input_deps) continue;
+        if (si == sj) continue;  // self-reuse adds nothing
+      }
+
+      Dependence proto;
+      proto.src_dim = ms;
+      proto.dst_dim = mt;
+      proto.num_params = p;
+
+      poly::IntegerSet access_eq(total);
+      for (std::size_t d = 0; d < ax.subscripts.size(); ++d)
+        access_eq.add_constraint(poly::Constraint::eq(
+            proto.lift_src(ax.subscripts[d]),
+            proto.lift_dst(bx.subscripts[d])));
+
+      for (std::size_t depth = 0; depth <= common; ++depth) {
+        // Loop-independent case requires textual precedence.
+        if (depth == common && a.index() >= b.index()) continue;
+
+        poly::IntegerSet dep_poly = base;
+        dep_poly.intersect(access_eq);
+        for (std::size_t l = 0; l < depth; ++l)
+          dep_poly.add_constraint(poly::Constraint::eq(
+              poly::AffineExpr::var(total, l),
+              poly::AffineExpr::var(total, ms + l)));
+        if (depth < common) {
+          // s[depth] < t[depth].
+          dep_poly.add_constraint(poly::Constraint::ge0(
+              poly::AffineExpr::var(total, ms + depth) -
+              poly::AffineExpr::var(total, depth) -
+              poly::AffineExpr::constant(total, 1)));
+        }
+        support::count(support::Counter::kDepPolyhedraBuilt);
+        if (dep_poly.is_empty(options.ilp)) continue;
+
+        Dependence dep = proto;
+        dep.src = si;
+        dep.dst = sj;
+        dep.src_access = xa;
+        dep.dst_access = xb;
+        dep.kind = kind;
+        dep.depth = depth;
+        dep.poly = std::move(dep_poly);
+        found.push_back(std::move(dep));
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
 DependenceGraph DependenceGraph::analyze(const ir::Scop& scop,
                                          const AnalysisOptions& options) {
   DependenceGraph g;
   g.scop_ = &scop;
   const std::size_t n = scop.num_statements();
-  const std::size_t p = scop.num_params();
   g.adj_.assign(n, std::vector<bool>(n, false));
   g.reuse_.assign(n, std::vector<bool>(n, false));
 
+  // Fan the statement-pair loop out across the pool (jobs == 1 runs
+  // inline on this thread: the exact old serial path), then merge the
+  // per-pair results in (si, sj) order. Ids are assigned during the
+  // deterministic merge, so the resulting graph -- order, ids, polyhedra
+  // -- is byte-identical at every thread count.
+  std::vector<std::vector<Dependence>> per_pair(n * n);
+  const std::size_t jobs =
+      options.jobs != 0 ? options.jobs : support::default_jobs();
+  {
+    support::ThreadPool pool(std::min(jobs, n * n));
+    pool.parallel_for(0, n * n, [&](std::size_t pair) {
+      per_pair[pair] = analyze_pair(scop, pair / n, pair % n, options);
+    });
+  }
+
   std::size_t next_id = 0;
-  for (std::size_t si = 0; si < n; ++si) {
-    for (std::size_t sj = 0; sj < n; ++sj) {
-      const ir::Statement& a = scop.statement(si);
-      const ir::Statement& b = scop.statement(sj);
-      const std::size_t common = scop.common_loop_depth(a, b);
-      const std::size_t ms = a.dim(), mt = b.dim();
-      const std::size_t total = ms + mt + p;
-
-      // Shared building blocks for every access pair of this statement
-      // pair: embedded domains + context.
-      poly::IntegerSet base(total);
-      {
-        Dependence proto;  // only for the lift helpers
-        proto.src_dim = ms;
-        proto.dst_dim = mt;
-        proto.num_params = p;
-        for (const poly::Constraint& c : a.domain().constraints())
-          base.add_constraint(
-              poly::Constraint{proto.lift_src(c.expr), c.is_equality});
-        for (const poly::Constraint& c : b.domain().constraints())
-          base.add_constraint(
-              poly::Constraint{proto.lift_dst(c.expr), c.is_equality});
-        for (const poly::Constraint& c : scop.context().constraints()) {
-          std::vector<std::size_t> map(p);
-          for (std::size_t q = 0; q < p; ++q) map[q] = ms + mt + q;
-          base.add_constraint(
-              poly::Constraint{c.expr.remap(total, map), c.is_equality});
-        }
-      }
-
-      for (std::size_t xa = 0; xa < a.accesses().size(); ++xa) {
-        for (std::size_t xb = 0; xb < b.accesses().size(); ++xb) {
-          const ir::Access& ax = a.accesses()[xa];
-          const ir::Access& bx = b.accesses()[xb];
-          if (ax.array_id != bx.array_id) continue;
-          const DepKind kind = classify(ax.is_write, bx.is_write);
-          if (kind == DepKind::kInput) {
-            if (!options.compute_input_deps) continue;
-            if (si == sj) continue;  // self-reuse adds nothing
-          }
-
-          Dependence proto;
-          proto.src_dim = ms;
-          proto.dst_dim = mt;
-          proto.num_params = p;
-
-          poly::IntegerSet access_eq(total);
-          for (std::size_t d = 0; d < ax.subscripts.size(); ++d)
-            access_eq.add_constraint(poly::Constraint::eq(
-                proto.lift_src(ax.subscripts[d]),
-                proto.lift_dst(bx.subscripts[d])));
-
-          for (std::size_t depth = 0; depth <= common; ++depth) {
-            // Loop-independent case requires textual precedence.
-            if (depth == common && a.index() >= b.index()) continue;
-
-            poly::IntegerSet dep_poly = base;
-            dep_poly.intersect(access_eq);
-            for (std::size_t l = 0; l < depth; ++l)
-              dep_poly.add_constraint(poly::Constraint::eq(
-                  poly::AffineExpr::var(total, l),
-                  poly::AffineExpr::var(total, ms + l)));
-            if (depth < common) {
-              // s[depth] < t[depth].
-              dep_poly.add_constraint(poly::Constraint::ge0(
-                  poly::AffineExpr::var(total, ms + depth) -
-                  poly::AffineExpr::var(total, depth) -
-                  poly::AffineExpr::constant(total, 1)));
-            }
-            if (dep_poly.is_empty(options.ilp)) continue;
-
-            Dependence dep = proto;
-            dep.id = next_id++;
-            dep.src = si;
-            dep.dst = sj;
-            dep.src_access = xa;
-            dep.dst_access = xb;
-            dep.kind = kind;
-            dep.depth = depth;
-            dep.poly = std::move(dep_poly);
-            if (kind == DepKind::kInput) {
-              g.reuse_[si][sj] = g.reuse_[sj][si] = true;
-              g.rar_.push_back(std::move(dep));
-            } else {
-              g.adj_[si][sj] = true;
-              g.reuse_[si][sj] = g.reuse_[sj][si] = true;
-              g.deps_.push_back(std::move(dep));
-            }
-          }
-        }
+  for (std::size_t pair = 0; pair < n * n; ++pair) {
+    const std::size_t si = pair / n, sj = pair % n;
+    for (Dependence& dep : per_pair[pair]) {
+      dep.id = next_id++;
+      if (dep.kind == DepKind::kInput) {
+        g.reuse_[si][sj] = g.reuse_[sj][si] = true;
+        g.rar_.push_back(std::move(dep));
+      } else {
+        g.adj_[si][sj] = true;
+        g.reuse_[si][sj] = g.reuse_[sj][si] = true;
+        g.deps_.push_back(std::move(dep));
       }
     }
   }

@@ -56,6 +56,12 @@ struct AnalysisOptions {
   /// Also compute read/read (RAR) dependences. On by default -- wisefuse
   /// needs them.
   bool compute_input_deps = true;
+  /// Worker threads for the statement-pair fan-out. 0 means
+  /// support::default_jobs() (--jobs=N / POLYFUSE_JOBS / hardware);
+  /// 1 runs the exact serial path. Results are merged in deterministic
+  /// (src, dst, access-pair, depth) order, so the graph -- dependence
+  /// ids included -- is byte-identical at every thread count.
+  std::size_t jobs = 0;
 };
 
 class DependenceGraph {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/stats.h"
+
 namespace pf::lp {
 
 const char* to_string(IlpStatus s) {
@@ -98,6 +100,7 @@ RatVector to_rat(const IntVector& v) {
 IlpResult IlpProblem::minimize(const IntVector& objective,
                                const IlpOptions& options) const {
   PF_CHECK(objective.size() == num_vars_);
+  support::count(support::Counter::kIlpSolves);
   if (trivially_infeasible_) return IlpResult{IlpStatus::kInfeasible, {}, 0};
 
   const bool pure_feasibility =
@@ -118,6 +121,7 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
       cap_hit = true;
       break;
     }
+    support::count(support::Counter::kIlpNodes);
     const std::vector<BranchBound> bounds = std::move(stack.back());
     stack.pop_back();
 

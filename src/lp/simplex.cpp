@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/stats.h"
+
 namespace pf::lp {
 
 const char* to_string(Status s) {
@@ -56,6 +58,7 @@ struct Tableau {
   const Rational& rhs(std::size_t r) const { return t[r][ncols]; }
 
   void pivot(std::size_t pr, std::size_t pc) {
+    support::count(support::Counter::kSimplexPivots);
     const Rational inv = at(pr, pc).reciprocal();
     for (auto& v : t[pr]) v *= inv;
     for (std::size_t r = 0; r <= m; ++r) {

@@ -5,6 +5,7 @@
 // is a convention of the layer above; poly itself is positional.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,15 @@ class AffineExpr {
   i64 constant_;
 };
 
+/// Hash over (coeffs, constant); equal expressions hash equal.
+inline std::size_t hash_value(const AffineExpr& e) {
+  std::size_t seed = std::hash<std::size_t>{}(e.dims());
+  for (std::size_t k = 0; k < e.dims(); ++k)
+    hash_combine(seed, std::hash<i64>{}(e.coeff(k)));
+  hash_combine(seed, std::hash<i64>{}(e.const_term()));
+  return seed;
+}
+
 /// expr >= 0 (inequality) or expr == 0 (equality).
 struct Constraint {
   AffineExpr expr;
@@ -105,5 +115,12 @@ struct Constraint {
 
   std::string to_string(const std::vector<std::string>& names = {}) const;
 };
+
+/// Hash over (expr, is_equality); equal constraints hash equal.
+inline std::size_t hash_value(const Constraint& c) {
+  std::size_t seed = hash_value(c.expr);
+  hash_combine(seed, std::hash<bool>{}(c.is_equality));
+  return seed;
+}
 
 }  // namespace pf::poly

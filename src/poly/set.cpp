@@ -1,11 +1,129 @@
 #include "poly/set.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "lp/simplex.h"
+#include "support/stats.h"
 
 namespace pf::poly {
+
+// ---------------------------------------------------------------------------
+// Polyhedral solve cache.
+//
+// Content-addressed memo table for is_empty / integer_min (integer_max
+// funnels through integer_min). The key is the full canonical blob --
+// sorted, gcd-normalized constraint rows plus the operation tag, objective
+// and ILP node cap -- so equality is exact and a hash collision can never
+// return a wrong answer. Sharded by hash to keep lock contention off the
+// dependence-analysis worker threads; the value is computed outside the
+// lock (a racing duplicate computation stores the identical result).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class SolveOp : i64 { kIsEmpty = 1, kMin = 2 };
+
+struct SolveKey {
+  std::vector<i64> blob;
+  std::size_t hash = 0;
+  bool operator==(const SolveKey& o) const { return blob == o.blob; }
+};
+
+struct SolveKeyHash {
+  std::size_t operator()(const SolveKey& k) const { return k.hash; }
+};
+
+struct SolveValue {
+  bool empty = false;                         // for kIsEmpty
+  IntegerSet::Opt opt{IntegerSet::Opt::kEmpty, 0};  // for kMin
+};
+
+struct CacheShard {
+  std::mutex mu;
+  std::unordered_map<SolveKey, SolveValue, SolveKeyHash> map;
+};
+
+constexpr std::size_t kNumShards = 16;
+
+std::array<CacheShard, kNumShards>& cache_shards() {
+  static std::array<CacheShard, kNumShards> shards;
+  return shards;
+}
+
+std::atomic<bool> g_solve_cache_enabled{true};
+
+SolveKey make_solve_key(SolveOp op, std::size_t dims,
+                        const std::vector<Constraint>& constraints,
+                        const AffineExpr* objective, long node_cap) {
+  // Canonicalize: serialize each (already gcd-normalized) row and sort
+  // rows, so insertion order never splits cache entries.
+  std::vector<std::vector<i64>> rows;
+  rows.reserve(constraints.size());
+  for (const Constraint& c : constraints) {
+    std::vector<i64> row;
+    row.reserve(dims + 2);
+    row.push_back(c.is_equality ? 1 : 0);
+    row.push_back(c.expr.const_term());
+    for (std::size_t k = 0; k < dims; ++k) row.push_back(c.expr.coeff(k));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+
+  SolveKey key;
+  key.blob.reserve(4 + rows.size() * (dims + 2) + (objective ? dims + 1 : 0));
+  key.blob.push_back(static_cast<i64>(op));
+  key.blob.push_back(static_cast<i64>(node_cap));
+  key.blob.push_back(static_cast<i64>(dims));
+  key.blob.push_back(static_cast<i64>(rows.size()));
+  for (const auto& row : rows)
+    key.blob.insert(key.blob.end(), row.begin(), row.end());
+  if (objective) {
+    key.blob.push_back(objective->const_term());
+    for (std::size_t k = 0; k < dims; ++k)
+      key.blob.push_back(objective->coeff(k));
+  }
+  std::size_t seed = 0;
+  for (const i64 v : key.blob) hash_combine(seed, std::hash<i64>{}(v));
+  key.hash = seed;
+  return key;
+}
+
+bool cache_lookup(const SolveKey& key, SolveValue* out) {
+  CacheShard& shard = cache_shards()[key.hash % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void cache_store(SolveKey key, const SolveValue& value) {
+  CacheShard& shard = cache_shards()[key.hash % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(std::move(key), value);
+}
+
+}  // namespace
+
+void set_solve_cache_enabled(bool enabled) {
+  g_solve_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool solve_cache_enabled() {
+  return g_solve_cache_enabled.load(std::memory_order_relaxed);
+}
+
+void clear_solve_cache() {
+  for (CacheShard& shard : cache_shards()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
 
 bool IntegerSet::normalize(Constraint& c) const {
   PF_CHECK_MSG(c.expr.dims() == dims_, "constraint space mismatch: "
@@ -70,7 +188,19 @@ lp::IlpProblem IntegerSet::to_ilp() const {
 
 bool IntegerSet::is_empty(const lp::IlpOptions& options) const {
   if (trivially_empty_) return true;
-  return to_ilp().proven_empty(options);
+  if (!solve_cache_enabled()) return to_ilp().proven_empty(options);
+
+  SolveKey key = make_solve_key(SolveOp::kIsEmpty, dims_, constraints_,
+                                nullptr, options.node_cap);
+  SolveValue value;
+  if (cache_lookup(key, &value)) {
+    support::count(support::Counter::kSolveCacheHits);
+    return value.empty;
+  }
+  support::count(support::Counter::kSolveCacheMisses);
+  value.empty = to_ilp().proven_empty(options);
+  cache_store(std::move(key), value);
+  return value.empty;
 }
 
 bool IntegerSet::contains(const IntVector& point) const {
@@ -94,6 +224,23 @@ IntegerSet::Opt IntegerSet::integer_min(const AffineExpr& e,
                                         const lp::IlpOptions& options) const {
   PF_CHECK(e.dims() == dims_);
   if (trivially_empty_) return Opt{Opt::kEmpty, 0};
+  if (!solve_cache_enabled()) return integer_min_uncached(e, options);
+
+  SolveKey key =
+      make_solve_key(SolveOp::kMin, dims_, constraints_, &e, options.node_cap);
+  SolveValue value;
+  if (cache_lookup(key, &value)) {
+    support::count(support::Counter::kSolveCacheHits);
+    return value.opt;
+  }
+  support::count(support::Counter::kSolveCacheMisses);
+  value.opt = integer_min_uncached(e, options);
+  cache_store(std::move(key), value);
+  return value.opt;
+}
+
+IntegerSet::Opt IntegerSet::integer_min_uncached(
+    const AffineExpr& e, const lp::IlpOptions& options) const {
   const lp::IlpResult r = to_ilp().minimize(e.coeffs(), options);
   switch (r.status) {
     case lp::IlpStatus::kOptimal:
@@ -116,16 +263,26 @@ IntegerSet::Opt IntegerSet::integer_max(const AffineExpr& e,
 }
 
 void IntegerSet::dedupe(std::vector<Constraint>& cs) {
+  // Hash-bucketed: near-linear instead of the quadratic all-pairs scan,
+  // which matters after an FM step multiplies the row count.
   std::vector<Constraint> out;
   out.reserve(cs.size());
+  std::unordered_map<std::size_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(cs.size());
   for (Constraint& c : cs) {
+    auto& bucket = buckets[poly::hash_value(c)];
     bool seen = false;
-    for (const Constraint& o : out)
-      if (o == c) {
+    for (const std::size_t i : bucket)
+      if (out[i] == c) {
         seen = true;
         break;
       }
-    if (!seen) out.push_back(std::move(c));
+    if (seen) {
+      support::count(support::Counter::kFmeRowsDropped);
+      continue;
+    }
+    bucket.push_back(out.size());
+    out.push_back(std::move(c));
   }
   cs = std::move(out);
 }
@@ -157,7 +314,7 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
   // Expand remaining equalities involving x_k into inequality pairs, then
   // run classic Fourier-Motzkin (rational projection).
   std::vector<Constraint> work;
-  work.reserve(cs.size());
+  work.reserve(cs.size() + cs.size() / 2);
   for (Constraint& c : cs) {
     if (c.is_equality && c.expr.coeff(k) != 0) {
       work.push_back(Constraint::ge0(c.expr));
@@ -166,8 +323,14 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
       work.push_back(std::move(c));
     }
   }
+  // Dedupe before the pairwise combination: duplicate lower or upper rows
+  // would multiply straight into the quadratic blowup.
+  dedupe(work);
 
   std::vector<Constraint> lowers, uppers, rest;
+  lowers.reserve(work.size());
+  uppers.reserve(work.size());
+  rest.reserve(work.size());
   for (Constraint& c : work) {
     const i64 a = c.expr.coeff(k);
     if (a > 0)
@@ -178,6 +341,7 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
       rest.push_back(std::move(c));
   }
 
+  rest.reserve(rest.size() + lowers.size() * uppers.size());
   for (const Constraint& lo : lowers) {
     for (const Constraint& up : uppers) {
       const i64 a = lo.expr.coeff(k);        // > 0
@@ -185,8 +349,10 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
       // b*lo + a*up eliminates x_k.
       AffineExpr combined = lo.expr * b + up.expr * a;
       PF_CHECK(combined.coeff(k) == 0);
+      support::count(support::Counter::kFmeRowsGenerated);
       if (combined.is_constant()) {
         if (combined.const_term() < 0) *trivially_empty = true;
+        support::count(support::Counter::kFmeRowsDropped);
         continue;
       }
       rest.push_back(Constraint::ge0(std::move(combined)));
@@ -303,6 +469,19 @@ void IntegerSet::remove_redundant() {
     else
       ++i;
   }
+}
+
+std::size_t IntegerSet::hash_value() const {
+  // Commutative accumulation over per-constraint hashes makes the result
+  // insertion-order independent; constraints are already gcd-normalized
+  // and deduplicated by add_constraint, so equal sets hash equal.
+  std::size_t acc = 0;
+  for (const Constraint& c : constraints_)
+    acc += poly::hash_value(c);  // + is commutative: order-independent
+  std::size_t seed = std::hash<std::size_t>{}(dims_);
+  hash_combine(seed, acc);
+  hash_combine(seed, std::hash<bool>{}(trivially_empty_));
+  return seed;
 }
 
 std::string IntegerSet::to_string(

@@ -10,6 +10,15 @@
 //    overapproximation of the integer projection, which is the standard,
 //    safe choice for loop-bound generation),
 //  * LP-based redundant-constraint removal (keeps emitted bounds tidy).
+//
+// Solve cache. is_empty / integer_min / integer_max are memoized in a
+// process-wide, sharded, content-addressed table keyed by the canonical
+// (gcd-normalized, sorted) constraint system plus the objective and the
+// ILP node cap. The Pluto level loop and FME redundancy elimination
+// re-test many structurally identical systems; a hit skips the whole
+// branch-and-bound search. Keys compare full canonical content (the hash
+// only picks the shard/bucket), so a hit is always exact -- results are
+// byte-identical with the cache on or off, and safe under concurrency.
 #pragma once
 
 #include <string>
@@ -19,6 +28,12 @@
 #include "poly/affine.h"
 
 namespace pf::poly {
+
+/// Enable/disable the process-wide polyhedral solve cache (default on).
+void set_solve_cache_enabled(bool enabled);
+bool solve_cache_enabled();
+/// Drop every cached solve result (e.g. between bench repetitions).
+void clear_solve_cache();
 
 class IntegerSet {
  public:
@@ -74,11 +89,19 @@ class IntegerSet {
   /// Lower the set onto an ILP problem (all variables free integers).
   lp::IlpProblem to_ilp() const;
 
+  /// Order-independent hash of the canonical constraint system: two sets
+  /// holding the same (already gcd-normalized) constraints hash equal
+  /// regardless of insertion order.
+  std::size_t hash_value() const;
+
   std::string to_string(const std::vector<std::string>& names = {}) const;
 
  private:
   // Returns false if the normalized constraint is unsatisfiable.
   bool normalize(Constraint& c) const;
+  // integer_min without consulting the solve cache.
+  Opt integer_min_uncached(const AffineExpr& e,
+                           const lp::IlpOptions& options) const;
   // FM elimination of a single dim, in place on the constraint list
   // (column k becomes all-zero; caller drops it).
   static void fm_eliminate_column(std::vector<Constraint>& cs, std::size_t k,

@@ -1,0 +1,77 @@
+#include "suite/synthetic.h"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace pf::suite {
+
+std::string synthetic_program(unsigned seed, const SyntheticOptions& opt) {
+  std::mt19937 rng(seed);
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  const int num_arrays = pick(opt.min_arrays, opt.max_arrays);
+  std::vector<int> rank(num_arrays);
+  std::ostringstream os;
+  os << "scop r" << seed << "(N) { context N >= 6;\n";
+  for (int a = 0; a < num_arrays; ++a) {
+    rank[a] = pick(1, 2);
+    os << "array a" << a << (rank[a] == 1 ? "[N+4]" : "[N+4][N+4]") << ";\n";
+  }
+
+  auto subscript = [&](const char* iter) {
+    const int shift = pick(-2, 2);
+    std::ostringstream ss;
+    ss << iter;
+    if (shift > 0) ss << "+" << shift;
+    if (shift < 0) ss << "-" << (-shift);
+    // Indices live in [0, N+3]: loop range [2, N+1] plus shift in [-2,2].
+    return ss.str();
+  };
+  auto access = [&](int a, int depth) {
+    std::ostringstream ss;
+    ss << "a" << a;
+    if (rank[a] == 1) {
+      ss << "[" << subscript(depth >= 1 ? (pick(0, 1) && depth >= 2 ? "j" : "i")
+                                        : "i")
+         << "]";
+    } else {
+      const bool transpose = depth >= 2 && pick(0, 1) == 1;
+      const char* first = depth >= 2 ? (transpose ? "j" : "i") : "i";
+      const char* second = depth >= 2 ? (transpose ? "i" : "j") : "i";
+      ss << "[" << subscript(first) << "][" << subscript(second) << "]";
+    }
+    return ss.str();
+  };
+
+  const int nests = pick(opt.min_nests, opt.max_nests);
+  int label = 1;
+  for (int n = 0; n < nests; ++n) {
+    const int depth = pick(1, 2);
+    os << "for (i = 2 .. N+1) {";
+    if (depth == 2) os << " for (j = 2 .. N+1) {";
+    const int stmts = pick(opt.min_stmts, opt.max_stmts);
+    for (int s = 0; s < stmts; ++s) {
+      const int wa = pick(0, num_arrays - 1);
+      os << " S" << label++ << ": a" << wa;
+      if (rank[wa] == 1)
+        os << "[i]";
+      else
+        os << (depth == 2 ? "[i][j]" : "[i][i]");
+      os << " = ";
+      const int reads = pick(opt.min_reads, opt.max_reads);
+      for (int r = 0; r < reads; ++r) {
+        if (r > 0) os << (pick(0, 1) ? " + " : " - ");
+        os << "0." << pick(1, 9) << "*" << access(pick(0, num_arrays - 1), depth);
+      }
+      os << " + 0.25;";
+    }
+    os << (depth == 2 ? " } }" : " }") << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pf::suite

@@ -1,0 +1,27 @@
+// Random (but always valid) synthetic PolyLang programs.
+//
+// Shared by the randomized end-to-end property tests and the
+// compile-time scaling bench: random arrays, nests, subscript
+// shifts/transposes and read sets. All loops run 2 .. N+1 and all
+// subscript shifts are within [-2, +2] against extents N+4, so accesses
+// are always in bounds. Generation is deterministic in (seed, options).
+#pragma once
+
+#include <string>
+
+namespace pf::suite {
+
+struct SyntheticOptions {
+  int min_arrays = 3, max_arrays = 5;
+  int min_nests = 2, max_nests = 4;
+  int min_stmts = 1, max_stmts = 2;  // statements per nest
+  int min_reads = 1, max_reads = 3;  // reads per statement
+};
+
+/// PolyLang source of a random program. The defaults reproduce the
+/// historical generator of tests/random_program_test.cpp; larger options
+/// produce the big SCoPs the compile-scaling bench needs.
+std::string synthetic_program(unsigned seed,
+                              const SyntheticOptions& options = {});
+
+}  // namespace pf::suite

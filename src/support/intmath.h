@@ -85,4 +85,10 @@ inline i64 abs_i64(i64 a) {
 
 inline int sign_i64(i64 a) { return a < 0 ? -1 : (a > 0 ? 1 : 0); }
 
+/// Mix a value into a running hash (boost-style combiner with a 64-bit
+/// golden-ratio constant). Used by the polyhedral solve cache keys.
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
 }  // namespace pf

@@ -8,6 +8,7 @@
 // loudly fail.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -73,4 +74,20 @@ class Rational {
 
 std::ostream& operator<<(std::ostream& os, const Rational& r);
 
+/// Hash of the canonical (num, den) pair. Because Rational maintains the
+/// canonical form den > 0, gcd(num, den) == 1, equal values always hash
+/// equal (Rational(2, 4) and Rational(1, 2) are the same object state).
+inline std::size_t hash_value(const Rational& r) {
+  std::size_t seed = std::hash<i64>{}(r.num());
+  hash_combine(seed, std::hash<i64>{}(r.den()));
+  return seed;
+}
+
 }  // namespace pf
+
+template <>
+struct std::hash<pf::Rational> {
+  std::size_t operator()(const pf::Rational& r) const noexcept {
+    return pf::hash_value(r);
+  }
+};

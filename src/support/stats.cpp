@@ -1,0 +1,123 @@
+#include "support/stats.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace pf::support {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kSimplexPivots:
+      return "simplex_pivots";
+    case Counter::kIlpNodes:
+      return "ilp_nodes";
+    case Counter::kIlpSolves:
+      return "ilp_solves";
+    case Counter::kFmeRowsGenerated:
+      return "fme_rows_generated";
+    case Counter::kFmeRowsDropped:
+      return "fme_rows_dropped";
+    case Counter::kSolveCacheHits:
+      return "solve_cache_hits";
+    case Counter::kSolveCacheMisses:
+      return "solve_cache_misses";
+    case Counter::kDepPairsAnalyzed:
+      return "dep_pairs_analyzed";
+    case Counter::kDepPolyhedraBuilt:
+      return "dep_polyhedra_built";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "?";
+}
+
+Stats& Stats::instance() {
+  static Stats s;
+  return s;
+}
+
+void Stats::add_phase_seconds(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, total] : phases_) {
+    if (name == phase) {
+      total += seconds;
+      return;
+    }
+  }
+  phases_.emplace_back(phase, seconds);
+}
+
+double Stats::phase_seconds(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, total] : phases_)
+    if (name == phase) return total;
+  return 0.0;
+}
+
+void Stats::reset() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  os << "compile pipeline stats:\n";
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(Counter::kNumCounters); ++i) {
+    const Counter c = static_cast<Counter>(i);
+    os << "  " << support::to_string(c) << " = " << get(c) << "\n";
+  }
+  const i64 hits = get(Counter::kSolveCacheHits);
+  const i64 misses = get(Counter::kSolveCacheMisses);
+  if (hits + misses > 0) {
+    os << "  solve_cache_hit_rate = "
+       << (100.0 * static_cast<double>(hits) /
+           static_cast<double>(hits + misses))
+       << "%\n";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, total] : phases_)
+    os << "  phase " << name << " = " << total << " s\n";
+  return os.str();
+}
+
+std::string Stats::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(Counter::kNumCounters); ++i) {
+    const Counter c = static_cast<Counter>(i);
+    if (i != 0) os << ", ";
+    os << "\"" << support::to_string(c) << "\": " << get(c);
+  }
+  os << "}, \"phase_seconds\": {";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "\"" << phases_[i].first << "\": " << phases_[i].second;
+    }
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PhaseTimer::PhaseTimer(std::string phase)
+    : phase_(std::move(phase)), start_(now_seconds()) {}
+
+PhaseTimer::~PhaseTimer() {
+  Stats::instance().add_phase_seconds(phase_, now_seconds() - start_);
+}
+
+}  // namespace pf::support

@@ -1,0 +1,92 @@
+// Pipeline-wide performance counters and phase timers.
+//
+// Every hot layer of the compile pipeline reports here: the simplex
+// counts pivots, the branch-and-bound ILP counts nodes, Fourier-Motzkin
+// counts generated/dropped rows, the polyhedral solve cache counts
+// hits/misses, and the driver records wall time per phase (parse / deps /
+// schedule / codegen). Counters are lock-free atomics so worker threads
+// can bump them without contention; phase timers take a mutex (they fire
+// a handful of times per run).
+//
+// Surfaced via `polyfuse --stats` and recorded as JSON by the bench
+// harness, so BENCH_*.json files can track solver work, not just kernel
+// time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/intmath.h"
+
+namespace pf::support {
+
+enum class Counter : std::size_t {
+  kSimplexPivots = 0,    // tableau pivots across all simplex solves
+  kIlpNodes,             // branch-and-bound nodes expanded
+  kIlpSolves,            // top-level ILP minimize() calls
+  kFmeRowsGenerated,     // lower*upper combinations emitted by FM
+  kFmeRowsDropped,       // FM rows dropped (constant rows + pre-dedupe)
+  kSolveCacheHits,       // polyhedral solve cache hits
+  kSolveCacheMisses,     // polyhedral solve cache misses
+  kDepPairsAnalyzed,     // statement pairs processed by dependence analysis
+  kDepPolyhedraBuilt,    // candidate dependence polyhedra tested
+  kNumCounters,
+};
+
+const char* to_string(Counter c);
+
+class Stats {
+ public:
+  /// The process-wide instance everything reports into.
+  static Stats& instance();
+
+  void add(Counter c, i64 n = 1) {
+    counters_[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  i64 get(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Accumulate wall time under a phase name ("deps", "schedule", ...).
+  /// Repeated phases accumulate; first-use order is preserved for output.
+  void add_phase_seconds(const std::string& phase, double seconds);
+  double phase_seconds(const std::string& phase) const;
+
+  /// Zero every counter and drop all phase timings.
+  void reset();
+
+  /// Human-readable multi-line report (for `polyfuse --stats`).
+  std::string to_string() const;
+  /// One JSON object: {"counters": {...}, "phase_seconds": {...}}.
+  std::string to_json() const;
+
+ private:
+  std::array<std::atomic<i64>, static_cast<std::size_t>(Counter::kNumCounters)>
+      counters_{};
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// Shorthand for Stats::instance().add(c, n).
+inline void count(Counter c, i64 n = 1) { Stats::instance().add(c, n); }
+
+/// RAII phase timer: accumulates elapsed wall time into the named phase.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  double start_;
+};
+
+}  // namespace pf::support

@@ -2,6 +2,8 @@
 // binary; path injected by CMake).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,8 +20,15 @@ struct CmdResult {
   std::string output;  // stdout + stderr
 };
 
+// ctest -j runs many cli_test processes concurrently against the same
+// TempDir, so every temp filename must be unique per process.
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "cli_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
 CmdResult run_cli(const std::string& args) {
-  const std::string out_file = std::string(::testing::TempDir()) + "cli_out";
+  const std::string out_file = temp_path("out");
   const std::string cmd = std::string(POLYFUSE_CLI_PATH) + " " + args + " > " +
                           out_file + " 2>&1";
   const int rc = std::system(cmd.c_str());
@@ -30,7 +39,7 @@ CmdResult run_cli(const std::string& args) {
 }
 
 std::string write_program(const std::string& name, const std::string& text) {
-  const std::string path = std::string(::testing::TempDir()) + name;
+  const std::string path = temp_path(name);
   std::ofstream out(path);
   out << text;
   return path;
@@ -123,6 +132,41 @@ TEST(Cli, BaselineModelWorks) {
   // Identity: leading scalar positions 0,1,2.
   EXPECT_NE(r.output.find("T_S1 = (0, i, 0)"), std::string::npos);
   EXPECT_NE(r.output.find("T_S3 = (2, i, 0)"), std::string::npos);
+}
+
+TEST(Cli, JobsProduceByteIdenticalOutput) {
+  const std::string path = write_program("p.pf", kPipeline);
+  for (const char* emit : {"--emit=c", "--emit=deps", "--emit=sched"}) {
+    const CmdResult serial =
+        run_cli(std::string("--jobs=1 ") + emit + " " + path);
+    const CmdResult parallel =
+        run_cli(std::string("--jobs=4 ") + emit + " " + path);
+    EXPECT_EQ(serial.exit_code, 0) << serial.output;
+    EXPECT_EQ(parallel.exit_code, 0) << parallel.output;
+    EXPECT_EQ(serial.output, parallel.output) << emit;
+  }
+  EXPECT_NE(run_cli("--jobs=0 " + path).exit_code, 0);
+  EXPECT_NE(run_cli("--jobs=x " + path).exit_code, 0);
+}
+
+TEST(Cli, StatsReportShowsSolverWork) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--stats --emit=c " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("simplex_pivots"), std::string::npos);
+  EXPECT_NE(r.output.find("solve_cache_hit_rate"), std::string::npos);
+  EXPECT_NE(r.output.find("phase parse"), std::string::npos);
+  EXPECT_NE(r.output.find("phase deps"), std::string::npos);
+
+  const CmdResult j = run_cli("--stats=json --emit=sched " + path);
+  EXPECT_EQ(j.exit_code, 0) << j.output;
+  EXPECT_NE(j.output.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.output.find("\"phase_seconds\""), std::string::npos);
+
+  // With the cache disabled, the hit/miss counters stay zero.
+  const CmdResult n = run_cli("--stats --no-solve-cache --emit=c " + path);
+  EXPECT_EQ(n.exit_code, 0) << n.output;
+  EXPECT_NE(n.output.find("solve_cache_hits"), std::string::npos);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "ddg/dependences.h"
 #include "ddg/graph.h"
 #include "frontend/parser.h"
+#include "suite/synthetic.h"
 
 namespace pf::ddg {
 namespace {
@@ -329,6 +330,45 @@ TEST_P(DepsVsBruteForce, ExactOnSmallDomains) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShifts, DepsVsBruteForce,
                          ::testing::Range(0u, 25u));
+
+// ---------------------------------------------------------------------------
+// Parallel analysis determinism: the multi-threaded fan-out must produce a
+// graph byte-identical to the serial path -- ids, ordering, kinds, depths
+// and the dependence polyhedra themselves.
+// ---------------------------------------------------------------------------
+
+void expect_same_deps(const std::vector<Dependence>& a,
+                      const std::vector<Dependence>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "dep " << i;
+    EXPECT_EQ(a[i].src, b[i].src) << "dep " << i;
+    EXPECT_EQ(a[i].dst, b[i].dst) << "dep " << i;
+    EXPECT_EQ(a[i].src_access, b[i].src_access) << "dep " << i;
+    EXPECT_EQ(a[i].dst_access, b[i].dst_access) << "dep " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "dep " << i;
+    EXPECT_EQ(a[i].depth, b[i].depth) << "dep " << i;
+    EXPECT_EQ(a[i].poly.to_string(), b[i].poly.to_string()) << "dep " << i;
+  }
+}
+
+TEST(Dependences, ParallelAnalysisIsDeterministic) {
+  for (const unsigned seed : {0u, 3u, 11u, 23u}) {
+    const std::string src = suite::synthetic_program(seed);
+    SCOPED_TRACE(src);
+    const ir::Scop scop = frontend::parse_scop(src);
+    AnalysisOptions serial;
+    serial.jobs = 1;
+    AnalysisOptions parallel;
+    parallel.jobs = 4;
+    const auto a = DependenceGraph::analyze(scop, serial);
+    const auto b = DependenceGraph::analyze(scop, parallel);
+    expect_same_deps(a.deps(), b.deps());
+    expect_same_deps(a.rar_deps(), b.rar_deps());
+    EXPECT_EQ(a.to_string(), b.to_string());
+    EXPECT_EQ(a.stmt_edges(), b.stmt_edges());
+  }
+}
 
 }  // namespace
 }  // namespace pf::ddg

@@ -7,6 +7,7 @@
 
 #include "poly/affine.h"
 #include "poly/set.h"
+#include "support/stats.h"
 
 namespace pf::poly {
 namespace {
@@ -237,6 +238,85 @@ TEST(IntegerSet, DuplicateConstraintsDropped) {
   s.add_constraint(c);
   s.add_constraint(c);
   EXPECT_EQ(s.num_constraints(), 1u);
+}
+
+TEST(IntegerSet, HashIsOrderIndependent) {
+  const auto c1 =
+      Constraint::ge(AffineExpr::var(2, 0), AffineExpr::constant(2, 1));
+  const auto c2 =
+      Constraint::le(AffineExpr::var(2, 1), AffineExpr::constant(2, 9));
+  const auto c3 = Constraint::ge(AffineExpr::var(2, 0), AffineExpr::var(2, 1));
+  IntegerSet a(2), b(2);
+  a.add_constraint(c1);
+  a.add_constraint(c2);
+  a.add_constraint(c3);
+  b.add_constraint(c3);
+  b.add_constraint(c1);
+  b.add_constraint(c2);
+  EXPECT_EQ(a.hash_value(), b.hash_value());
+
+  IntegerSet c(2);
+  c.add_constraint(c1);
+  c.add_constraint(c2);
+  EXPECT_NE(a.hash_value(), c.hash_value());
+}
+
+TEST(IntegerSet, SolveCacheHitsRepeatedQueries) {
+  auto& stats = support::Stats::instance();
+  ASSERT_TRUE(solve_cache_enabled());
+  clear_solve_cache();
+  stats.reset();
+
+  // Two structurally identical but distinct sets: the second emptiness
+  // test must be served from the cache.
+  auto make = [] {
+    IntegerSet s(2);
+    s.add_constraint(
+        Constraint::ge(AffineExpr::var(2, 0), AffineExpr::constant(2, 2)));
+    s.add_constraint(
+        Constraint::le(AffineExpr::var(2, 0), AffineExpr::constant(2, 1)));
+    s.add_constraint(
+        Constraint::ge(AffineExpr::var(2, 1), AffineExpr::constant(2, 0)));
+    return s;
+  };
+  EXPECT_TRUE(make().is_empty());
+  const auto hits0 = stats.get(support::Counter::kSolveCacheHits);
+  EXPECT_TRUE(make().is_empty());
+  EXPECT_GT(stats.get(support::Counter::kSolveCacheHits), hits0);
+
+  // integer_min memoizes per objective: same set + same objective hits,
+  // a different objective misses.
+  clear_solve_cache();
+  stats.reset();
+  auto box = box2(0, 5, 0, 3);
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  EXPECT_EQ(box.integer_min(x).value, 0);
+  const auto misses0 = stats.get(support::Counter::kSolveCacheMisses);
+  auto box_again = box2(0, 5, 0, 3);
+  EXPECT_EQ(box_again.integer_min(x).value, 0);
+  EXPECT_EQ(stats.get(support::Counter::kSolveCacheMisses), misses0);
+  EXPECT_EQ(box_again.integer_min(y + x).value, 0);
+  EXPECT_GT(stats.get(support::Counter::kSolveCacheMisses), misses0);
+  stats.reset();
+}
+
+TEST(IntegerSet, SolveCacheCanBeDisabled) {
+  auto& stats = support::Stats::instance();
+  set_solve_cache_enabled(false);
+  clear_solve_cache();
+  stats.reset();
+  IntegerSet s(1);
+  s.add_constraint(
+      Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 2)));
+  s.add_constraint(
+      Constraint::le(AffineExpr::var(1, 0), AffineExpr::constant(1, 1)));
+  EXPECT_TRUE(s.is_empty());
+  EXPECT_TRUE(s.is_empty());
+  EXPECT_EQ(stats.get(support::Counter::kSolveCacheHits), 0);
+  EXPECT_EQ(stats.get(support::Counter::kSolveCacheMisses), 0);
+  set_solve_cache_enabled(true);
+  stats.reset();
 }
 
 TEST(IntegerSet, ToStringReadable) {

@@ -2,12 +2,21 @@
 // matrices, exact linear algebra, string/table helpers.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "support/error.h"
 #include "support/intmath.h"
 #include "support/linalg.h"
 #include "support/matrix.h"
 #include "support/rational.h"
+#include "support/stats.h"
 #include "support/strings.h"
+#include "support/threadpool.h"
 
 namespace pf {
 namespace {
@@ -256,6 +265,98 @@ TEST(Strings, TextTableAlignsColumns) {
   EXPECT_NE(s.find("| name     | val |"), std::string::npos);
   EXPECT_NE(s.find("| longname | 1   |"), std::string::npos);
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Rational, HashMatchesEquality) {
+  // Equal values (canonical form) must hash equal, whatever spelling
+  // they were constructed from.
+  const std::hash<Rational> h;
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(h(Rational(2, 4)), h(Rational(1, 2)));
+  EXPECT_EQ(h(Rational(-3, 6)), h(Rational(1, -2)));
+  EXPECT_EQ(h(Rational(5)), h(Rational(10, 2)));
+  // Distinct values should (with overwhelming probability) differ.
+  EXPECT_NE(h(Rational(1, 2)), h(Rational(1, 3)));
+  EXPECT_NE(h(Rational(1, 2)), h(Rational(-1, 2)));
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}}) {
+    support::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(101);
+    pool.parallel_for(1, 101, [&](std::size_t i) { hits[i].fetch_add(1); });
+    EXPECT_EQ(hits[0].load(), 0) << "threads=" << threads;
+    for (std::size_t i = 1; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  support::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+  support::ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 1; i <= 10; ++i)
+    fs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 32,
+                                 [](std::size_t i) {
+                                   if (i == 7)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 8, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, DefaultJobsOverride) {
+  const std::size_t before = support::default_jobs();
+  EXPECT_GE(before, 1u);
+  support::set_default_jobs(3);
+  EXPECT_EQ(support::default_jobs(), 3u);
+  support::set_default_jobs(0);  // back to the environment default
+  EXPECT_EQ(support::default_jobs(), before);
+}
+
+TEST(Stats, CountersAccumulateAndReset) {
+  auto& stats = support::Stats::instance();
+  stats.reset();
+  support::count(support::Counter::kSimplexPivots);
+  support::count(support::Counter::kSimplexPivots, 4);
+  EXPECT_EQ(stats.get(support::Counter::kSimplexPivots), 5);
+  EXPECT_EQ(stats.get(support::Counter::kIlpNodes), 0);
+  stats.reset();
+  EXPECT_EQ(stats.get(support::Counter::kSimplexPivots), 0);
+}
+
+TEST(Stats, PhaseTimerRecordsWallTime) {
+  auto& stats = support::Stats::instance();
+  stats.reset();
+  {
+    support::PhaseTimer timer("unit_test_phase");
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(stats.phase_seconds("unit_test_phase"), 0.0);
+  EXPECT_EQ(stats.phase_seconds("no_such_phase"), 0.0);
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"unit_test_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  stats.reset();
 }
 
 TEST(ErrorMacros, CheckAndFail) {

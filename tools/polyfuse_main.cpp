@@ -11,11 +11,17 @@
 //   --validate        interpret original and transformed, compare outputs
 //   --machine-report  modeled cache/parallelism report (needs --params)
 //   --report          fusion & parallelism summary
+//   --jobs=N          worker threads for dependence analysis (default:
+//                     POLYFUSE_JOBS or hardware; output is identical at
+//                     every N)
+//   --stats[=json]    print pipeline perf counters + phase times to stderr
+//   --no-solve-cache  disable the polyhedral solve cache
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -27,9 +33,12 @@
 #include "frontend/parser.h"
 #include "fusion/models.h"
 #include "machine/perfmodel.h"
+#include "poly/set.h"
 #include "sched/analysis.h"
 #include "sched/pluto.h"
+#include "support/stats.h"
 #include "support/strings.h"
+#include "support/threadpool.h"
 
 namespace {
 
@@ -44,6 +53,10 @@ struct Options {
   bool validate = false;
   bool machine_report = false;
   bool report = false;
+  std::size_t jobs = 0;  // 0 = default (POLYFUSE_JOBS / hardware)
+  bool stats = false;
+  bool stats_json = false;
+  bool solve_cache = true;
   IntVector params;
   std::string input;
 };
@@ -60,6 +73,9 @@ struct Options {
   --validate        check transformed output == original output
   --machine-report  modeled cache/parallelism report
   --report          fusion & parallelism summary
+  --jobs=N          worker threads for dependence analysis
+  --stats[=json]    print pipeline perf counters to stderr
+  --no-solve-cache  disable the polyhedral solve cache
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -79,6 +95,20 @@ Options parse_args(int argc, char** argv) {
       o.tile = true;
       o.tile_size = std::stoll(value_of("--tile="));
     } else if (arg == "--no-openmp") o.openmp = false;
+    else if (arg.rfind("--jobs=", 0) == 0) {
+      long v = 0;
+      try {
+        v = std::stol(value_of("--jobs="));
+      } catch (const std::exception&) {
+        usage("--jobs expects a number, got '" + value_of("--jobs=") + "'");
+      }
+      if (v < 1) usage("--jobs must be >= 1");
+      o.jobs = static_cast<std::size_t>(v);
+    } else if (arg == "--stats") o.stats = true;
+    else if (arg == "--stats=json") {
+      o.stats = true;
+      o.stats_json = true;
+    } else if (arg == "--no-solve-cache") o.solve_cache = false;
     else if (arg == "--validate") o.validate = true;
     else if (arg == "--machine-report") o.machine_report = true;
     else if (arg == "--report") o.report = true;
@@ -135,37 +165,65 @@ void default_params(const ir::Scop& scop, IntVector* params) {
   std::exit(2);
 }
 
+void print_stats(const Options& o) {
+  if (!o.stats) return;
+  if (o.stats_json)
+    std::cerr << support::Stats::instance().to_json() << "\n";
+  else
+    std::cerr << support::Stats::instance().to_string();
+}
+
 int run(const Options& o) {
-  const ir::Scop scop = frontend::parse_scop(read_input(o.input));
+  if (o.jobs != 0) support::set_default_jobs(o.jobs);
+  poly::set_solve_cache_enabled(o.solve_cache);
+
+  std::optional<ir::Scop> parsed;
+  {
+    support::PhaseTimer timer("parse");
+    parsed = frontend::parse_scop(read_input(o.input));
+  }
+  const ir::Scop& scop = *parsed;
 
   if (o.emit == "source") {
     std::cout << scop.to_string();
+    print_stats(o);
     return 0;
   }
 
-  const auto dg = ddg::DependenceGraph::analyze(scop);
+  ddg::AnalysisOptions aopts;
+  aopts.jobs = o.jobs;
+  std::optional<ddg::DependenceGraph> analyzed;
+  {
+    support::PhaseTimer timer("deps");
+    analyzed = ddg::DependenceGraph::analyze(scop, aopts);
+  }
+  const ddg::DependenceGraph& dg = *analyzed;
   if (o.emit == "deps") {
     std::cout << dg.to_string();
+    print_stats(o);
     return 0;
   }
 
   sched::Schedule sch;
-  if (o.model == "baseline") {
-    sch = sched::identity_schedule(scop);
-    sched::annotate_dependences(sch, dg);
-  } else {
-    std::unique_ptr<sched::FusionPolicy> policy;
-    if (o.model == "wisefuse")
-      policy = fusion::make_policy(fusion::FusionModel::kWisefuse);
-    else if (o.model == "smartfuse")
-      policy = fusion::make_policy(fusion::FusionModel::kSmartfuse);
-    else if (o.model == "nofuse")
-      policy = fusion::make_policy(fusion::FusionModel::kNofuse);
-    else if (o.model == "maxfuse")
-      policy = fusion::make_policy(fusion::FusionModel::kMaxfuse);
-    else
-      usage("unknown model '" + o.model + "'");
-    sch = sched::compute_schedule(scop, dg, *policy);
+  {
+    support::PhaseTimer timer("schedule");
+    if (o.model == "baseline") {
+      sch = sched::identity_schedule(scop);
+      sched::annotate_dependences(sch, dg);
+    } else {
+      std::unique_ptr<sched::FusionPolicy> policy;
+      if (o.model == "wisefuse")
+        policy = fusion::make_policy(fusion::FusionModel::kWisefuse);
+      else if (o.model == "smartfuse")
+        policy = fusion::make_policy(fusion::FusionModel::kSmartfuse);
+      else if (o.model == "nofuse")
+        policy = fusion::make_policy(fusion::FusionModel::kNofuse);
+      else if (o.model == "maxfuse")
+        policy = fusion::make_policy(fusion::FusionModel::kMaxfuse);
+      else
+        usage("unknown model '" + o.model + "'");
+      sch = sched::compute_schedule(scop, dg, *policy);
+    }
   }
 
   if (o.report) {
@@ -181,16 +239,21 @@ int run(const Options& o) {
 
   if (o.emit == "sched") {
     std::cout << sch.to_string();
+    print_stats(o);
     return 0;
   }
 
-  codegen::AstPtr ast = codegen::generate_ast(scop, sch);
-  if (o.tile) {
-    codegen::TilingOptions topts;
-    topts.tile_size = o.tile_size;
-    const std::size_t bands = codegen::tile_ast(*ast, sch, dg, topts);
-    std::cerr << "polyfuse: tiled " << bands << " band(s) with size "
-              << o.tile_size << "\n";
+  codegen::AstPtr ast;
+  {
+    support::PhaseTimer timer("codegen");
+    ast = codegen::generate_ast(scop, sch);
+    if (o.tile) {
+      codegen::TilingOptions topts;
+      topts.tile_size = o.tile_size;
+      const std::size_t bands = codegen::tile_ast(*ast, sch, dg, topts);
+      std::cerr << "polyfuse: tiled " << bands << " band(s) with size "
+                << o.tile_size << "\n";
+    }
   }
 
   if (o.validate || o.machine_report) {
@@ -238,6 +301,7 @@ int run(const Options& o) {
   } else {
     usage("unknown --emit '" + o.emit + "'");
   }
+  print_stats(o);
   return 0;
 }
 
@@ -247,6 +311,10 @@ int main(int argc, char** argv) {
   try {
     return run(parse_args(argc, argv));
   } catch (const pf::Error& e) {
+    std::cerr << "polyfuse: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // e.g. malformed numeric option values (std::stol).
     std::cerr << "polyfuse: " << e.what() << "\n";
     return 1;
   }
