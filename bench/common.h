@@ -26,6 +26,7 @@
 #include "suite/suite.h"
 #include "support/stats.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace pf::bench {
 
@@ -69,6 +70,9 @@ struct Variant {
 /// wall times accumulate so solver_stats_json() can be archived next to
 /// the timing tables.
 inline Variant build_variant(const suite::Benchmark& b, Strategy strategy) {
+  // Keep the decision-remark channel on so every scheduling/fusion choice
+  // made while building variants lands in decision_summary_json().
+  support::Tracer::instance().set_remarks_enabled(true);
   Variant v;
   {
     support::PhaseTimer timer("parse");
@@ -118,10 +122,32 @@ inline Variant build_variant(const suite::Benchmark& b, Strategy strategy) {
   return v;
 }
 
+/// Remark/span summary from the tracer: total counts plus remarks broken
+/// down by category (deps / sched / fusion), so BENCH_*.json records say
+/// how many decisions each layer reported, not just how long it took.
+inline std::string decision_summary_json() {
+  const support::Tracer& tracer = support::Tracer::instance();
+  std::map<std::string, std::size_t> by_category;
+  for (const support::Remark& r : tracer.remarks()) ++by_category[r.category];
+  std::string s = "{\"remarks\": " + std::to_string(tracer.num_remarks()) +
+                  ", \"spans\": " + std::to_string(tracer.num_spans()) +
+                  ", \"remarks_by_category\": {";
+  bool first = true;
+  for (const auto& [category, n] : by_category) {
+    if (!first) s += ", ";
+    first = false;
+    s += "\"" + support::json_escape(category) + "\": " + std::to_string(n);
+  }
+  s += "}}";
+  return s;
+}
+
 /// Accumulated solver work (counters + phase wall times) as JSON, for
-/// embedding in BENCH_*.json records.
+/// embedding in BENCH_*.json records. Includes the decision summary.
 inline std::string solver_stats_json() {
-  return support::Stats::instance().to_json();
+  std::string s = support::Stats::instance().to_json();
+  s.insert(s.size() - 1, ", \"decisions\": " + decision_summary_json());
+  return s;
 }
 
 /// Modeled 8-core evaluation at the benchmark's bench_params.

@@ -5,6 +5,7 @@
 
 #include "support/stats.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace pf::ddg {
 
@@ -61,6 +62,12 @@ std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
                                      std::size_t sj,
                                      const AnalysisOptions& options) {
   support::count(support::Counter::kDepPairsAnalyzed);
+  support::TraceSpan span("deps", "analyze_pair");
+  if (span.active()) {
+    span.attr("src", scop.statement(si).name());
+    span.attr("dst", scop.statement(sj).name());
+  }
+  std::size_t polyhedra_tested = 0;
   const std::size_t p = scop.num_params();
   const ir::Statement& a = scop.statement(si);
   const ir::Statement& b = scop.statement(sj);
@@ -131,6 +138,7 @@ std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
               poly::AffineExpr::constant(total, 1)));
         }
         support::count(support::Counter::kDepPolyhedraBuilt);
+        ++polyhedra_tested;
         if (dep_poly.is_empty(options.ilp)) continue;
 
         Dependence dep = proto;
@@ -145,6 +153,10 @@ std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
       }
     }
   }
+  if (span.active()) {
+    span.attr("polyhedra_tested", static_cast<i64>(polyhedra_tested));
+    span.attr("deps_found", static_cast<i64>(found.size()));
+  }
   return found;
 }
 
@@ -152,6 +164,7 @@ std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
 
 DependenceGraph DependenceGraph::analyze(const ir::Scop& scop,
                                          const AnalysisOptions& options) {
+  support::TraceSpan span("deps", "analyze");
   DependenceGraph g;
   g.scop_ = &scop;
   const std::size_t n = scop.num_statements();
@@ -188,6 +201,18 @@ DependenceGraph DependenceGraph::analyze(const ir::Scop& scop,
       }
     }
   }
+  if (span.active()) {
+    span.attr("statements", static_cast<i64>(n));
+    span.attr("deps", static_cast<i64>(g.deps_.size()));
+    span.attr("rar_deps", static_cast<i64>(g.rar_.size()));
+  }
+  // Emitted from the serial merge, so the remark stream is identical at
+  // every --jobs count.
+  if (support::Tracer::remarks_on())
+    support::remark("deps", "dependence analysis complete",
+                    {{"statements", std::to_string(n)},
+                     {"deps", std::to_string(g.deps_.size())},
+                     {"rar_deps", std::to_string(g.rar_.size())}});
   return g;
 }
 

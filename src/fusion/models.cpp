@@ -4,6 +4,8 @@
 #include <functional>
 #include <numeric>
 
+#include "support/trace.h"
+
 namespace pf::fusion {
 
 const char* to_string(FusionModel m) {
@@ -27,6 +29,8 @@ const char* to_string(FusionModel m) {
 std::vector<std::size_t> wisefuse_prefusion_order(
     const ir::Scop& scop, const ddg::DependenceGraph& dg,
     const ddg::SccResult& sccs, const WisefuseOptions& options) {
+  support::TraceSpan span("fusion", "wisefuse_prefusion_order");
+  if (span.active()) span.attr("sccs", static_cast<i64>(sccs.num_sccs()));
   const std::size_t n = scop.num_statements();
   if (!options.reorder) {
     // Heuristic 2 disabled entirely: keep the DFS/topological order.
@@ -119,27 +123,56 @@ std::vector<std::size_t> wisefuse_prefusion_order(
 
     // Greedily pull in unvisited same-dimensionality statements (whole
     // SCCs) that have reuse with the fusable set and whose precedence
-    // constraint is satisfied -- again in program order.
+    // constraint is satisfied -- again in program order. With the remark
+    // channel on, every candidate gets a decision remark: its reuse score
+    // (number of reusing statement pairs against the fusable set) and the
+    // cost-model verdict.
+    const bool explain = support::Tracer::remarks_on();
     const std::size_t dim_s = scop.statement(s).dim();
+    if (explain)
+      support::remark("fusion", "seed fusion group",
+                      {{"seed", scop.statement(s).name()},
+                       {"dim", std::to_string(dim_s)}});
     for (std::size_t t = 0; t < n; ++t) {
       if (visited[t]) continue;
-      if (options.require_same_dim && scop.statement(t).dim() != dim_s)
-        continue;
       const std::size_t scc_t = scc_of(t);
+      auto verdict = [&](const char* v, std::size_t reuse_pairs) {
+        if (!explain) return;
+        support::remark("fusion", "fusion candidate",
+                        {{"candidate", scop.statement(t).name()},
+                         {"seed", scop.statement(s).name()},
+                         {"candidate_dim",
+                          std::to_string(scop.statement(t).dim())},
+                         {"reuse_score", std::to_string(reuse_pairs)},
+                         {"verdict", v}});
+      };
+      if (options.require_same_dim && scop.statement(t).dim() != dim_s) {
+        verdict("cut: dimensionality mismatch", 0);
+        continue;
+      }
       // Reuse test: some fusable statement shares a (RAR or real)
-      // dependence with some statement of SCC_t.
-      bool has_reuse = false;
+      // dependence with some statement of SCC_t. The explain path counts
+      // every reusing pair (the reuse score); the fast path stops at the
+      // first.
+      std::size_t reuse_pairs = 0;
       for (const std::size_t i : fusable) {
         for (const std::size_t j : sccs.members[scc_t]) {
           if (reuse(i, j)) {
-            has_reuse = true;
-            break;
+            ++reuse_pairs;
+            if (!explain) break;
           }
         }
-        if (has_reuse) break;
+        if (reuse_pairs != 0 && !explain) break;
       }
-      if (!has_reuse) continue;
-      if (!precedence_ok(scc_t)) continue;
+      if (reuse_pairs == 0) {
+        verdict("cut: no reuse", 0);
+        continue;
+      }
+      if (!precedence_ok(scc_t)) {
+        verdict("cut: precedence violated", reuse_pairs);
+        continue;
+      }
+      verdict("fused", reuse_pairs);
       visit_scc(scc_t, &fusable);
     }
   }

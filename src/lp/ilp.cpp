@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace pf::lp {
 
@@ -101,7 +102,15 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
                                const IlpOptions& options) const {
   PF_CHECK(objective.size() == num_vars_);
   support::count(support::Counter::kIlpSolves);
-  if (trivially_infeasible_) return IlpResult{IlpStatus::kInfeasible, {}, 0};
+  support::TraceSpan span("lp", "ilp_minimize");
+  if (span.active()) {
+    span.attr("vars", static_cast<i64>(num_vars_));
+    span.attr("rows", static_cast<i64>(rows_.size()));
+  }
+  if (trivially_infeasible_) {
+    span.attr("status", "trivially-infeasible");
+    return IlpResult{IlpStatus::kInfeasible, {}, 0};
+  }
 
   const bool pure_feasibility =
       std::all_of(objective.begin(), objective.end(),
@@ -148,6 +157,7 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
       // Integer unboundedness follows for rational polyhedra that contain
       // an integer point along the ray; polyfuse callers only minimize
       // objectives they know to be bounded, so surface it directly.
+      span.attr("status", pf::lp::to_string(IlpStatus::kUnbounded));
       return IlpResult{IlpStatus::kUnbounded, {}, 0};
     }
     if (incumbent && rel.objective >= incumbent_obj) continue;  // pruned
@@ -182,6 +192,7 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
     stack.push_back(std::move(down));
   }
 
+  if (span.active()) span.attr("nodes", static_cast<i64>(nodes));
   if (incumbent) {
     // A cap hit with an incumbent in hand still yields the incumbent, but
     // optimality is not proven; report kCapExceeded so callers can be
@@ -190,10 +201,13 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
     res.status = cap_hit ? IlpStatus::kCapExceeded : IlpStatus::kOptimal;
     res.point = *incumbent;
     res.objective = incumbent_obj.as_integer();
+    span.attr("status", pf::lp::to_string(res.status));
     return res;
   }
-  return IlpResult{cap_hit ? IlpStatus::kCapExceeded : IlpStatus::kInfeasible,
-                   {}, 0};
+  const IlpStatus status =
+      cap_hit ? IlpStatus::kCapExceeded : IlpStatus::kInfeasible;
+  span.attr("status", pf::lp::to_string(status));
+  return IlpResult{status, {}, 0};
 }
 
 IlpResult IlpProblem::maximize(const IntVector& objective,

@@ -9,6 +9,8 @@
 
 #include "sched/analysis.h"
 #include "sched/farkas.h"
+#include "support/strings.h"
+#include "support/trace.h"
 
 namespace pf::sched {
 
@@ -71,13 +73,19 @@ class Scheduler {
   }
 
   Schedule run() {
+    support::TraceSpan sched_span("sched", "compute_schedule");
+    if (sched_span.active()) sched_span.attr("policy", policy_.name());
     refresh_current();
     {
+      cut_reason_ = "initial";
       const std::vector<i64> init = policy_.initial_cut(make_cut_context());
       if (!init.empty()) apply_scalar_level(init);
     }
 
     while (level_linear_.size() < opts_.max_levels) {
+      support::TraceSpan level_span("sched", "level");
+      if (level_span.active())
+        level_span.attr("level", static_cast<i64>(level_linear_.size()));
       const std::vector<std::size_t> active = active_deps();
       const bool full = all_full_rank();
       if (full && active.empty()) break;
@@ -118,6 +126,7 @@ class Scheduler {
       // so statements of an original SCC whose internal cycle is already
       // satisfied can now be distributed.
       refresh_current();
+      cut_reason_ = full ? "full-rank-unsatisfied" : "ilp-infeasible";
       std::vector<i64> values = policy_.cut_on_infeasible(make_cut_context());
       if (count_satisfied_by(values, active) == 0)
         values = cut_all(cur_order_.size());
@@ -382,6 +391,13 @@ class Scheduler {
       return std::nullopt;
     }
 
+    // Remember the winning Farkas objective (communication-volume bound
+    // u.n + w) for the hyperplane's decision remark.
+    last_u_sum_ = 0;
+    for (std::size_t q = 0; q < p; ++q)
+      last_u_sum_ = checked_add(last_u_sum_, r.point[q]);
+    last_w_ = r.point[w_index_];
+
     std::vector<poly::AffineExpr> hp;
     for (std::size_t s = 0; s < scop_.num_statements(); ++s) {
       const ir::Statement& st = scop_.statement(s);
@@ -459,6 +475,12 @@ class Scheduler {
       if (!st.carried || !st.intrinsic) continue;
       const std::size_t pos_t = pair_pos.second;
       PF_CHECK(pair_pos.first < pos_t);
+      support::remark(
+          "sched", "hyperplane sacrificed for outer parallelism",
+          {{"scc_pos_src", std::to_string(pair_pos.first)},
+           {"scc_pos_dst", std::to_string(pos_t)},
+           {"parallelism", "preserved-by-distribution"}});
+      cut_reason_ = "outer-parallelism";
       std::vector<i64> values(cur_order_.size(), 0);
       for (std::size_t pos = pos_t; pos < cur_order_.size(); ++pos)
         values[pos] = 1;
@@ -495,6 +517,11 @@ class Scheduler {
                            (mx.kind == poly::IntegerSet::Opt::kOk &&
                             mx.value >= 1);
       if (!carried) continue;
+      support::remark(
+          "sched", "recurrence SCC isolated from fused partition",
+          {{"scc_pos", std::to_string(cur_pos_of_scc_[scc_s])},
+           {"parallelism", "preserved-for-neighbors"}});
+      cut_reason_ = "recurrence-isolation";
       // Isolate the SCC: [0..pos) -> 0, pos -> 1, (pos..end) -> 2.
       const std::size_t pos = cur_pos_of_scc_[scc_s];
       std::vector<i64> values(cur_order_.size(), 0);
@@ -533,6 +560,7 @@ class Scheduler {
           poly::AffineExpr::constant(st.dim() + scop_.num_params(), v));
       scalar_prefix_[s].push_back(v);
     }
+    std::size_t newly_satisfied = 0;
     for (std::size_t i = 0; i < satisfied_.size(); ++i) {
       if (satisfied_[i]) continue;
       const ddg::Dependence& d = dg_.deps()[i];
@@ -541,10 +569,24 @@ class Scheduler {
       if (vs < vt) {
         satisfied_[i] = true;
         satisfied_at_[i] = level;
+        ++newly_satisfied;
       }
     }
     level_linear_.push_back(false);
     carried_at_.emplace_back();
+    if (support::Tracer::remarks_on()) {
+      const std::size_t partitions =
+          static_cast<std::size_t>(values.back() - values.front()) + 1;
+      std::vector<std::string> vals;
+      for (const i64 v : values) vals.push_back(std::to_string(v));
+      support::remark("sched", "scalar cut",
+                      {{"level", std::to_string(level)},
+                       {"reason", cut_reason_},
+                       {"policy", policy_.name()},
+                       {"partitions", std::to_string(partitions)},
+                       {"values", pf::join(vals, " ")},
+                       {"deps_satisfied", std::to_string(newly_satisfied)}});
+    }
   }
 
   void record_linear_level(const std::vector<std::size_t>& active,
@@ -587,6 +629,21 @@ class Scheduler {
                    "unfinished statement");
       h_[s].append_row(linear);
     }
+    if (support::Tracer::remarks_on()) {
+      std::vector<std::string> rows;
+      for (std::size_t s = 0; s < scop_.num_statements(); ++s)
+        rows.push_back(scop_.statement(s).name() + ":" +
+                       hp[s].to_string(scop_.space_names(scop_.statement(s))));
+      support::remark(
+          "sched", "hyperplane found",
+          {{"level", std::to_string(level)},
+           {"objective_u_sum", std::to_string(last_u_sum_)},
+           {"objective_w", std::to_string(last_w_)},
+           {"deps_carried", std::to_string(carried.size())},
+           {"parallel", carried.empty() ? "yes" : "no"},
+           {"outermost", seen_linear_level_ ? "no" : "yes"},
+           {"rows", pf::join(rows, "; ")}});
+    }
     for (std::size_t s = 0; s < scop_.num_statements(); ++s)
       rows_[s].push_back(std::move(hp[s]));
     level_linear_.push_back(true);
@@ -614,6 +671,12 @@ class Scheduler {
   std::vector<std::size_t> active_cache_;
   bool seen_linear_level_ = false;
 
+  // Decision-remark context: why the next scalar cut is being applied,
+  // and the Farkas objective of the last accepted hyperplane.
+  std::string cut_reason_ = "initial";
+  i64 last_u_sum_ = 0;
+  i64 last_w_ = 0;
+
   // Original SCCs + pre-fusion schedule (policy's view; kept for
   // reporting) and per-statement pre-fusion positions.
   ddg::SccResult orig_sccs_;
@@ -627,6 +690,32 @@ class Scheduler {
   std::vector<std::size_t> cur_scc_dim_;
 };
 
+// One remark per resulting fusion partition: which statements ended up
+// fused and whether the partition's outermost loop stayed parallel -- the
+// outcome Algorithm 2 trades hyperplanes for.
+void remark_partition_outcomes(const ir::Scop& scop, const Schedule& sch) {
+  if (!support::Tracer::remarks_on()) return;
+  const std::vector<int> parts = sch.nest_partitions();
+  std::size_t first_linear = SIZE_MAX;
+  for (std::size_t l = 0; l < sch.level_linear.size(); ++l)
+    if (sch.level_linear[l]) {
+      first_linear = l;
+      break;
+    }
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t s = 0; s < parts.size(); ++s) groups[parts[s]].push_back(s);
+  for (const auto& [id, stmts] : groups) {
+    std::vector<std::string> names;
+    for (const std::size_t s : stmts) names.push_back(scop.statement(s).name());
+    const bool parallel =
+        first_linear != SIZE_MAX && sch.is_parallel_for(stmts, first_linear);
+    support::remark("fusion", "fusion partition outcome",
+                    {{"partition", std::to_string(id)},
+                     {"statements", pf::join(names, " ")},
+                     {"outer_parallelism", parallel ? "preserved" : "lost"}});
+  }
+}
+
 }  // namespace
 
 Schedule compute_schedule(const ir::Scop& scop,
@@ -634,7 +723,9 @@ Schedule compute_schedule(const ir::Scop& scop,
                           const SchedulerOptions& options) {
   PF_CHECK_MSG(&dg.scop() == &scop, "dependence graph built for another scop");
   try {
-    return Scheduler(scop, dg, policy, options).run();
+    Schedule sch = Scheduler(scop, dg, policy, options).run();
+    remark_partition_outcomes(scop, sch);
+    return sch;
   } catch (const Error& e) {
     if (std::string(e.what()).find("stuck:") == std::string::npos) throw;
     // The greedy per-level search occasionally strands a dependence that
@@ -642,8 +733,11 @@ Schedule compute_schedule(const ir::Scop& scop,
     // backtracking, like Pluto). The original execution order is always
     // legal: degrade gracefully to the identity schedule instead of
     // failing.
+    support::remark("sched", "scheduler stuck; fell back to identity schedule",
+                    {{"policy", policy.name()}});
     Schedule fallback = identity_schedule(scop);
     annotate_dependences(fallback, dg, options.ilp);
+    remark_partition_outcomes(scop, fallback);
     return fallback;
   }
 }

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "support/trace.h"
+
 namespace pf::support {
 
 const char* to_string(Counter c) {
@@ -114,7 +116,12 @@ double now_seconds() {
 }  // namespace
 
 PhaseTimer::PhaseTimer(std::string phase)
-    : phase_(std::move(phase)), start_(now_seconds()) {}
+    : phase_(std::move(phase)), start_(now_seconds()) {
+  // Phases double as top-level trace spans, so a --trace run shows the
+  // driver's parse/deps/schedule/codegen regions without extra plumbing.
+  if (Tracer::spans_on())
+    span_ = std::make_unique<TraceSpan>("phase", phase_);
+}
 
 PhaseTimer::~PhaseTimer() {
   Stats::instance().add_phase_seconds(phase_, now_seconds() - start_);

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -76,7 +77,11 @@ class Stats {
 /// Shorthand for Stats::instance().add(c, n).
 inline void count(Counter c, i64 n = 1) { Stats::instance().add(c, n); }
 
+class TraceSpan;
+
 /// RAII phase timer: accumulates elapsed wall time into the named phase.
+/// When span tracing is enabled (support/trace.h), the phase is also
+/// recorded as a top-level trace span.
 class PhaseTimer {
  public:
   explicit PhaseTimer(std::string phase);
@@ -87,6 +92,7 @@ class PhaseTimer {
  private:
   std::string phase_;
   double start_;
+  std::unique_ptr<TraceSpan> span_;
 };
 
 }  // namespace pf::support

@@ -1,0 +1,240 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace pf::support {
+
+std::atomic<bool> Tracer::spans_enabled_{false};
+std::atomic<bool> Tracer::remarks_enabled_{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point tracer_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Small sequential per-process thread index (0 = first thread to trace);
+// stable for the thread's lifetime, cheap to read after first use.
+int this_thread_index() {
+  static std::atomic<int> next{0};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Per-thread open-span nesting depth.
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   tracer_epoch())
+      .count();
+}
+
+void Tracer::remark(std::string category, std::string message,
+                    std::vector<TraceAttr> attrs) {
+  if (!remarks_on()) return;
+  Remark r;
+  r.category = std::move(category);
+  r.message = std::move(message);
+  r.attrs = std::move(attrs);
+  r.ts_us = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  r.seq = remarks_.size();
+  remarks_.push_back(std::move(r));
+}
+
+void Tracer::record_span(SpanInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(info));
+}
+
+std::vector<SpanInfo> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<Remark> Tracer::remarks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remarks_;
+}
+
+std::size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::size_t Tracer::num_remarks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remarks_.size();
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  remarks_.clear();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void emit_args(std::ostringstream& os, const std::vector<TraceAttr>& attrs) {
+  os << "{";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "\"" << json_escape(attrs[i].first) << "\": \""
+       << json_escape(attrs[i].second) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanInfo& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\": \"X\", \"pid\": 1, \"tid\": " << s.tid << ", \"name\": \""
+       << json_escape(s.name) << "\", \"cat\": \"" << json_escape(s.category)
+       << "\", \"ts\": " << s.start_us << ", \"dur\": " << s.dur_us
+       << ", \"args\": ";
+    emit_args(os, s.attrs);
+    os << "}";
+  }
+  for (const Remark& r : remarks_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \"tid\": 0, \"name\": \""
+       << json_escape(r.category) << ": " << json_escape(r.message)
+       << "\", \"cat\": \"" << json_escape(r.category)
+       << "\", \"ts\": " << r.ts_us << ", \"args\": ";
+    emit_args(os, r.attrs);
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string Tracer::remarks_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const Remark& r : remarks_) {
+    os << "[" << r.category << "] " << r.message;
+    if (!r.attrs.empty()) {
+      os << " (";
+      for (std::size_t i = 0; i < r.attrs.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << r.attrs[i].first << "=" << r.attrs[i].second;
+      }
+      os << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Tracer::remarks_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"remarks\": [";
+  for (std::size_t i = 0; i < remarks_.size(); ++i) {
+    const Remark& r = remarks_[i];
+    if (i != 0) os << ",";
+    os << "\n{\"seq\": " << r.seq << ", \"category\": \""
+       << json_escape(r.category) << "\", \"message\": \""
+       << json_escape(r.message) << "\", \"attrs\": ";
+    std::ostringstream tmp;
+    emit_args(tmp, r.attrs);
+    os << tmp.str() << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+TraceSpan::TraceSpan(const char* category, const char* name) {
+  if (!Tracer::spans_on()) return;
+  active_ = true;
+  info_.category = category;
+  info_.name = name;
+  info_.tid = this_thread_index();
+  info_.depth = tls_depth++;
+  info_.start_us = Tracer::instance().now_us();
+}
+
+TraceSpan::TraceSpan(const char* category, std::string name) {
+  if (!Tracer::spans_on()) return;
+  active_ = true;
+  info_.category = category;
+  info_.name = std::move(name);
+  info_.tid = this_thread_index();
+  info_.depth = tls_depth++;
+  info_.start_us = Tracer::instance().now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --tls_depth;
+  Tracer& t = Tracer::instance();
+  info_.dur_us = t.now_us() - info_.start_us;
+  t.record_span(std::move(info_));
+}
+
+void TraceSpan::attr(const char* key, i64 value) {
+  if (!active_) return;
+  info_.attrs.emplace_back(key, std::to_string(value));
+}
+
+void TraceSpan::attr(const char* key, std::string value) {
+  if (!active_) return;
+  info_.attrs.emplace_back(key, std::move(value));
+}
+
+}  // namespace pf::support

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "json_check.h"
+
 namespace {
 
 #ifndef POLYFUSE_CLI_PATH
@@ -27,15 +29,37 @@ std::string temp_path(const std::string& name) {
          std::to_string(::getpid()) + "_" + name;
 }
 
-CmdResult run_cli(const std::string& args) {
-  const std::string out_file = temp_path("out");
-  const std::string cmd = std::string(POLYFUSE_CLI_PATH) + " " + args + " > " +
-                          out_file + " 2>&1";
-  const int rc = std::system(cmd.c_str());
-  std::ifstream in(out_file);
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
   std::stringstream ss;
   ss << in.rdbuf();
-  return CmdResult{WEXITSTATUS(rc), ss.str()};
+  return ss.str();
+}
+
+// `env` is prepended verbatim, e.g. "POLYFUSE_TRACE=/tmp/t.json".
+CmdResult run_cli(const std::string& args, const std::string& env = "") {
+  const std::string out_file = temp_path("out");
+  const std::string cmd = (env.empty() ? "" : env + " ") +
+                          std::string(POLYFUSE_CLI_PATH) + " " + args + " > " +
+                          out_file + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return CmdResult{WEXITSTATUS(rc), slurp(out_file)};
+}
+
+struct SplitResult {
+  int exit_code;
+  std::string out, err;
+};
+
+// Like run_cli but keeps stdout and stderr apart, so stderr-only channels
+// (--explain) can be validated without the emitted program mixed in.
+SplitResult run_cli_split(const std::string& args) {
+  const std::string out_file = temp_path("stdout");
+  const std::string err_file = temp_path("stderr");
+  const std::string cmd = std::string(POLYFUSE_CLI_PATH) + " " + args + " > " +
+                          out_file + " 2> " + err_file;
+  const int rc = std::system(cmd.c_str());
+  return SplitResult{WEXITSTATUS(rc), slurp(out_file), slurp(err_file)};
 }
 
 std::string write_program(const std::string& name, const std::string& text) {
@@ -167,6 +191,61 @@ TEST(Cli, StatsReportShowsSolverWork) {
   const CmdResult n = run_cli("--stats --no-solve-cache --emit=c " + path);
   EXPECT_EQ(n.exit_code, 0) << n.output;
   EXPECT_NE(n.output.find("solve_cache_hits"), std::string::npos);
+}
+
+TEST(Cli, TraceAndExplainEmitWellFormedJson) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string trace = temp_path("trace.json");
+  const SplitResult r =
+      run_cli_split("--trace=" + trace + " --explain=json " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_TRUE(pf::testjson::valid(r.err)) << r.err;
+  EXPECT_NE(r.err.find("\"remarks\""), std::string::npos);
+  EXPECT_NE(r.err.find("\"verdict\""), std::string::npos);
+
+  const std::string tj = slurp(trace);
+  EXPECT_TRUE(pf::testjson::valid(tj));
+  EXPECT_NE(tj.find("\"traceEvents\""), std::string::npos);
+  // Spans from every instrumented pipeline layer land in one trace.
+  for (const char* cat :
+       {"\"deps\"", "\"lp\"", "\"sched\"", "\"fusion\"", "\"phase\""})
+    EXPECT_NE(tj.find(cat), std::string::npos) << cat;
+}
+
+TEST(Cli, ExplainIsByteIdenticalAcrossJobs) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const SplitResult serial = run_cli_split("--jobs=1 --explain " + path);
+  const SplitResult parallel = run_cli_split("--jobs=4 --explain " + path);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_FALSE(serial.err.empty());
+  EXPECT_EQ(serial.err, parallel.err);
+  // Every fusion candidate gets a remark naming the cost-model verdict.
+  EXPECT_NE(serial.err.find("fusion candidate"), std::string::npos);
+  EXPECT_NE(serial.err.find("verdict=fused"), std::string::npos);
+  EXPECT_NE(serial.err.find("outer_parallelism="), std::string::npos);
+}
+
+TEST(Cli, PolyfuseTraceEnvVarEnablesTracing) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string trace = temp_path("env_trace.json");
+  const CmdResult r =
+      run_cli("--emit=c " + path, "POLYFUSE_TRACE=" + trace);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string tj = slurp(trace);
+  EXPECT_TRUE(pf::testjson::valid(tj));
+  EXPECT_NE(tj.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Cli, MalformedNumericOptionsExitWithUsage) {
+  const std::string path = write_program("p.pf", kPipeline);
+  for (const char* bad :
+       {"--tile=abc", "--tile=32xyz", "--tile=", "--tile=0",
+        "--params=1,x", "--jobs=99999999999999999999"}) {
+    const CmdResult r = run_cli(std::string(bad) + " " + path);
+    EXPECT_EQ(r.exit_code, 2) << bad << ": " << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << bad;
+  }
 }
 
 }  // namespace

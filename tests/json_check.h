@@ -1,0 +1,129 @@
+// Minimal structural JSON checker shared by the test binaries. Accepts a
+// string and reports whether it is exactly one syntactically well-formed
+// JSON value (objects, arrays, strings with escapes, numbers, literals).
+// No DOM is built and no semantics are checked -- just enough to assert
+// that --trace / --explain=json output would load in a real parser.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace pf::testjson {
+
+class Checker {
+ public:
+  static bool valid(const std::string& text) {
+    Checker c(text);
+    c.skip_ws();
+    if (!c.value()) return false;
+    c.skip_ws();
+    return c.pos_ == text.size();
+  }
+
+ private:
+  explicit Checker(const std::string& text) : text_(text) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p)
+      if (!eat(*p)) return false;
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;  // escaped char (a \uXXXX tail is plain chars, also fine)
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return pos_ > start;
+  }
+
+  bool number() {
+    eat('-');
+    if (!digits()) return false;
+    if (eat('.') && !digits()) return false;
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool valid(const std::string& text) { return Checker::valid(text); }
+
+}  // namespace pf::testjson

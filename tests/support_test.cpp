@@ -7,8 +7,10 @@
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "json_check.h"
 #include "support/error.h"
 #include "support/intmath.h"
 #include "support/linalg.h"
@@ -17,6 +19,7 @@
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace pf {
 namespace {
@@ -357,6 +360,154 @@ TEST(Stats, PhaseTimerRecordsWallTime) {
   EXPECT_NE(json.find("\"unit_test_phase\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   stats.reset();
+}
+
+TEST(Stats, ResetDropsPhaseTimings) {
+  auto& stats = support::Stats::instance();
+  stats.reset();
+  stats.add_phase_seconds("reset_me", 1.5);
+  EXPECT_GT(stats.phase_seconds("reset_me"), 0.0);
+  stats.reset();
+  EXPECT_EQ(stats.phase_seconds("reset_me"), 0.0);
+  EXPECT_EQ(stats.to_json().find("\"reset_me\""), std::string::npos);
+}
+
+TEST(Stats, PhaseAccumulationIsThreadSafe) {
+  auto& stats = support::Stats::instance();
+  stats.reset();
+  constexpr int kThreads = 4, kAdds = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < kAdds; ++i)
+        stats.add_phase_seconds("mt_phase", 0.001);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(stats.phase_seconds("mt_phase"), kThreads * kAdds * 0.001,
+              1e-6);
+  stats.reset();
+}
+
+TEST(Stats, ConcurrentPhaseTimersOnSamePhaseAccumulate) {
+  auto& stats = support::Stats::instance();
+  stats.reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([] {
+      support::PhaseTimer timer("mt_timer_phase");
+      volatile double sink = 0;
+      for (int i = 0; i < 20000; ++i) sink = sink + 1.0;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_GT(stats.phase_seconds("mt_timer_phase"), 0.0);
+  stats.reset();
+}
+
+// The tracer is a process-wide singleton like Stats, so every test
+// starts from (and restores) the disabled, empty state.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+  static void clear() {
+    auto& tracer = support::Tracer::instance();
+    tracer.set_spans_enabled(false);
+    tracer.set_remarks_enabled(false);
+    tracer.reset();
+  }
+};
+
+TEST_F(TracerTest, DisabledModeRecordsNothing) {
+  {
+    support::TraceSpan span("cat", "outer");
+    EXPECT_FALSE(span.active());
+    span.attr("k", std::string("v"));  // no-op, must not crash
+    span.attr("n", i64{3});
+    support::remark("cat", "dropped");
+  }
+  EXPECT_EQ(support::Tracer::instance().num_spans(), 0u);
+  EXPECT_EQ(support::Tracer::instance().num_remarks(), 0u);
+}
+
+TEST_F(TracerTest, SpansNestAndRecordDepth) {
+  auto& tracer = support::Tracer::instance();
+  tracer.set_spans_enabled(true);
+  {
+    support::TraceSpan outer("cat", "outer");
+    EXPECT_TRUE(outer.active());
+    {
+      support::TraceSpan inner("cat", "inner");
+      inner.attr("n", i64{7});
+    }
+    { support::TraceSpan sibling("cat", "sibling"); }
+  }
+  const std::vector<support::SpanInfo> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  auto find = [&](const std::string& name) -> const support::SpanInfo& {
+    for (const support::SpanInfo& s : spans)
+      if (s.name == name) return s;
+    ADD_FAILURE() << "span '" << name << "' not recorded";
+    return spans.front();
+  };
+  const support::SpanInfo& outer = find("outer");
+  const support::SpanInfo& inner = find("inner");
+  const support::SpanInfo& sibling = find("sibling");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(sibling.depth, 1);
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+  EXPECT_LE(outer.start_us, inner.start_us);
+  ASSERT_EQ(inner.attrs.size(), 1u);
+  EXPECT_EQ(inner.attrs[0].first, "n");
+  EXPECT_EQ(inner.attrs[0].second, "7");
+}
+
+TEST_F(TracerTest, RemarksKeepEmissionOrder) {
+  auto& tracer = support::Tracer::instance();
+  tracer.set_remarks_enabled(true);
+  support::remark("a", "first");
+  support::remark("b", "second", {{"k", "v"}});
+  support::remark("a", "third");
+  const std::vector<support::Remark> remarks = tracer.remarks();
+  ASSERT_EQ(remarks.size(), 3u);
+  EXPECT_EQ(remarks[0].seq, 0u);
+  EXPECT_EQ(remarks[1].seq, 1u);
+  EXPECT_EQ(remarks[2].seq, 2u);
+  EXPECT_EQ(remarks[0].message, "first");
+  EXPECT_EQ(remarks[2].message, "third");
+  const std::string text = tracer.remarks_text();
+  const std::size_t p1 = text.find("first");
+  const std::size_t p2 = text.find("second");
+  const std::size_t p3 = text.find("third");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+  EXPECT_NE(text.find("k=v"), std::string::npos);
+}
+
+TEST_F(TracerTest, JsonOutputsAreWellFormed) {
+  auto& tracer = support::Tracer::instance();
+  tracer.set_spans_enabled(true);
+  tracer.set_remarks_enabled(true);
+  {
+    support::TraceSpan span("cat", "na\"me");
+    span.attr("path", std::string("a\\b\nc"));
+  }
+  support::remark("cat", "quote \" and tab \t", {{"k", "v\\w"}});
+  const std::string trace = tracer.chrome_trace_json();
+  EXPECT_TRUE(pf::testjson::valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  const std::string remarks = tracer.remarks_json();
+  EXPECT_TRUE(pf::testjson::valid(remarks)) << remarks;
+}
+
+TEST(TraceJson, EscapesSpecialCharacters) {
+  EXPECT_EQ(support::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(support::json_escape("\t\r"), "\\t\\r");
+  EXPECT_EQ(support::json_escape(std::string(1, '\x01')), "\\u0001");
 }
 
 TEST(ErrorMacros, CheckAndFail) {

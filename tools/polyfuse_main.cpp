@@ -15,10 +15,16 @@
 //                     POLYFUSE_JOBS or hardware; output is identical at
 //                     every N)
 //   --stats[=json]    print pipeline perf counters + phase times to stderr
+//   --trace=FILE      write a Chrome trace-event JSON file (spans from
+//                     every pipeline layer; open in chrome://tracing or
+//                     Perfetto). POLYFUSE_TRACE=FILE is the env equivalent.
+//   --explain[=json]  print the scheduler/fusion decision-remark log to
+//                     stderr (deterministic: identical at every --jobs)
 //   --no-solve-cache  disable the polyhedral solve cache
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -39,6 +45,7 @@
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -56,6 +63,9 @@ struct Options {
   std::size_t jobs = 0;  // 0 = default (POLYFUSE_JOBS / hardware)
   bool stats = false;
   bool stats_json = false;
+  bool explain = false;
+  bool explain_json = false;
+  std::string trace_file;  // empty = tracing off
   bool solve_cache = true;
   IntVector params;
   std::string input;
@@ -75,9 +85,28 @@ struct Options {
   --report          fusion & parallelism summary
   --jobs=N          worker threads for dependence analysis
   --stats[=json]    print pipeline perf counters to stderr
+  --trace=FILE      write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE)
+  --explain[=json]  print scheduler/fusion decision remarks to stderr
   --no-solve-cache  disable the polyhedral solve cache
 )";
   std::exit(error.empty() ? 0 : 2);
+}
+
+// Parse the numeric payload of `--flag=VALUE` options. Anything that is
+// not a plain (optionally signed) decimal integer -- empty, trailing
+// garbage, out of i64 range -- exits through usage() instead of throwing
+// out of std::stoll.
+i64 parse_int_option(const std::string& flag, const std::string& text) {
+  std::size_t consumed = 0;
+  i64 v = 0;
+  try {
+    v = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    usage(flag + " expects an integer, got '" + text + "'");
+  }
+  if (consumed != text.size())
+    usage(flag + " expects an integer, got '" + text + "'");
+  return v;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -93,21 +122,24 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--tile") o.tile = true;
     else if (arg.rfind("--tile=", 0) == 0) {
       o.tile = true;
-      o.tile_size = std::stoll(value_of("--tile="));
+      o.tile_size = parse_int_option("--tile", value_of("--tile="));
+      if (o.tile_size < 1) usage("--tile size must be >= 1");
     } else if (arg == "--no-openmp") o.openmp = false;
     else if (arg.rfind("--jobs=", 0) == 0) {
-      long v = 0;
-      try {
-        v = std::stol(value_of("--jobs="));
-      } catch (const std::exception&) {
-        usage("--jobs expects a number, got '" + value_of("--jobs=") + "'");
-      }
+      const i64 v = parse_int_option("--jobs", value_of("--jobs="));
       if (v < 1) usage("--jobs must be >= 1");
       o.jobs = static_cast<std::size_t>(v);
     } else if (arg == "--stats") o.stats = true;
     else if (arg == "--stats=json") {
       o.stats = true;
       o.stats_json = true;
+    } else if (arg == "--explain") o.explain = true;
+    else if (arg == "--explain=json") {
+      o.explain = true;
+      o.explain_json = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      o.trace_file = value_of("--trace=");
+      if (o.trace_file.empty()) usage("--trace expects a file name");
     } else if (arg == "--no-solve-cache") o.solve_cache = false;
     else if (arg == "--validate") o.validate = true;
     else if (arg == "--machine-report") o.machine_report = true;
@@ -115,7 +147,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg.rfind("--params=", 0) == 0) {
       std::stringstream ss(value_of("--params="));
       std::string tok;
-      while (std::getline(ss, tok, ',')) o.params.push_back(std::stoll(tok));
+      while (std::getline(ss, tok, ','))
+        o.params.push_back(parse_int_option("--params", tok));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       usage("unknown option '" + arg + "'");
     } else if (o.input.empty()) {
@@ -123,6 +156,11 @@ Options parse_args(int argc, char** argv) {
     } else {
       usage("multiple inputs given");
     }
+  }
+  if (o.trace_file.empty()) {
+    // Env-var equivalent of --trace, mirroring POLYFUSE_JOBS.
+    if (const char* env = std::getenv("POLYFUSE_TRACE"))
+      if (*env != '\0') o.trace_file = env;
   }
   if (o.input.empty()) usage("no input file");
   return o;
@@ -165,17 +203,42 @@ void default_params(const ir::Scop& scop, IntVector* params) {
   std::exit(2);
 }
 
-void print_stats(const Options& o) {
-  if (!o.stats) return;
-  if (o.stats_json)
-    std::cerr << support::Stats::instance().to_json() << "\n";
-  else
-    std::cerr << support::Stats::instance().to_string();
+// Every successful exit path funnels through here: stats report, the
+// --explain remark log, and the --trace Chrome trace file all fire no
+// matter which --emit short-circuit returned.
+void finish_outputs(const Options& o) {
+  if (o.stats) {
+    if (o.stats_json)
+      std::cerr << support::Stats::instance().to_json() << "\n";
+    else
+      std::cerr << support::Stats::instance().to_string();
+  }
+  if (o.explain) {
+    const support::Tracer& tracer = support::Tracer::instance();
+    if (o.explain_json)
+      std::cerr << tracer.remarks_json() << "\n";
+    else
+      std::cerr << tracer.remarks_text();
+  }
+  if (!o.trace_file.empty()) {
+    std::ofstream out(o.trace_file);
+    if (!out) {
+      std::cerr << "polyfuse: cannot write trace file '" << o.trace_file
+                << "'\n";
+      std::exit(2);
+    }
+    out << support::Tracer::instance().chrome_trace_json() << "\n";
+  }
 }
 
 int run(const Options& o) {
   if (o.jobs != 0) support::set_default_jobs(o.jobs);
   poly::set_solve_cache_enabled(o.solve_cache);
+  if (!o.trace_file.empty()) {
+    support::Tracer::instance().set_spans_enabled(true);
+    support::Tracer::instance().set_remarks_enabled(true);
+  }
+  if (o.explain) support::Tracer::instance().set_remarks_enabled(true);
 
   std::optional<ir::Scop> parsed;
   {
@@ -186,7 +249,7 @@ int run(const Options& o) {
 
   if (o.emit == "source") {
     std::cout << scop.to_string();
-    print_stats(o);
+    finish_outputs(o);
     return 0;
   }
 
@@ -200,7 +263,7 @@ int run(const Options& o) {
   const ddg::DependenceGraph& dg = *analyzed;
   if (o.emit == "deps") {
     std::cout << dg.to_string();
-    print_stats(o);
+    finish_outputs(o);
     return 0;
   }
 
@@ -239,7 +302,7 @@ int run(const Options& o) {
 
   if (o.emit == "sched") {
     std::cout << sch.to_string();
-    print_stats(o);
+    finish_outputs(o);
     return 0;
   }
 
@@ -260,6 +323,7 @@ int run(const Options& o) {
     IntVector params = o.params;
     default_params(scop, &params);
     if (o.validate) {
+      support::PhaseTimer timer("validate");
       sched::Schedule ident = sched::identity_schedule(scop);
       sched::annotate_dependences(ident, dg);
       const auto orig = codegen::generate_ast(scop, ident);
@@ -286,22 +350,26 @@ int run(const Options& o) {
       if (diff != 0.0) return 1;
     }
     if (o.machine_report) {
+      support::PhaseTimer timer("machine-report");
       exec::ArrayStore store(scop, params);
       const machine::ModelReport r = machine::evaluate(*ast, store);
       std::cerr << r.to_string();
     }
   }
 
-  if (o.emit == "ast") {
-    std::cout << codegen::ast_to_string(*ast, scop);
-  } else if (o.emit == "c") {
-    codegen::CEmitOptions eopts;
-    eopts.openmp = o.openmp;
-    std::cout << codegen::emit_c(*ast, scop, eopts);
-  } else {
-    usage("unknown --emit '" + o.emit + "'");
+  {
+    support::PhaseTimer timer("emit");
+    if (o.emit == "ast") {
+      std::cout << codegen::ast_to_string(*ast, scop);
+    } else if (o.emit == "c") {
+      codegen::CEmitOptions eopts;
+      eopts.openmp = o.openmp;
+      std::cout << codegen::emit_c(*ast, scop, eopts);
+    } else {
+      usage("unknown --emit '" + o.emit + "'");
+    }
   }
-  print_stats(o);
+  finish_outputs(o);
   return 0;
 }
 
