@@ -142,11 +142,26 @@ inline std::string decision_summary_json() {
   return s;
 }
 
+/// Verifier outcome counts (src/verify) in the exact shape the paper's
+/// self-checking story needs archived next to timings: how much was
+/// proved and whether anything failed.
+inline std::string verify_summary_json() {
+  const support::Stats& st = support::Stats::instance();
+  return "{\"checked_deps\": " +
+         std::to_string(st.get(support::Counter::kVerifyCheckedDeps)) +
+         ", \"violations\": " +
+         std::to_string(st.get(support::Counter::kVerifyViolations)) +
+         ", \"race_checks\": " +
+         std::to_string(st.get(support::Counter::kVerifyRaceChecks)) + "}";
+}
+
 /// Accumulated solver work (counters + phase wall times) as JSON, for
-/// embedding in BENCH_*.json records. Includes the decision summary.
+/// embedding in BENCH_*.json records. Includes the decision summary and
+/// the verifier outcome counts.
 inline std::string solver_stats_json() {
   std::string s = support::Stats::instance().to_json();
-  s.insert(s.size() - 1, ", \"decisions\": " + decision_summary_json());
+  s.insert(s.size() - 1, ", \"decisions\": " + decision_summary_json() +
+                             ", \"verify\": " + verify_summary_json());
   return s;
 }
 

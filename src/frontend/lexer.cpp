@@ -1,6 +1,9 @@
 #include "frontend/lexer.h"
 
 #include <cctype>
+#include <sstream>
+
+#include "support/error.h"
 
 namespace pf::frontend {
 
@@ -56,8 +59,13 @@ const char* to_string(TokKind k) {
 
 namespace {
 
+// A user-facing located diagnostic: no PF_FAIL here -- that macro
+// prefixes the polyfuse source file/line ("check failed"), which is
+// noise for an input error. The position is the input's line:col.
 [[noreturn]] void lex_error(int line, int col, const std::string& msg) {
-  PF_FAIL("PolyLang lex error at " << line << ":" << col << ": " << msg);
+  std::ostringstream os;
+  os << "PolyLang lex error at " << line << ":" << col << ": " << msg;
+  throw Error(os.str());
 }
 
 }  // namespace
@@ -149,10 +157,17 @@ std::vector<Token> tokenize(const std::string& source) {
       t.text = num;
       t.line = tl;
       t.col = tc;
-      if (is_float)
-        t.float_value = std::stod(num);
-      else
-        t.int_value = std::stoll(num);
+      // stoll/stod throw std::out_of_range on over-long literals; turn
+      // that into a located diagnostic instead of letting a bare
+      // standard-library exception escape the frontend.
+      try {
+        if (is_float)
+          t.float_value = std::stod(num);
+        else
+          t.int_value = std::stoll(num);
+      } catch (const std::exception&) {
+        lex_error(tl, tc, "numeric literal '" + num + "' out of range");
+      }
       out.push_back(std::move(t));
       continue;
     }

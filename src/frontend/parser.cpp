@@ -2,9 +2,11 @@
 
 #include <map>
 #include <optional>
+#include <sstream>
 
 #include "frontend/lexer.h"
 #include "ir/builder.h"
+#include "support/error.h"
 
 namespace pf::frontend {
 
@@ -42,9 +44,14 @@ class Parser {
 
   const Token& cur() const { return toks_[pos_]; }
 
+  // A user-facing located diagnostic (input line:col); deliberately not
+  // PF_FAIL, which would prepend the polyfuse source location and "check
+  // failed" -- noise that belongs to internal invariants only.
   [[noreturn]] void error(const std::string& msg) const {
-    PF_FAIL("PolyLang parse error at " << cur().line << ":" << cur().col
-                                       << ": " << msg);
+    std::ostringstream os;
+    os << "PolyLang parse error at " << cur().line << ":" << cur().col << ": "
+       << msg;
+    throw Error(os.str());
   }
 
   bool check(TokKind k) const { return cur().kind == k; }
@@ -57,8 +64,9 @@ class Parser {
 
   Token expect(TokKind k) {
     if (!check(k))
-      error(std::string("expected ") + to_string(k) + ", found '" +
-            cur().text + "'");
+      error(std::string("expected ") + to_string(k) + ", found " +
+            (cur().kind == TokKind::kEof ? std::string(to_string(cur().kind))
+                                         : "'" + cur().text + "'"));
     return toks_[pos_++];
   }
 

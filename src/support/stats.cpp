@@ -27,6 +27,12 @@ const char* to_string(Counter c) {
       return "dep_pairs_analyzed";
     case Counter::kDepPolyhedraBuilt:
       return "dep_polyhedra_built";
+    case Counter::kVerifyCheckedDeps:
+      return "verify_checked_deps";
+    case Counter::kVerifyViolations:
+      return "verify_violations";
+    case Counter::kVerifyRaceChecks:
+      return "verify_race_checks";
     case Counter::kNumCounters:
       break;
   }

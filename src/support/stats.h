@@ -35,6 +35,9 @@ enum class Counter : std::size_t {
   kSolveCacheMisses,     // polyhedral solve cache misses
   kDepPairsAnalyzed,     // statement pairs processed by dependence analysis
   kDepPolyhedraBuilt,    // candidate dependence polyhedra tested
+  kVerifyCheckedDeps,    // dependences legality-checked by the verifier
+  kVerifyViolations,     // verifier findings (all kinds)
+  kVerifyRaceChecks,     // (parallel loop, dependence) race checks
   kNumCounters,
 };
 

@@ -1,0 +1,37 @@
+// Shared helpers of the verifier's check passes (not part of the public
+// API). Everything here works from the schedule matrices and dependence
+// polyhedra alone -- the point of the subsystem is independence from the
+// scheduler's own bookkeeping (satisfied_at / carried_at are never read).
+#pragma once
+
+#include <string>
+
+#include "ddg/dependences.h"
+#include "sched/schedule.h"
+#include "verify/verify.h"
+
+namespace pf::verify::detail {
+
+/// Schedule difference of dependence `d` at level `l`, lifted into the
+/// dependence space [src iters, dst iters, params]:
+///   delta_l = phi_{dst,l}(t) - phi_{src,l}(s).
+inline poly::AffineExpr level_diff(const ddg::Dependence& d,
+                                   const sched::Schedule& sch,
+                                   std::size_t l) {
+  return d.lift_dst(sch.rows[d.dst][l]) - d.lift_src(sch.rows[d.src][l]);
+}
+
+/// Structural sanity of (dg, sch) as a verification subject: every
+/// statement has one row per level with the statement-space dimension,
+/// and dependence endpoints are in range. Returns an empty string when
+/// usable, else a description (reported as a kMalformed finding -- the
+/// verifier must diagnose bad inputs, not crash on them).
+std::string structure_problem(const ddg::DependenceGraph& dg,
+                              const sched::Schedule& sch);
+
+/// Append `f`, skipping exact (kind, dep_id, src, dst, level) duplicates
+/// -- tiled ASTs repeat a schedule level on the tile and point loop, and
+/// one bad dependence should yield one finding.
+void add_finding(Report* report, Finding f);
+
+}  // namespace pf::verify::detail

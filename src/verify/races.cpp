@@ -1,0 +1,147 @@
+// Check (b): static race detection over the emitted OpenMP annotations.
+//
+// Walks the generated AST -- the artifact the emitter prints pragmas
+// from -- rather than the schedule's own parallelism bookkeeping. For a
+// loop at schedule level L claiming `parallel`, two statement instances
+// race iff they are distinct iterations of that loop within one iteration
+// of every enclosing sequential level and a dependence connects them:
+//
+//   C = D  /\  { delta_k == 0 : k < L }  /\  { delta_L != 0 }
+//
+// IntegerSets are conjunctions, so the disequality splits into the
+// delta_L >= 1 and delta_L <= -1 halves; a point in either is a concrete
+// pair of iterations `#pragma omp parallel for` would run on different
+// threads in an order the dependence forbids. The equalities run over
+// *all* levels < L (scalar ones included): statements under one loop node
+// share their scalar prefix, so those constraints are vacuous on
+// well-formed ASTs, but on a corrupted AST they keep the check exact
+// instead of crashing.
+//
+// Both the inner `parallel` claim and the emitter-facing `mark_parallel`
+// hint are checked -- a loop wrongly claiming either is reported with the
+// dependence kind, endpoints and level. Tiled ASTs verify unchanged:
+// tile loops inherit the point loop's level and claim, and duplicate
+// findings collapse in add_finding.
+#include <vector>
+
+#include "support/trace.h"
+#include "verify/internal.h"
+
+namespace pf::verify {
+
+namespace {
+
+void collect_stmts(const codegen::AstNode& n, std::vector<bool>* under) {
+  switch (n.kind) {
+    case codegen::AstNode::Kind::kStmt:
+      if (n.stmt < under->size()) (*under)[n.stmt] = true;
+      break;
+    case codegen::AstNode::Kind::kLoop:
+      collect_stmts(*n.body, under);
+      break;
+    case codegen::AstNode::Kind::kBlock:
+      for (const codegen::AstPtr& c : n.children) collect_stmts(*c, under);
+      break;
+  }
+}
+
+class RaceWalker {
+ public:
+  RaceWalker(const ddg::DependenceGraph& dg, const sched::Schedule& sch,
+             const Options& options, Report* report)
+      : dg_(dg), sch_(sch), options_(options), report_(report) {}
+
+  void walk(const codegen::AstNode& n) {
+    switch (n.kind) {
+      case codegen::AstNode::Kind::kLoop:
+        if (n.parallel || n.mark_parallel) check_loop(n);
+        walk(*n.body);
+        break;
+      case codegen::AstNode::Kind::kBlock:
+        for (const codegen::AstPtr& c : n.children) walk(*c);
+        break;
+      case codegen::AstNode::Kind::kStmt:
+        break;
+    }
+  }
+
+ private:
+  void check_loop(const codegen::AstNode& loop) {
+    const std::size_t level = loop.level;
+    if (level >= sch_.num_levels() || !sch_.level_linear[level]) {
+      Finding f;
+      f.kind = CheckKind::kMalformed;
+      f.level = level;
+      f.detail = "AST loop claims parallel at level " +
+                 std::to_string(level) +
+                 ", which is not a linear schedule level";
+      detail::add_finding(report_, std::move(f));
+      return;
+    }
+    std::vector<bool> under(sch_.num_statements(), false);
+    collect_stmts(loop, &under);
+
+    for (const ddg::Dependence& d : dg_.deps()) {
+      if (!under[d.src] || !under[d.dst]) continue;
+      ++report_->race_checks;
+      // Same iteration of every enclosing level...
+      poly::IntegerSet tied = d.poly;
+      for (std::size_t k = 0; k < level && !tied.trivially_empty(); ++k)
+        tied.add_constraint(
+            poly::Constraint::eq0(detail::level_diff(d, sch_, k)));
+      if (tied.trivially_empty()) continue;
+      // ... but different iterations of this one.
+      const poly::AffineExpr delta = detail::level_diff(d, sch_, level);
+      poly::IntegerSet forward = tied;
+      forward.add_constraint(poly::Constraint::ge0(delta.plus_const(-1)));
+      poly::IntegerSet backward = std::move(tied);
+      backward.add_constraint(poly::Constraint::ge0((-delta).plus_const(-1)));
+      const bool fwd = !forward.is_empty(options_.ilp);
+      const bool bwd = !backward.is_empty(options_.ilp);
+      if (!fwd && !bwd) continue;
+      Finding f;
+      f.kind = CheckKind::kRace;
+      f.dep_kind = d.kind;
+      f.dep_id = d.id;
+      f.src = d.src;
+      f.dst = d.dst;
+      f.level = level;
+      f.detail = std::string("loop iterations ") +
+                 (fwd && bwd ? "in both directions"
+                             : (fwd ? "ahead of the source"
+                                    : "behind the source")) +
+                 " touch the same location";
+      detail::add_finding(report_, std::move(f));
+    }
+  }
+
+  const ddg::DependenceGraph& dg_;
+  const sched::Schedule& sch_;
+  const Options& options_;
+  Report* report_;
+};
+
+}  // namespace
+
+Report check_races(const ddg::DependenceGraph& dg, const sched::Schedule& sch,
+                   const codegen::AstNode& ast, const Options& options) {
+  support::TraceSpan span("verify", "races");
+  Report report;
+  const std::string problem = detail::structure_problem(dg, sch);
+  if (!problem.empty()) {
+    Finding f;
+    f.kind = CheckKind::kMalformed;
+    f.detail = problem;
+    detail::add_finding(&report, std::move(f));
+    return report;
+  }
+  RaceWalker walker(dg, sch, options, &report);
+  walker.walk(ast);
+  if (span.active()) {
+    span.attr("race_checks", static_cast<i64>(report.race_checks));
+    span.attr("violations", static_cast<i64>(report.findings.size()));
+  }
+  return report;
+}
+
+}  // namespace pf::verify

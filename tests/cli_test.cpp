@@ -237,6 +237,99 @@ TEST(Cli, PolyfuseTraceEnvVarEnablesTracing) {
   EXPECT_NE(tj.find("\"traceEvents\""), std::string::npos);
 }
 
+TEST(Cli, VerifyStrictPassesUnderEveryModel) {
+  const std::string path = write_program("p.pf", kPipeline);
+  for (const char* model :
+       {"nofuse", "smartfuse", "maxfuse", "wisefuse", "baseline"}) {
+    const SplitResult r = run_cli_split(std::string("--verify=strict --model=") +
+                                        model + " --emit=c " + path);
+    EXPECT_EQ(r.exit_code, 0) << model << ": " << r.err;
+    EXPECT_NE(r.err.find("verify: checked"), std::string::npos) << model;
+    EXPECT_NE(r.err.find(": ok"), std::string::npos) << model;
+    EXPECT_EQ(r.err.find("VIOLATION"), std::string::npos) << model;
+  }
+}
+
+TEST(Cli, VerifyCoversTiledOutputAndSchedOnlyEmit) {
+  const std::string mm = write_program("mm.pf", R"(
+    scop mm(N) { context N >= 4;
+      array A[N][N]; array B[N][N]; array C[N][N];
+      for (i = 0 .. N-1) { for (j = 0 .. N-1) { for (k = 0 .. N-1) {
+        S1: C[i][j] = C[i][j] + A[i][k]*B[k][j]; } } } })");
+  const SplitResult tiled =
+      run_cli_split("--verify=strict --tile=16 --emit=c " + mm);
+  EXPECT_EQ(tiled.exit_code, 0) << tiled.err;
+  EXPECT_NE(tiled.err.find("race check(s)"), std::string::npos) << tiled.err;
+  EXPECT_NE(tiled.err.find(": ok"), std::string::npos) << tiled.err;
+  // Tile + point loops both claim parallel, so races were really checked.
+  EXPECT_EQ(tiled.err.find(" 0 race check(s)"), std::string::npos) << tiled.err;
+
+  // --emit=sched verifies schedule-level checks (no AST -> no race check).
+  const SplitResult sched = run_cli_split("--verify=strict --emit=sched " + mm);
+  EXPECT_EQ(sched.exit_code, 0) << sched.err;
+  EXPECT_NE(sched.err.find("verify: checked"), std::string::npos);
+
+  // Pre-schedule emit modes have nothing to verify: usage error.
+  const CmdResult deps = run_cli("--verify --emit=deps " + mm);
+  EXPECT_EQ(deps.exit_code, 2);
+  EXPECT_NE(deps.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, VerifyCountsLandInStatsJson) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const SplitResult r =
+      run_cli_split("--verify --stats=json --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("\"verify_checked_deps\": 3"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("\"verify_violations\": 0"), std::string::npos);
+  EXPECT_NE(r.err.find("\"verify_race_checks\""), std::string::npos);
+  // The stats block (after the summary lines) must still be valid JSON.
+  const std::size_t brace = r.err.find('{');
+  ASSERT_NE(brace, std::string::npos);
+  EXPECT_TRUE(pf::testjson::valid(r.err.substr(brace))) << r.err;
+}
+
+TEST(Cli, HelpDocumentsVerifyAndValidate) {
+  const CmdResult r = run_cli("--help");
+  EXPECT_NE(r.output.find("--verify"), std::string::npos);
+  EXPECT_NE(r.output.find("--validate"), std::string::npos);
+}
+
+TEST(Cli, MalformedProgramsProduceLocatedDiagnostics) {
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"unterminated.pf",
+       "scop u(N) { context N >= 4; array a[N];\n"
+       "for (i = 0 .. N-1) { S1: a[i] = 1.0 } }",
+       "parse error at"},
+      {"nonaffine.pf",
+       "scop u(N) { context N >= 4; array a[N*N];\n"
+       "for (i = 0 .. N-1) { for (j = 0 .. N-1) {\n"
+       "S1: a[i*j] = 1.0; } } }",
+       "parse error at"},
+      {"hugeint.pf",
+       "scop u(N) { context N >= 99999999999999999999; array a[N];\n"
+       "for (i = 0 .. N-1) { S1: a[i] = 1.0; } }",
+       "lex error at"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = write_program(c.name, c.text);
+    const CmdResult r = run_cli(path);
+    EXPECT_EQ(r.exit_code, 1) << c.name << ": " << r.output;
+    EXPECT_NE(r.output.find(c.expect), std::string::npos)
+        << c.name << ": " << r.output;
+    // A user input error is not an internal invariant failure: no source
+    // locations of the compiler itself, no bare stdlib exceptions.
+    EXPECT_EQ(r.output.find("check failed"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("stoll"), std::string::npos) << r.output;
+  }
+}
+
 TEST(Cli, MalformedNumericOptionsExitWithUsage) {
   const std::string path = write_program("p.pf", kPipeline);
   for (const char* bad :

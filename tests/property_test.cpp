@@ -7,6 +7,9 @@
 //  * lexmin() agrees with brute-force lexicographic search.
 //  * permutable_bands() never groups a level that breaks a satisfied
 //    dependence's non-negativity.
+//  * the independent verifier (src/verify) is consistent with the
+//    scheduler's own legality bookkeeping (annotate_dependences) as a
+//    differential oracle over random programs and schedules.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -19,6 +22,8 @@
 #include "sched/analysis.h"
 #include "sched/farkas.h"
 #include "sched/pluto.h"
+#include "suite/synthetic.h"
+#include "verify/verify.h"
 
 namespace pf {
 namespace {
@@ -239,6 +244,70 @@ TEST(PermutableBands, SeidelBreaksMatmulDoesNot) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Differential legality oracle: verifier vs annotate_dependences.
+//
+// The scheduler's bookkeeping enforces *constructive* legality: at each
+// level the schedule difference must be non-negative over the whole
+// dependence polyhedron until the dependence is strongly satisfied. The
+// verifier checks exact lexicographic positivity, which is strictly
+// weaker (e.g. loop reversal below a satisfied level passes the verifier
+// but not the constructive check). So the properties are implications,
+// not equivalences:
+//   (1) annotate_dependences accepts  =>  verifier reports ok;
+//   (2) verifier reports a legality/unsatisfied finding
+//                                     =>  annotate_dependences throws.
+// ---------------------------------------------------------------------------
+
+class VerifierDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VerifierDifferential, AcceptedSchedulesVerifyAndCorruptedAgree) {
+  const std::string src = suite::synthetic_program(GetParam());
+  SCOPED_TRACE(src);
+  const ir::Scop scop = frontend::parse_scop(src);
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+
+  for (int m = 0; m < 4; ++m) {
+    auto policy = fusion::make_policy(static_cast<fusion::FusionModel>(m));
+    sched::Schedule sch = sched::compute_schedule(scop, dg, *policy);
+
+    // (1) The scheduler's own output passes its constructive check, so
+    // the weaker exact check must pass too.
+    const verify::Report good = verify::check_legality(dg, sch);
+    EXPECT_TRUE(good.ok()) << "model " << m << ":\n" << good.to_string(&scop);
+
+    // Corrupt one linear row per statement by negation and compare
+    // verdicts via implication (2).
+    sched::Schedule bad = sch;
+    for (std::size_t s = 0; s < bad.num_statements(); ++s)
+      for (std::size_t l = 0; l < bad.num_levels(); ++l)
+        if (bad.level_linear[l] && !bad.rows[s][l].is_constant()) {
+          bad.rows[s][l] = -bad.rows[s][l];
+          break;
+        }
+    const verify::Report r = verify::check_legality(dg, bad);
+    bool annotate_throws = false;
+    try {
+      sched::annotate_dependences(bad, dg);
+    } catch (const std::exception&) {
+      annotate_throws = true;
+    }
+    if (!r.ok()) {
+      EXPECT_TRUE(annotate_throws)
+          << "model " << m
+          << ": verifier found violations but annotate accepted:\n"
+          << r.to_string(&scop);
+    }
+    if (!annotate_throws) {
+      EXPECT_TRUE(r.ok()) << "model " << m
+                          << ": annotate accepted but verifier objected:\n"
+                          << r.to_string(&scop);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierDifferential, ::testing::Range(0u, 12u));
 
 }  // namespace
 }  // namespace pf

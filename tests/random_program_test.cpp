@@ -6,10 +6,12 @@
 //   * the scheduler terminates and satisfies every dependence,
 //   * interpreting the transformed AST reproduces the original program's
 //     results bit-for-bit,
-//   * the tiled AST does too.
+//   * the tiled AST does too,
+//   * the independent verifier (src/verify) agrees: legality, parallel
+//     marks and fusion partitions check out on every schedule/AST pair.
 // This exercises parser-free construction (builder), dependence analysis,
-// Farkas scheduling, cuts, codegen (incl. guards and shifts), tiling and
-// the interpreter against each other.
+// Farkas scheduling, cuts, codegen (incl. guards and shifts), tiling, the
+// interpreter and the static verifier against each other.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -24,6 +26,7 @@
 #include "sched/analysis.h"
 #include "sched/pluto.h"
 #include "suite/synthetic.h"
+#include "verify/verify.h"
 
 namespace pf {
 namespace {
@@ -58,6 +61,10 @@ TEST_P(RandomPrograms, AllModelsPreserveSemantics) {
   sched::Schedule ident = sched::identity_schedule(scop);
   sched::annotate_dependences(ident, dg);
   const auto orig_ast = codegen::generate_ast(scop, ident);
+  {
+    const verify::Report r = verify::run_all(scop, dg, ident, orig_ast.get());
+    EXPECT_TRUE(r.ok()) << "identity schedule:\n" << r.to_string(&scop);
+  }
   exec::ArrayStore ref(scop, {7});
   run_store(*orig_ast, ref);
 
@@ -68,13 +75,25 @@ TEST_P(RandomPrograms, AllModelsPreserveSemantics) {
     for (const std::size_t lvl : sch.satisfied_at) EXPECT_NE(lvl, SIZE_MAX);
 
     auto ast = codegen::generate_ast(scop, sch);
+    // Independent legality/race/partition oracle on the untiled AST.
+    {
+      const verify::Report r = verify::run_all(scop, dg, sch, ast.get());
+      EXPECT_TRUE(r.ok()) << "model " << m << " seed " << GetParam() << ":\n"
+                          << r.to_string(&scop);
+    }
     exec::ArrayStore got(scop, {7});
     run_store(*ast, got);
     EXPECT_EQ(exec::ArrayStore::max_abs_diff(ref, got), 0.0)
         << "model " << m << " seed " << GetParam();
 
-    // Tiling must not change results either.
+    // Tiling must not change results either -- and the tiled AST's
+    // parallel marks must still withstand the race detector.
     codegen::tile_ast(*ast, sch, dg, {.tile_size = 3});
+    {
+      const verify::Report r = verify::check_races(dg, sch, *ast);
+      EXPECT_TRUE(r.ok()) << "tiled model " << m << " seed " << GetParam()
+                          << ":\n" << r.to_string(&scop);
+    }
     exec::ArrayStore tiled(scop, {7});
     run_store(*ast, tiled);
     EXPECT_EQ(exec::ArrayStore::max_abs_diff(ref, tiled), 0.0)

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Local CI: the exact gauntlet a change must survive before review.
+#
+#   1. Plain release-ish build + full ctest.
+#   2. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined).
+#
+# Usage: tools/ci.sh [build-dir-prefix]
+#   JOBS=N       parallelism for build and ctest (default: nproc)
+#   CTEST_ARGS   extra args forwarded to every ctest run (e.g. -R verify)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+CTEST_ARGS="${CTEST_ARGS:-}"
+
+run_stage() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ($dir) ===="
+  cmake -S . -B "$dir" "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  # shellcheck disable=SC2086  # intentional word-splitting of CTEST_ARGS
+  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure $CTEST_ARGS
+}
+
+run_stage "plain" "$PREFIX" -DCMAKE_BUILD_TYPE=Release
+
+# halt_on_error keeps a UBSan finding from scrolling past as a warning.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+run_stage "asan+ubsan" "$PREFIX-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DPOLYFUSE_SANITIZE=address,undefined"
+
+echo "==== ci.sh: all stages passed ===="

@@ -9,6 +9,11 @@
 //   --no-openmp       omit OpenMP pragmas from emitted C
 //   --params=V1,V2    parameter values for --validate / --machine-report
 //   --validate        interpret original and transformed, compare outputs
+//   --verify[=strict] statically re-verify the transformed program:
+//                     dependence legality, OpenMP race freedom of every
+//                     parallel-marked loop, and fusion partition order
+//                     (docs/verification.md). strict: exit 1 on any
+//                     violation; without strict, violations only warn
 //   --machine-report  modeled cache/parallelism report (needs --params)
 //   --report          fusion & parallelism summary
 //   --jobs=N          worker threads for dependence analysis (default:
@@ -46,6 +51,7 @@
 #include "support/strings.h"
 #include "support/threadpool.h"
 #include "support/trace.h"
+#include "verify/verify.h"
 
 namespace {
 
@@ -58,6 +64,8 @@ struct Options {
   i64 tile_size = 32;
   bool openmp = true;
   bool validate = false;
+  bool verify = false;
+  bool verify_strict = false;
   bool machine_report = false;
   bool report = false;
   std::size_t jobs = 0;  // 0 = default (POLYFUSE_JOBS / hardware)
@@ -81,6 +89,9 @@ struct Options {
   --no-openmp       omit OpenMP pragmas
   --params=V1,V2    parameter values (for --validate / --machine-report)
   --validate        check transformed output == original output
+  --verify[=strict] static legality + OpenMP race + fusion-order checks
+                    on the transformed program (strict: exit 1 on any
+                    violation); see docs/verification.md
   --machine-report  modeled cache/parallelism report
   --report          fusion & parallelism summary
   --jobs=N          worker threads for dependence analysis
@@ -142,6 +153,11 @@ Options parse_args(int argc, char** argv) {
       if (o.trace_file.empty()) usage("--trace expects a file name");
     } else if (arg == "--no-solve-cache") o.solve_cache = false;
     else if (arg == "--validate") o.validate = true;
+    else if (arg == "--verify") o.verify = true;
+    else if (arg == "--verify=strict") {
+      o.verify = true;
+      o.verify_strict = true;
+    }
     else if (arg == "--machine-report") o.machine_report = true;
     else if (arg == "--report") o.report = true;
     else if (arg.rfind("--params=", 0) == 0) {
@@ -163,6 +179,8 @@ Options parse_args(int argc, char** argv) {
       if (*env != '\0') o.trace_file = env;
   }
   if (o.input.empty()) usage("no input file");
+  if (o.verify && (o.emit == "source" || o.emit == "deps"))
+    usage("--verify needs a schedule; use --emit=c, ast or sched");
   return o;
 }
 
@@ -229,6 +247,18 @@ void finish_outputs(const Options& o) {
     }
     out << support::Tracer::instance().chrome_trace_json() << "\n";
   }
+}
+
+// Static verification of the transformed program (src/verify): prints
+// every finding plus a one-line summary to stderr. Returns the exit code
+// contribution: 1 when --verify=strict saw a violation, else 0.
+int run_verify(const Options& o, const ir::Scop& scop,
+               const ddg::DependenceGraph& dg, const sched::Schedule& sch,
+               const codegen::AstNode* ast) {
+  support::PhaseTimer timer("verify");
+  const verify::Report report = verify::run_all(scop, dg, sch, ast);
+  std::cerr << report.to_string(&scop);
+  return (!report.ok() && o.verify_strict) ? 1 : 0;
 }
 
 int run(const Options& o) {
@@ -301,9 +331,11 @@ int run(const Options& o) {
   }
 
   if (o.emit == "sched") {
+    // No AST at this point: legality + partition checks only.
+    const int rc = o.verify ? run_verify(o, scop, dg, sch, nullptr) : 0;
     std::cout << sch.to_string();
     finish_outputs(o);
-    return 0;
+    return rc;
   }
 
   codegen::AstPtr ast;
@@ -318,6 +350,11 @@ int run(const Options& o) {
                 << o.tile_size << "\n";
     }
   }
+
+  // Verify the final AST (post-tiling: tile loops inherit the point
+  // loop's level and parallel claim, so the race check covers them too).
+  const int verify_rc =
+      o.verify ? run_verify(o, scop, dg, sch, ast.get()) : 0;
 
   if (o.validate || o.machine_report) {
     IntVector params = o.params;
@@ -370,7 +407,7 @@ int run(const Options& o) {
     }
   }
   finish_outputs(o);
-  return 0;
+  return verify_rc;
 }
 
 }  // namespace
