@@ -155,13 +155,28 @@ inline std::string verify_summary_json() {
          std::to_string(st.get(support::Counter::kVerifyRaceChecks)) + "}";
 }
 
+/// Linter outcome counts (src/analysis) for BENCH_*.json records:
+/// how much was checked and what it found.
+inline std::string lint_summary_json() {
+  const support::Stats& st = support::Stats::instance();
+  return "{\"checked_accesses\": " +
+         std::to_string(st.get(support::Counter::kLintCheckedAccesses)) +
+         ", \"value_flows\": " +
+         std::to_string(st.get(support::Counter::kLintValueFlows)) +
+         ", \"findings\": " +
+         std::to_string(st.get(support::Counter::kLintFindings)) +
+         ", \"errors\": " +
+         std::to_string(st.get(support::Counter::kLintErrors)) + "}";
+}
+
 /// Accumulated solver work (counters + phase wall times) as JSON, for
 /// embedding in BENCH_*.json records. Includes the decision summary and
-/// the verifier outcome counts.
+/// the verifier and linter outcome counts.
 inline std::string solver_stats_json() {
   std::string s = support::Stats::instance().to_json();
   s.insert(s.size() - 1, ", \"decisions\": " + decision_summary_json() +
-                             ", \"verify\": " + verify_summary_json());
+                             ", \"verify\": " + verify_summary_json() +
+                             ", \"lint\": " + lint_summary_json());
   return s;
 }
 

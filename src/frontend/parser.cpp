@@ -92,6 +92,12 @@ class Parser {
       expect(TokKind::kSemi);
       return;
     }
+    // `array a[N];` or `local array t[N];` -- `local` marks a scratch
+    // array fully defined inside the scop (see docs/polylang.md).
+    const bool is_local = check_keyword("local") &&
+                          toks_[pos_ + 1].kind == TokKind::kIdent &&
+                          toks_[pos_ + 1].text == "array";
+    if (is_local) ++pos_;
     if (check_keyword("array")) {
       ++pos_;
       const std::string name = expect(TokKind::kIdent).text;
@@ -101,7 +107,7 @@ class Parser {
         expect(TokKind::kRBracket);
       }
       if (extents.empty()) error("array '" + name + "' needs an extent");
-      arrays_[name] = builder_->array(name, std::move(extents));
+      arrays_[name] = builder_->array(name, std::move(extents), is_local);
       expect(TokKind::kSemi);
       return;
     }

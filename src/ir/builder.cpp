@@ -20,10 +20,11 @@ void ScopBuilder::context(const NamedConstraint& c) {
 }
 
 std::size_t ScopBuilder::array(const std::string& name,
-                               std::vector<NamedAffine> extents) {
+                               std::vector<NamedAffine> extents,
+                               bool is_local) {
   for (const NamedAffine& e : extents)
     e.resolve(scop_.params());  // validates: extents over params only
-  return scop_.add_array(Array{name, std::move(extents)});
+  return scop_.add_array(Array{name, std::move(extents), is_local});
 }
 
 void ScopBuilder::for_loop(const std::string& iterator, NamedAffine lower,

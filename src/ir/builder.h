@@ -58,7 +58,11 @@ class ScopBuilder {
   void context(const NamedConstraint& c);
 
   /// Declare an array with per-dimension extents over the parameters.
-  std::size_t array(const std::string& name, std::vector<NamedAffine> extents);
+  /// `is_local` marks a scop-local scratch array (PolyLang `local array`):
+  /// no meaningful initial contents, no live-out role -- consumed only by
+  /// the `--lint` value-based dataflow checks.
+  std::size_t array(const std::string& name, std::vector<NamedAffine> extents,
+                    bool is_local = false);
 
   /// Open a loop `iterator = lower .. upper` (inclusive bounds, step 1).
   /// Bounds may reference parameters and enclosing iterators.

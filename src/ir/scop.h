@@ -23,6 +23,12 @@ struct Array {
   std::string name;
   /// Extent per dimension, an affine form over the parameters.
   std::vector<NamedAffine> extents;
+  /// Declared `local array`: fully defined inside the scop, with no
+  /// meaningful initial contents and no live-out role. Storage and
+  /// execution treat local arrays like any other; only the `--lint`
+  /// value-based dataflow checks consume the flag (reads of cells no
+  /// write defined, and writes nothing ever reads, are errors there).
+  bool is_local = false;
 
   std::size_t rank() const { return extents.size(); }
 };

@@ -157,11 +157,11 @@ void IntegerSet::add_constraint(Constraint c) {
     // Constant: either trivially true (drop) or proves emptiness.
     const bool ok = c.is_equality ? c.expr.const_term() == 0
                                   : c.expr.const_term() >= 0;
-    if (!ok) trivially_empty_ = true;
+    if (!ok) mark_trivially_empty();
     return;
   }
   if (!normalize(c)) {
-    trivially_empty_ = true;
+    mark_trivially_empty();
     return;
   }
   for (const Constraint& existing : constraints_)
@@ -171,7 +171,10 @@ void IntegerSet::add_constraint(Constraint c) {
 
 void IntegerSet::intersect(const IntegerSet& other) {
   PF_CHECK(other.dims_ == dims_);
-  if (other.trivially_empty_) trivially_empty_ = true;
+  if (other.trivially_empty_) {
+    mark_trivially_empty();
+    return;
+  }
   for (const Constraint& c : other.constraints_) add_constraint(c);
 }
 
@@ -188,6 +191,9 @@ lp::IlpProblem IntegerSet::to_ilp() const {
 
 bool IntegerSet::is_empty(const lp::IlpOptions& options) const {
   if (trivially_empty_) return true;
+  // A constraint-free set is the universe (even zero-dimensional, where
+  // the single point is the empty tuple) -- never empty, no ILP needed.
+  if (constraints_.empty()) return false;
   if (!solve_cache_enabled()) return to_ilp().proven_empty(options);
 
   SolveKey key = make_solve_key(SolveOp::kIsEmpty, dims_, constraints_,
@@ -204,6 +210,9 @@ bool IntegerSet::is_empty(const lp::IlpOptions& options) const {
 }
 
 bool IntegerSet::contains(const IntVector& point) const {
+  PF_CHECK_MSG(point.size() == dims_, "contains: point has "
+                                          << point.size() << " coords, set has "
+                                          << dims_ << " dims");
   if (trivially_empty_) return false;
   for (const Constraint& c : constraints_) {
     const i64 v = c.expr.eval(point);
@@ -215,6 +224,8 @@ bool IntegerSet::contains(const IntVector& point) const {
 std::optional<IntVector> IntegerSet::sample_point(
     const lp::IlpOptions& options) const {
   if (trivially_empty_) return std::nullopt;
+  // Universe (any dimension, including zero): the origin is a point.
+  if (constraints_.empty()) return IntVector(dims_, 0);
   const lp::IlpResult r = to_ilp().find_point(options);
   if (r.status == lp::IlpStatus::kOptimal) return r.point;
   return std::nullopt;
@@ -404,7 +415,7 @@ IntegerSet IntegerSet::eliminate_dims(const std::vector<bool>& remove) const {
   for (std::size_t d = 0; d < dims_; ++d)
     if (!remove[d]) ++new_dims;
   IntegerSet out(new_dims);
-  out.trivially_empty_ = empty;
+  if (empty) out.mark_trivially_empty();
   if (!empty) {
     for (Constraint& c : cs) {
       Constraint shrunk{c.expr.drop_dims(remove), c.is_equality};
@@ -429,7 +440,10 @@ IntegerSet IntegerSet::project_onto_prefix(std::size_t n) const {
 
 IntegerSet IntegerSet::insert_dims(std::size_t pos, std::size_t count) const {
   IntegerSet out(dims_ + count);
-  out.trivially_empty_ = trivially_empty_;
+  if (trivially_empty_) {
+    out.mark_trivially_empty();
+    return out;
+  }
   for (const Constraint& c : constraints_)
     out.constraints_.push_back(
         Constraint{c.expr.insert_dims(pos, count), c.is_equality});

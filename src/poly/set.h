@@ -97,6 +97,14 @@ class IntegerSet {
   std::string to_string(const std::vector<std::string>& names = {}) const;
 
  private:
+  // Canonical trivially-empty representation: the flag set and the
+  // constraint list cleared, so every route to emptiness (contradictory
+  // add_constraint, intersect with an empty set, FME signalling a
+  // contradiction) leaves the same state and equal sets hash equal.
+  void mark_trivially_empty() {
+    trivially_empty_ = true;
+    constraints_.clear();
+  }
   // Returns false if the normalized constraint is unsatisfiable.
   bool normalize(Constraint& c) const;
   // integer_min without consulting the solve cache.

@@ -33,6 +33,14 @@ const char* to_string(Counter c) {
       return "verify_violations";
     case Counter::kVerifyRaceChecks:
       return "verify_race_checks";
+    case Counter::kLintCheckedAccesses:
+      return "lint_checked_accesses";
+    case Counter::kLintValueFlows:
+      return "lint_value_flows";
+    case Counter::kLintFindings:
+      return "lint_findings";
+    case Counter::kLintErrors:
+      return "lint_errors";
     case Counter::kNumCounters:
       break;
   }

@@ -38,6 +38,10 @@ enum class Counter : std::size_t {
   kVerifyCheckedDeps,    // dependences legality-checked by the verifier
   kVerifyViolations,     // verifier findings (all kinds)
   kVerifyRaceChecks,     // (parallel loop, dependence) race checks
+  kLintCheckedAccesses,  // accesses bounds/coverage-checked by --lint
+  kLintValueFlows,       // value-based (last-writer) flows computed
+  kLintFindings,         // lint findings, every severity
+  kLintErrors,           // lint findings of error (correctness) severity
   kNumCounters,
 };
 

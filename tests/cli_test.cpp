@@ -6,9 +6,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "cli_modes.h"
 #include "json_check.h"
 
 namespace {
@@ -290,10 +292,117 @@ TEST(Cli, VerifyCountsLandInStatsJson) {
   EXPECT_TRUE(pf::testjson::valid(r.err.substr(brace))) << r.err;
 }
 
-TEST(Cli, HelpDocumentsVerifyAndValidate) {
+TEST(Cli, HelpDocumentsEveryOptionAndCheckMode) {
+  // The option table (tools/cli_modes.h) is the single source of truth:
+  // --help must render every flag, and README.md must mention every
+  // program-checking mode, so the docs cannot drift from the binary.
   const CmdResult r = run_cli("--help");
-  EXPECT_NE(r.output.find("--verify"), std::string::npos);
-  EXPECT_NE(r.output.find("--validate"), std::string::npos);
+  for (const pf::cli::OptionDoc& doc : pf::cli::kOptionDocs) {
+    std::string flag = doc.flag;
+    flag = flag.substr(0, flag.find_first_of("[="));
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << flag << " missing from --help";
+  }
+  const std::string readme = slurp(POLYFUSE_README_PATH);
+  ASSERT_FALSE(readme.empty()) << "README not found at " << POLYFUSE_README_PATH;
+  for (const char* mode : pf::cli::kCheckModes) {
+    EXPECT_NE(r.output.find(mode), std::string::npos)
+        << mode << " missing from --help";
+    EXPECT_NE(readme.find(mode), std::string::npos)
+        << mode << " missing from README.md";
+  }
+}
+
+TEST(Cli, LintStrictPassesOnEveryExample) {
+  namespace fs = std::filesystem;
+  std::size_t n = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(
+           POLYFUSE_EXAMPLES_DIR)) {
+    if (e.path().extension() != ".pf") continue;
+    ++n;
+    const SplitResult r =
+        run_cli_split("--lint=strict --emit=sched " + e.path().string());
+    EXPECT_EQ(r.exit_code, 0) << e.path() << ":\n" << r.err;
+    EXPECT_NE(r.err.find("lint: checked"), std::string::npos) << e.path();
+    EXPECT_EQ(r.err.find("lint: error"), std::string::npos)
+        << e.path() << ":\n" << r.err;
+  }
+  EXPECT_GE(n, 2u) << "examples/ should hold at least matmul and pipeline";
+}
+
+TEST(Cli, LintStrictCatchesInjectedBugs) {
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* expect;  // diagnostic substring
+  };
+  const Case cases[] = {
+      {"oob.pf",
+       "scop oob(N) { context N >= 4; array a[N];\n"
+       "for (i = 0 .. N) { S1: a[i] = i * 1.0; } }",
+       "error out-of-bounds S1 a (dim 0)"},
+      {"uninit.pf",
+       "scop uninit(N) { context N >= 4; local array t[N]; array b[N];\n"
+       "for (i = 1 .. N-1) { S1: t[i] = i * 1.0; }\n"
+       "for (i = 0 .. N-1) { S2: b[i] = t[i]; } }",
+       "error uninitialized-read S2 t"},
+      {"dead.pf",
+       "scop dead(N) { context N >= 4; local array t[N]; array b[N];\n"
+       "for (i = 0 .. N-1) { S1: t[i] = i * 1.0; }\n"
+       "for (i = 0 .. N-1) { S2: b[i] = i * 2.0; } }",
+       "error dead-write S1 t"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = write_program(c.name, c.text);
+    const SplitResult strict =
+        run_cli_split("--lint=strict --emit=sched " + path);
+    EXPECT_EQ(strict.exit_code, 1) << c.name << ":\n" << strict.err;
+    EXPECT_NE(strict.err.find(c.expect), std::string::npos)
+        << c.name << ":\n" << strict.err;
+    // Non-strict mode reports the same finding but does not fail.
+    const SplitResult lax = run_cli_split("--lint --emit=sched " + path);
+    EXPECT_EQ(lax.exit_code, 0) << c.name << ":\n" << lax.err;
+    EXPECT_NE(lax.err.find(c.expect), std::string::npos) << c.name;
+  }
+}
+
+TEST(Cli, LintWorksWithEveryEmitMode) {
+  // Unlike --verify (which needs a schedule), lint checks the *input*
+  // program: it composes with every emit mode, including the
+  // pre-schedule ones.
+  const std::string path = write_program("p.pf", kPipeline);
+  for (const char* emit :
+       {"--emit=source", "--emit=deps", "--emit=sched", "--emit=c"}) {
+    const SplitResult r =
+        run_cli_split(std::string("--lint=strict ") + emit + " " + path);
+    EXPECT_EQ(r.exit_code, 0) << emit << ":\n" << r.err;
+    EXPECT_NE(r.err.find("lint: checked 6 access(es), 3 value flow(s): ok"),
+              std::string::npos)
+        << emit << ":\n" << r.err;
+  }
+}
+
+TEST(Cli, LintRemarksByteIdenticalAcrossJobs) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const SplitResult serial = run_cli_split("--jobs=1 --lint --explain " + path);
+  const SplitResult parallel =
+      run_cli_split("--jobs=4 --lint --explain " + path);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(serial.err, parallel.err);
+  EXPECT_NE(serial.err.find("[lint]"), std::string::npos) << serial.err;
+}
+
+TEST(Cli, LintCountsLandInStatsJson) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const SplitResult r = run_cli_split("--lint --stats=json --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("\"lint_checked_accesses\": 6"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("\"lint_value_flows\": 3"), std::string::npos);
+  EXPECT_NE(r.err.find("\"lint_errors\": 0"), std::string::npos);
+  const std::size_t brace = r.err.find('{');
+  ASSERT_NE(brace, std::string::npos);
+  EXPECT_TRUE(pf::testjson::valid(r.err.substr(brace))) << r.err;
 }
 
 TEST(Cli, MalformedProgramsProduceLocatedDiagnostics) {

@@ -378,5 +378,80 @@ TEST_P(FmVsEnumeration, ProjectionSound) {
 INSTANTIATE_TEST_SUITE_P(RandomSystems, FmVsEnumeration,
                          ::testing::Range(0u, 30u));
 
+// ---------------------------------------------------------------------------
+// Degenerate-set consistency: zero-dimensional and trivially-empty sets
+// behave identically across contains / emptiness / projection /
+// insert_dims, and every way of producing an empty set canonicalizes to
+// the same (hash-equal) state.
+// ---------------------------------------------------------------------------
+
+TEST(IntegerSet, ZeroDimUniverse) {
+  const IntegerSet u = IntegerSet::universe(0);
+  EXPECT_FALSE(u.trivially_empty());
+  EXPECT_FALSE(u.is_empty());
+  EXPECT_TRUE(u.contains({}));  // the unique 0-dim point
+  const auto p = u.sample_point();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(IntegerSet, ZeroDimEmpty) {
+  IntegerSet e(0);
+  e.add_constraint(Constraint::ge0(AffineExpr::constant(0, -1)));  // -1 >= 0
+  EXPECT_TRUE(e.trivially_empty());
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_FALSE(e.contains({}));
+  EXPECT_FALSE(e.sample_point().has_value());
+}
+
+TEST(IntegerSet, ContainsChecksDimension) {
+  const auto s = box2(0, 1, 0, 1);
+  EXPECT_THROW(s.contains({0}), Error);
+  EXPECT_THROW(s.contains({0, 0, 0}), Error);
+}
+
+TEST(IntegerSet, TriviallyEmptyCanonicalizes) {
+  // Three different routes to a *syntactically* empty set must land in
+  // the same canonical state: flagged, zero constraints, equal hashes.
+  // (`x >= 3 /\ x <= 1` is ILP-empty but not trivially empty -- the
+  // flag is the syntactic notion.)
+  IntegerSet by_constant(2);
+  by_constant.add_constraint(Constraint::ge0(AffineExpr::constant(2, -7)));
+
+  IntegerSet by_parity(2);  // 2x == 1 has no integer solution
+  by_parity.add_constraint(Constraint::eq0(AffineExpr::var(2, 0) * 2 -
+                                           AffineExpr::constant(2, 1)));
+
+  IntegerSet by_intersect = box2(0, 5, 0, 5);
+  by_intersect.intersect(by_constant);
+
+  for (const IntegerSet* s : {&by_constant, &by_parity, &by_intersect}) {
+    EXPECT_TRUE(s->trivially_empty());
+    EXPECT_EQ(s->num_constraints(), 0u);
+    EXPECT_TRUE(s->is_empty());
+    EXPECT_FALSE(s->contains({0, 0}));
+    EXPECT_FALSE(s->sample_point().has_value());
+    EXPECT_EQ(s->hash_value(), by_constant.hash_value());
+  }
+}
+
+TEST(IntegerSet, TriviallyEmptySurvivesShapeOps) {
+  IntegerSet e(2);
+  e.add_constraint(Constraint::ge0(AffineExpr::constant(2, -1)));
+  ASSERT_TRUE(e.trivially_empty());
+
+  const auto proj = e.project_onto_prefix(1);
+  EXPECT_TRUE(proj.trivially_empty());
+  EXPECT_FALSE(proj.contains({0}));
+
+  const auto elim = e.eliminate_dims({true, false});
+  EXPECT_TRUE(elim.trivially_empty());
+
+  const auto ins = e.insert_dims(1, 2);
+  EXPECT_EQ(ins.dims(), 4u);
+  EXPECT_TRUE(ins.trivially_empty());
+  EXPECT_FALSE(ins.contains({0, 0, 0, 0}));
+}
+
 }  // namespace
 }  // namespace pf::poly

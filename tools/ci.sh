@@ -2,7 +2,10 @@
 # Local CI: the exact gauntlet a change must survive before review.
 #
 #   1. Plain release-ish build + full ctest.
-#   2. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined).
+#   2. clang-tidy over src/ against that build's compile_commands.json
+#      (.clang-tidy: bugprone-*, performance-*, modernize-use-*);
+#      skipped with a notice when clang-tidy is not installed.
+#   3. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined).
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #   JOBS=N       parallelism for build and ctest (default: nproc)
@@ -28,6 +31,16 @@ run_stage() {
 }
 
 run_stage "plain" "$PREFIX" -DCMAKE_BUILD_TYPE=Release
+
+echo "==== [clang-tidy] src/ ===="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally, so the plain
+  # stage's build dir always has the compilation database.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet
+else
+  echo "clang-tidy not installed; skipping static-analysis stage"
+fi
 
 # halt_on_error keeps a UBSan finding from scrolling past as a warning.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"

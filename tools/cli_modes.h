@@ -1,0 +1,49 @@
+// Single source of truth for the polyfuse CLI option list.
+//
+// usage() renders --help from this table, and cli_test asserts that the
+// rendered help and README.md mention every flag (and every check mode
+// in kCheckModes), so the three places a mode is documented -- help
+// text, README, docs -- cannot silently drift when one is added.
+#pragma once
+
+#include <cstddef>
+
+namespace pf::cli {
+
+struct OptionDoc {
+  const char* flag;  // as shown in --help, e.g. "--verify[=strict]"
+  const char* help;  // description; '\n' starts an indented continuation
+};
+
+inline constexpr OptionDoc kOptionDocs[] = {
+    {"--model=NAME", "wisefuse | smartfuse | nofuse | maxfuse | baseline"},
+    {"--emit=WHAT", "c | ast | sched | deps | source"},
+    {"--tile[=SIZE]", "tile permutable bands (default 32)"},
+    {"--no-openmp", "omit OpenMP pragmas"},
+    {"--params=V1,V2", "parameter values (for --validate / --machine-report)"},
+    {"--validate", "check transformed output == original output"},
+    {"--verify[=strict]",
+     "static legality + OpenMP race + fusion-order checks\n"
+     "on the transformed program (strict: exit 1 on any\n"
+     "violation); see docs/verification.md"},
+    {"--lint[=strict]",
+     "value-based dataflow lints on the input program:\n"
+     "out-of-bounds accesses, uninitialized local-array\n"
+     "reads, dead writes, fusion/locality diagnostics\n"
+     "(strict: exit 1 on any correctness finding); see\n"
+     "docs/analysis.md"},
+    {"--machine-report", "modeled cache/parallelism report"},
+    {"--report", "fusion & parallelism summary"},
+    {"--jobs=N", "worker threads for dependence analysis"},
+    {"--stats[=json]", "print pipeline perf counters to stderr"},
+    {"--trace=FILE",
+     "write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE)"},
+    {"--explain[=json]", "print scheduler/fusion decision remarks to stderr"},
+    {"--no-solve-cache", "disable the polyhedral solve cache"},
+};
+
+/// The program-checking modes every user-facing document must mention.
+inline constexpr const char* kCheckModes[] = {"--validate", "--verify",
+                                              "--lint"};
+
+}  // namespace pf::cli

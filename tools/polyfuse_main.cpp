@@ -14,6 +14,12 @@
 //                     parallel-marked loop, and fusion partition order
 //                     (docs/verification.md). strict: exit 1 on any
 //                     violation; without strict, violations only warn
+//   --lint[=strict]   statically lint the *input* program before any
+//                     transformation: out-of-bounds accesses,
+//                     uninitialized local-array reads, dead writes
+//                     (value-based dataflow), fusion/locality perf
+//                     diagnostics (docs/analysis.md). strict: exit 1 on
+//                     any correctness finding
 //   --machine-report  modeled cache/parallelism report (needs --params)
 //   --report          fusion & parallelism summary
 //   --jobs=N          worker threads for dependence analysis (default:
@@ -29,6 +35,7 @@
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -36,6 +43,8 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/lint.h"
+#include "cli_modes.h"
 #include "codegen/cemit.h"
 #include "codegen/codegen.h"
 #include "codegen/tiling.h"
@@ -66,6 +75,8 @@ struct Options {
   bool validate = false;
   bool verify = false;
   bool verify_strict = false;
+  bool lint = false;
+  bool lint_strict = false;
   bool machine_report = false;
   bool report = false;
   std::size_t jobs = 0;  // 0 = default (POLYFUSE_JOBS / hardware)
@@ -81,25 +92,26 @@ struct Options {
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "polyfuse: " << error << "\n";
-  std::cerr <<
-      R"(usage: polyfuse [options] <input.pf | ->
-  --model=NAME      wisefuse | smartfuse | nofuse | maxfuse | baseline
-  --emit=WHAT       c | ast | sched | deps | source
-  --tile[=SIZE]     tile permutable bands (default 32)
-  --no-openmp       omit OpenMP pragmas
-  --params=V1,V2    parameter values (for --validate / --machine-report)
-  --validate        check transformed output == original output
-  --verify[=strict] static legality + OpenMP race + fusion-order checks
-                    on the transformed program (strict: exit 1 on any
-                    violation); see docs/verification.md
-  --machine-report  modeled cache/parallelism report
-  --report          fusion & parallelism summary
-  --jobs=N          worker threads for dependence analysis
-  --stats[=json]    print pipeline perf counters to stderr
-  --trace=FILE      write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE)
-  --explain[=json]  print scheduler/fusion decision remarks to stderr
-  --no-solve-cache  disable the polyhedral solve cache
-)";
+  std::cerr << "usage: polyfuse [options] <input.pf | ->\n";
+  // Rendered from the one option table (tools/cli_modes.h) so --help,
+  // README and docs cannot drift; cli_test asserts the coverage.
+  constexpr std::size_t kHelpCol = 20;
+  for (const cli::OptionDoc& d : cli::kOptionDocs) {
+    std::string line = "  ";
+    line += d.flag;
+    if (line.size() + 2 > kHelpCol) line += "  ";
+    else line.append(kHelpCol - line.size(), ' ');
+    std::istringstream help(d.help);
+    std::string part;
+    bool first = true;
+    while (std::getline(help, part)) {
+      if (first)
+        std::cerr << line << part << "\n";
+      else
+        std::cerr << std::string(kHelpCol, ' ') << part << "\n";
+      first = false;
+    }
+  }
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -157,6 +169,11 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--verify=strict") {
       o.verify = true;
       o.verify_strict = true;
+    }
+    else if (arg == "--lint") o.lint = true;
+    else if (arg == "--lint=strict") {
+      o.lint = true;
+      o.lint_strict = true;
     }
     else if (arg == "--machine-report") o.machine_report = true;
     else if (arg == "--report") o.report = true;
@@ -261,6 +278,17 @@ int run_verify(const Options& o, const ir::Scop& scop,
   return (!report.ok() && o.verify_strict) ? 1 : 0;
 }
 
+// Static lint of the input program (src/analysis): prints every finding
+// plus a one-line summary to stderr. Returns the exit code contribution:
+// 1 when --lint=strict saw a correctness (error-severity) finding.
+int run_lint_mode(const Options& o, const ir::Scop& scop,
+                  const ddg::DependenceGraph& dg) {
+  support::PhaseTimer timer("lint");
+  const analysis::LintReport report = analysis::run_lint(scop, dg);
+  std::cerr << report.to_string(&scop);
+  return (!report.ok() && o.lint_strict) ? 1 : 0;
+}
+
 int run(const Options& o) {
   if (o.jobs != 0) support::set_default_jobs(o.jobs);
   poly::set_solve_cache_enabled(o.solve_cache);
@@ -277,7 +305,7 @@ int run(const Options& o) {
   }
   const ir::Scop& scop = *parsed;
 
-  if (o.emit == "source") {
+  if (o.emit == "source" && !o.lint) {
     std::cout << scop.to_string();
     finish_outputs(o);
     return 0;
@@ -291,10 +319,19 @@ int run(const Options& o) {
     analyzed = ddg::DependenceGraph::analyze(scop, aopts);
   }
   const ddg::DependenceGraph& dg = *analyzed;
+
+  // Lint the *input* program (pre-transformation), any --emit mode.
+  const int lint_rc = o.lint ? run_lint_mode(o, scop, dg) : 0;
+
+  if (o.emit == "source") {
+    std::cout << scop.to_string();
+    finish_outputs(o);
+    return lint_rc;
+  }
   if (o.emit == "deps") {
     std::cout << dg.to_string();
     finish_outputs(o);
-    return 0;
+    return lint_rc;
   }
 
   sched::Schedule sch;
@@ -335,7 +372,7 @@ int run(const Options& o) {
     const int rc = o.verify ? run_verify(o, scop, dg, sch, nullptr) : 0;
     std::cout << sch.to_string();
     finish_outputs(o);
-    return rc;
+    return std::max(rc, lint_rc);
   }
 
   codegen::AstPtr ast;
@@ -407,7 +444,7 @@ int run(const Options& o) {
     }
   }
   finish_outputs(o);
-  return verify_rc;
+  return std::max(verify_rc, lint_rc);
 }
 
 }  // namespace
