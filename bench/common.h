@@ -169,14 +169,43 @@ inline std::string lint_summary_json() {
          std::to_string(st.get(support::Counter::kLintErrors)) + "}";
 }
 
+/// Budget outcome counts (src/support/budget): per-site fuel spend plus
+/// how often the pipeline exhausted, was fault-injected, downgraded, or
+/// over-approximated a dependence. All zero on unbudgeted runs, so
+/// archived records say whether a timing came from a degraded pipeline.
+inline std::string budget_summary_json() {
+  const support::Stats& st = support::Stats::instance();
+  return "{\"fuel_lp_solve\": " +
+         std::to_string(st.get(support::Counter::kBudgetFuelLpSolve)) +
+         ", \"fuel_fme_project\": " +
+         std::to_string(st.get(support::Counter::kBudgetFuelFmeProject)) +
+         ", \"fuel_dep_pair\": " +
+         std::to_string(st.get(support::Counter::kBudgetFuelDepPair)) +
+         ", \"fuel_pluto_level\": " +
+         std::to_string(st.get(support::Counter::kBudgetFuelPlutoLevel)) +
+         ", \"fuel_fusion_model\": " +
+         std::to_string(st.get(support::Counter::kBudgetFuelFusionModel)) +
+         ", \"fuel_jit_cc\": " +
+         std::to_string(st.get(support::Counter::kBudgetFuelJitCc)) +
+         ", \"exhaustions\": " +
+         std::to_string(st.get(support::Counter::kBudgetExhaustions)) +
+         ", \"injected_faults\": " +
+         std::to_string(st.get(support::Counter::kBudgetInjectedFaults)) +
+         ", \"downgrades\": " +
+         std::to_string(st.get(support::Counter::kBudgetDowngrades)) +
+         ", \"assumed_deps\": " +
+         std::to_string(st.get(support::Counter::kBudgetAssumedDeps)) + "}";
+}
+
 /// Accumulated solver work (counters + phase wall times) as JSON, for
 /// embedding in BENCH_*.json records. Includes the decision summary and
-/// the verifier and linter outcome counts.
+/// the verifier, linter, and budget outcome counts.
 inline std::string solver_stats_json() {
   std::string s = support::Stats::instance().to_json();
   s.insert(s.size() - 1, ", \"decisions\": " + decision_summary_json() +
                              ", \"verify\": " + verify_summary_json() +
-                             ", \"lint\": " + lint_summary_json());
+                             ", \"lint\": " + lint_summary_json() +
+                             ", \"budget\": " + budget_summary_json());
   return s;
 }
 

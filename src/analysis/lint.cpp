@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/budget.h"
 #include "support/error.h"
 #include "support/stats.h"
 #include "support/trace.h"
@@ -343,6 +344,9 @@ void check_fusion_distance(const ir::Scop& scop, const Dataflow& df,
 LintReport run_lint(const ir::Scop& scop, const ddg::DependenceGraph& dg,
                     const LintOptions& options) {
   support::TraceSpan span("analysis", "run_lint");
+  // Must-complete checker: budgeted (conservative) polyhedral answers
+  // would turn into phantom findings, so the linter always runs exact.
+  support::BudgetSuspend budget_suspend;
   PF_CHECK_MSG(&dg.scop() == &scop, "dependence graph built for another scop");
   LintReport report;
 

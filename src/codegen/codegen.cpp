@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "support/budget.h"
+
 namespace pf::codegen {
 
 namespace {
@@ -307,6 +309,9 @@ AstPtr generate_ast(const ir::Scop& scop, const sched::Schedule& schedule,
                     const CodegenOptions& options) {
   PF_CHECK_MSG(schedule.scop == &scop, "schedule built for another scop");
   PF_CHECK(schedule.num_statements() == scop.num_statements());
+  // Codegen must always complete: there is no sound over-approximation
+  // for loop bounds, so domain scanning runs with the budget suspended.
+  support::BudgetSuspend budget_suspend;
   return Generator(scop, schedule, options).run();
 }
 

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "sched/analysis.h"
+#include "support/budget.h"
 
 namespace pf::codegen {
 
@@ -282,6 +283,9 @@ std::size_t tile_ast_impl(AstNode& root, const TilingOptions& options,
 std::size_t tile_ast(AstNode& root, const sched::Schedule& schedule,
                      const ddg::DependenceGraph& dg,
                      const TilingOptions& options) {
+  // Must-complete, like generate_ast: tiling legality is a checker over
+  // the final schedule.
+  support::BudgetSuspend budget_suspend;
   const std::vector<std::size_t> band_of =
       sched::permutable_bands(schedule, dg);
   return tile_ast_impl(root, options, &band_of);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/budget.h"
 #include "support/stats.h"
 #include "support/threadpool.h"
 #include "support/trace.h"
@@ -54,20 +55,25 @@ DepKind classify(bool src_write, bool dst_write) {
 
 namespace {
 
-// All dependences of one (src, dst) statement pair, in the serial
-// discovery order (access pair major, depth minor), ids unassigned.
-// Pairs share nothing -- each candidate polyhedron's ILP emptiness test
-// is independent -- so pairs are the unit of parallelism.
-std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
-                                     std::size_t sj,
-                                     const AnalysisOptions& options) {
-  support::count(support::Counter::kDepPairsAnalyzed);
-  support::TraceSpan span("deps", "analyze_pair");
-  if (span.active()) {
-    span.attr("src", scop.statement(si).name());
-    span.attr("dst", scop.statement(sj).name());
-  }
-  std::size_t polyhedra_tested = 0;
+// One statement pair's analysis outcome. `degraded` means the whole pair
+// fell back to the conservative over-approximation (every candidate
+// polyhedron assumed non-empty); individual deps can also be `assumed`
+// when only their own emptiness test was inconclusive.
+struct PairResult {
+  std::vector<Dependence> deps;
+  bool degraded = false;
+  std::string cause;          // BudgetExceeded::cause() token
+  std::size_t assumed = 0;    // deps with .assumed set
+};
+
+// The candidate enumeration shared by the exact and the degraded path.
+// With assume_all, emptiness tests are skipped and every structurally
+// satisfiable candidate becomes an assumed dependence.
+std::vector<Dependence> enumerate_pair_deps(const ir::Scop& scop,
+                                            std::size_t si, std::size_t sj,
+                                            const AnalysisOptions& options,
+                                            bool assume_all,
+                                            std::size_t* polyhedra_tested) {
   const std::size_t p = scop.num_params();
   const ir::Statement& a = scop.statement(si);
   const ir::Statement& b = scop.statement(sj);
@@ -138,8 +144,31 @@ std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
               poly::AffineExpr::constant(total, 1)));
         }
         support::count(support::Counter::kDepPolyhedraBuilt);
-        ++polyhedra_tested;
-        if (dep_poly.is_empty(options.ilp)) continue;
+        ++*polyhedra_tested;
+        bool assumed = false;
+        if (assume_all) {
+          if (dep_poly.trivially_empty()) continue;
+          assumed = true;
+        } else {
+          support::Budget* budget = support::current_budget();
+          bool maybe_nonempty = false;
+          try {
+            support::budget_charge(support::BudgetSite::kDepPair);
+            // A conservative is_empty (budget ran out *inside* the solve)
+            // returns false after raising a fault; the fault-count delta
+            // is how we know this candidate is assumed, not proven.
+            const i64 faults_before =
+                budget != nullptr ? budget->faults() : 0;
+            maybe_nonempty = !dep_poly.is_empty(options.ilp);
+            assumed = budget != nullptr && budget->faults() != faults_before;
+          } catch (const support::BudgetExceeded&) {
+            // Fuel ran out at the per-candidate charge itself: keep the
+            // candidate unless it is structurally contradictory.
+            maybe_nonempty = !dep_poly.trivially_empty();
+            assumed = maybe_nonempty;
+          }
+          if (!maybe_nonempty) continue;
+        }
 
         Dependence dep = proto;
         dep.src = si;
@@ -148,16 +177,55 @@ std::vector<Dependence> analyze_pair(const ir::Scop& scop, std::size_t si,
         dep.dst_access = xb;
         dep.kind = kind;
         dep.depth = depth;
+        dep.assumed = assumed;
         dep.poly = std::move(dep_poly);
         found.push_back(std::move(dep));
       }
     }
   }
+  return found;
+}
+
+// All dependences of one (src, dst) statement pair, in the serial
+// discovery order (access pair major, depth minor), ids unassigned.
+// Pairs share nothing -- each candidate polyhedron's ILP emptiness test
+// is independent -- so pairs are the unit of parallelism. `pair_ordinal`
+// is the deterministic linear pair index (si * n + sj): the dep_pair
+// fault-injection unit, stable at every --jobs.
+PairResult analyze_pair(const ir::Scop& scop, std::size_t si, std::size_t sj,
+                        std::size_t pair_ordinal,
+                        const AnalysisOptions& options) {
+  support::count(support::Counter::kDepPairsAnalyzed);
+  support::TraceSpan span("deps", "analyze_pair");
+  if (span.active()) {
+    span.attr("src", scop.statement(si).name());
+    span.attr("dst", scop.statement(sj).name());
+  }
+  std::size_t polyhedra_tested = 0;
+  PairResult out;
+  try {
+    support::budget_op_at(support::BudgetSite::kDepPair,
+                          static_cast<i64>(pair_ordinal));
+    out.deps = enumerate_pair_deps(scop, si, sj, options,
+                                   /*assume_all=*/false, &polyhedra_tested);
+  } catch (const support::BudgetExceeded& e) {
+    // Recovery boundary: the whole pair degrades to the conservative
+    // over-approximation. Runs with the budget suspended -- the rebuild
+    // must always complete.
+    out.degraded = true;
+    out.cause = e.cause();
+    out.deps.clear();
+    support::BudgetSuspend suspend;
+    out.deps = enumerate_pair_deps(scop, si, sj, options,
+                                   /*assume_all=*/true, &polyhedra_tested);
+  }
+  for (const Dependence& dep : out.deps)
+    if (dep.assumed) ++out.assumed;
   if (span.active()) {
     span.attr("polyhedra_tested", static_cast<i64>(polyhedra_tested));
-    span.attr("deps_found", static_cast<i64>(found.size()));
+    span.attr("deps_found", static_cast<i64>(out.deps.size()));
   }
-  return found;
+  return out;
 }
 
 }  // namespace
@@ -176,20 +244,60 @@ DependenceGraph DependenceGraph::analyze(const ir::Scop& scop,
   // per-pair results in (si, sj) order. Ids are assigned during the
   // deterministic merge, so the resulting graph -- order, ids, polyhedra
   // -- is byte-identical at every thread count.
-  std::vector<std::vector<Dependence>> per_pair(n * n);
+  std::vector<PairResult> per_pair(n * n);
   const std::size_t jobs =
       options.jobs != 0 ? options.jobs : support::default_jobs();
+
+  // Budget determinism: a shared fuel counter raced by the workers would
+  // make *which* pair exhausts first depend on thread scheduling. Instead
+  // each pair gets its own sub-budget with a fixed fuel allowance
+  // (decided before the loop) and fresh injection ordinals; the spend is
+  // merged back serially afterwards. Exhaustion is then a per-pair,
+  // order-independent fact -- byte-identical at every --jobs.
+  support::Budget* root = support::current_budget();
+  std::vector<support::Budget> task_budgets;
+  if (root != nullptr) {
+    const i64 allowance = root->task_allowance(n * n);
+    task_budgets.reserve(n * n);
+    for (std::size_t pair = 0; pair < n * n; ++pair)
+      task_budgets.push_back(root->make_task_budget(allowance));
+  }
   {
     support::ThreadPool pool(std::min(jobs, n * n));
     pool.parallel_for(0, n * n, [&](std::size_t pair) {
-      per_pair[pair] = analyze_pair(scop, pair / n, pair % n, options);
+      support::BudgetScope scope(root != nullptr ? &task_budgets[pair]
+                                                 : nullptr);
+      per_pair[pair] = analyze_pair(scop, pair / n, pair % n, pair, options);
     });
   }
+  if (root != nullptr)
+    for (const support::Budget& task : task_budgets) root->absorb(task);
 
   std::size_t next_id = 0;
   for (std::size_t pair = 0; pair < n * n; ++pair) {
     const std::size_t si = pair / n, sj = pair % n;
-    for (Dependence& dep : per_pair[pair]) {
+    PairResult& pr = per_pair[pair];
+    // Budget outcomes are reported from this serial merge, in pair order,
+    // so remarks and counters are deterministic at every --jobs.
+    if (pr.degraded) {
+      support::count(support::Counter::kBudgetDowngrades);
+      if (support::Tracer::remarks_on())
+        support::remark("budget",
+                        "dependence pair degraded to over-approximation",
+                        {{"src", scop.statement(si).name()},
+                         {"dst", scop.statement(sj).name()},
+                         {"cause", pr.cause},
+                         {"assumed_deps", std::to_string(pr.deps.size())}});
+    } else if (pr.assumed > 0 && support::Tracer::remarks_on()) {
+      support::remark("budget", "dependences conservatively assumed",
+                      {{"src", scop.statement(si).name()},
+                       {"dst", scop.statement(sj).name()},
+                       {"assumed_deps", std::to_string(pr.assumed)}});
+    }
+    if (pr.assumed > 0)
+      support::count(support::Counter::kBudgetAssumedDeps,
+                     static_cast<i64>(pr.assumed));
+    for (Dependence& dep : pr.deps) {
       dep.id = next_id++;
       if (dep.kind == DepKind::kInput) {
         g.reuse_[si][sj] = g.reuse_[sj][si] = true;
@@ -246,7 +354,8 @@ std::string DependenceGraph::to_string() const {
                                          .accesses()[d.src_access]
                                          .array_id)
                             .name
-       << ", depth " << d.depth << "]\n";
+       << ", depth " << d.depth << (d.assumed ? ", assumed" : "")
+       << "]\n";
   };
   os << "dependences (" << deps_.size() << "):\n";
   for (const Dependence& d : deps_) emit(d);

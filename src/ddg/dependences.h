@@ -42,6 +42,11 @@ struct Dependence {
   std::size_t depth = 0;
   std::size_t src_dim = 0, dst_dim = 0, num_params = 0;
   poly::IntegerSet poly{0};
+  /// True when the dependence was not proven (its emptiness test ran out
+  /// of budget or hit an injected fault) and is *assumed* to exist -- a
+  /// sound over-approximation: extra dependences only constrain the
+  /// schedule. See src/support/budget.h.
+  bool assumed = false;
 
   /// Lift a statement-space affine form ([iters, params]) of the source
   /// (resp. destination) statement into the dependence space.

@@ -1,40 +1,152 @@
 #include "exec/jit.h"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
-#include <cstdio>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "support/budget.h"
 #include "support/error.h"
+#include "support/stats.h"
+#include "support/trace.h"
 
 namespace pf::exec {
 
 namespace {
 
-// Quote a path for /bin/sh.
-std::string shq(const std::string& s) {
-  std::string out = "'";
-  for (const char c : s) {
-    if (c == '\'')
-      out += "'\\''";
-    else
-      out += c;
-  }
-  out += "'";
+// Split a flags string ("-O2 -march=native") on whitespace.
+std::vector<std::string> split_flags(const std::string& flags) {
+  std::vector<std::string> out;
+  std::istringstream in(flags);
+  std::string word;
+  while (in >> word) out.push_back(word);
   return out;
 }
 
-int run_cmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+// Resolve `name` against PATH (names containing '/' are checked
+// directly). The X_OK probe is what `command -v` did, without a shell.
+std::optional<std::string> find_executable(const std::string& name) {
+  if (name.empty()) return std::nullopt;
+  if (name.find('/') != std::string::npos) {
+    if (::access(name.c_str(), X_OK) == 0) return name;
+    return std::nullopt;
+  }
+  const char* path = std::getenv("PATH");
+  if (path == nullptr || *path == '\0') return std::nullopt;
+  std::istringstream dirs(path);
+  std::string dir;
+  while (std::getline(dirs, dir, ':')) {
+    if (dir.empty()) dir = ".";
+    std::string candidate = dir + "/" + name;
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return std::nullopt;
+}
+
+struct RunResult {
+  int exit_code = -1;       // valid unless timed_out or spawn_error set
+  bool timed_out = false;
+  std::string spawn_error;  // non-empty: the fork/exec machinery failed
+};
+
+// fork/exec + waitpid replacement for std::system: no shell, no quoting
+// pitfalls, and a hung child can be killed on timeout. The child's stdout
+// and stderr are redirected into `output_file` so diagnostics can be
+// surfaced in the caller's error message.
+RunResult run_argv(const std::vector<std::string>& argv,
+                   const std::string& output_file, long timeout_ms) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv)
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  RunResult res;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    res.spawn_error = std::string("fork failed: ") + std::strerror(errno);
+    return res;
+  }
+  if (pid == 0) {
+    // Child: redirect, then exec. _exit only -- no C++ cleanup here.
+    if (!output_file.empty()) {
+      const int fd =
+          ::open(output_file.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);  // the shell's "command not found" convention
+  }
+
+  // Parent: poll with WNOHANG so a timeout can SIGKILL the child.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      if (WIFEXITED(status))
+        res.exit_code = WEXITSTATUS(status);
+      else if (WIFSIGNALED(status))
+        res.exit_code = 128 + WTERMSIG(status);
+      return res;
+    }
+    if (r < 0) {
+      res.spawn_error = std::string("waitpid failed: ") + std::strerror(errno);
+      return res;
+    }
+    if (timeout_ms >= 0 && std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);  // reap; SIGKILL cannot be ignored
+      res.timed_out = true;
+      return res;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Best-effort recursive removal (replaces `rm -rf` via the shell).
+void remove_tree(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+}
+
+// Removes the temp tree on every exit path (including exceptions) unless
+// disarmed -- success hands ownership of the directory to the JitKernel.
+struct TempDirGuard {
+  std::string path;
+  bool armed = true;
+  ~TempDirGuard() {
+    if (armed && !path.empty()) remove_tree(path);
+  }
+};
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
 
 }  // namespace
 
 bool jit_available(const JitOptions& options) {
-  const std::string cmd =
-      "command -v " + shq(options.compiler) + " >/dev/null 2>&1";
-  return run_cmd(cmd) == 0;
+  return find_executable(options.compiler).has_value();
 }
 
 std::optional<JitKernel> JitKernel::compile(const std::string& c_source,
@@ -46,10 +158,24 @@ std::optional<JitKernel> JitKernel::compile(const std::string& c_source,
     return std::nullopt;
   };
 
+  try {
+    support::budget_op(support::BudgetSite::kJitCc);
+    support::budget_charge(support::BudgetSite::kJitCc);
+  } catch (const support::BudgetExceeded& e) {
+    // Recovery: no compile happens; every caller already falls back to
+    // the interpreter when compile() returns nullopt.
+    support::count(support::Counter::kBudgetDowngrades);
+    support::remark("budget", "jit compile skipped",
+                    {{"site", e.site_name()}, {"cause", e.cause()}});
+    return fail(std::string("jit compile aborted: ") + e.what());
+  }
+
   char tmpl[] = "/tmp/polyfuse-jit-XXXXXX";
   const char* dir = mkdtemp(tmpl);
-  if (dir == nullptr) return fail("mkdtemp failed");
+  if (dir == nullptr)
+    return fail(std::string("mkdtemp failed: ") + std::strerror(errno));
   const std::string d = dir;
+  TempDirGuard guard{d, /*armed=*/!options.keep_artifacts};
   const std::string src = d + "/kernel.c";
   const std::string so = d + "/kernel.so";
   const std::string log = d + "/cc.log";
@@ -57,29 +183,50 @@ std::optional<JitKernel> JitKernel::compile(const std::string& c_source,
     std::ofstream out(src);
     if (!out) return fail("cannot write " + src);
     out << c_source;
+    out.flush();
+    if (!out) return fail("short write to " + src);
   }
-  std::ostringstream cmd;
-  cmd << options.compiler << " " << options.opt_flags
-      << (options.openmp ? " -fopenmp" : "") << " -fPIC -shared -o " << shq(so)
-      << " " << shq(src) << " -lm > " << shq(log) << " 2>&1";
-  if (run_cmd(cmd.str()) != 0) {
-    std::ifstream in(log);
-    std::stringstream msg;
-    msg << "compiler failed: " << cmd.str() << "\n" << in.rdbuf();
-    if (!options.keep_artifacts)
-      run_cmd("rm -rf " + shq(d));
+
+  const std::optional<std::string> compiler =
+      find_executable(options.compiler);
+  if (!compiler)
+    return fail("compiler '" + options.compiler + "' not found in PATH");
+
+  std::vector<std::string> argv{*compiler};
+  for (std::string& flag : split_flags(options.opt_flags))
+    argv.push_back(std::move(flag));
+  if (options.openmp) argv.push_back("-fopenmp");
+  argv.push_back("-fPIC");
+  argv.push_back("-shared");
+  argv.push_back("-o");
+  argv.push_back(so);
+  argv.push_back(src);
+  argv.push_back("-lm");
+
+  const RunResult r = run_argv(argv, log, options.compile_timeout_ms);
+  if (!r.spawn_error.empty())
+    return fail("cannot run compiler '" + *compiler + "': " + r.spawn_error);
+  if (r.timed_out) {
+    std::ostringstream msg;
+    msg << "compiler '" << *compiler << "' timed out after "
+        << options.compile_timeout_ms << " ms and was killed";
     return fail(msg.str());
   }
-  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (handle == nullptr) {
-    const std::string msg = std::string("dlopen failed: ") + dlerror();
-    if (!options.keep_artifacts) run_cmd("rm -rf " + shq(d));
-    return fail(msg);
+  if (r.exit_code != 0) {
+    std::ostringstream msg;
+    msg << "compiler '" << *compiler << "' exited with code " << r.exit_code;
+    if (r.exit_code == 127) msg << " (exec failed -- is it a binary?)";
+    const std::string cc_output = slurp_file(log);
+    if (!cc_output.empty()) msg << ":\n" << cc_output;
+    return fail(msg.str());
   }
+
+  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr)
+    return fail(std::string("dlopen failed: ") + dlerror());
   void* sym = dlsym(handle, entry.c_str());
   if (sym == nullptr) {
     dlclose(handle);
-    if (!options.keep_artifacts) run_cmd("rm -rf " + shq(d));
     return fail("symbol '" + entry + "' not found");
   }
   JitKernel k;
@@ -87,6 +234,7 @@ std::optional<JitKernel> JitKernel::compile(const std::string& c_source,
   k.fn_ = reinterpret_cast<Fn>(sym);
   k.dir_ = d;
   k.keep_ = options.keep_artifacts;
+  guard.armed = false;  // the kernel's dtor owns cleanup now
   return k;
 }
 
@@ -107,7 +255,7 @@ JitKernel& JitKernel::operator=(JitKernel&& o) noexcept {
 
 JitKernel::~JitKernel() {
   if (handle_ != nullptr) dlclose(handle_);
-  if (!dir_.empty() && !keep_) run_cmd("rm -rf " + shq(dir_));
+  if (!dir_.empty() && !keep_) remove_tree(dir_);
 }
 
 void JitKernel::run(ArrayStore& store) const {

@@ -17,6 +17,9 @@ struct JitOptions {
   bool openmp = true;
   /// Keep the temp directory (for debugging); default removes it.
   bool keep_artifacts = false;
+  /// Kill the compiler and fail the compile after this many milliseconds
+  /// (< 0: no timeout). A hung backend compiler must not hang polyfuse.
+  long compile_timeout_ms = 60000;
 };
 
 /// True if the configured compiler appears usable on this machine.

@@ -4,6 +4,9 @@
 #include <functional>
 #include <numeric>
 
+#include "sched/analysis.h"
+#include "support/budget.h"
+#include "support/stats.h"
 #include "support/trace.h"
 
 namespace pf::fusion {
@@ -31,6 +34,10 @@ std::vector<std::size_t> wisefuse_prefusion_order(
     const ddg::SccResult& sccs, const WisefuseOptions& options) {
   support::TraceSpan span("fusion", "wisefuse_prefusion_order");
   if (span.active()) span.attr("sccs", static_cast<i64>(sccs.num_sccs()));
+  // One fusion_model operation per pre-fusion-order computation (the
+  // --inject unit); Algorithm 1's statement scan burns fuel below.
+  support::budget_op(support::BudgetSite::kFusionModel);
+  support::budget_charge(support::BudgetSite::kFusionModel);
   const std::size_t n = scop.num_statements();
   if (!options.reorder) {
     // Heuristic 2 disabled entirely: keep the DFS/topological order.
@@ -99,6 +106,7 @@ std::vector<std::size_t> wisefuse_prefusion_order(
   // Walk statements in program order (Heuristic 2).
   for (std::size_t s = 0; s < n; ++s) {
     if (visited[s]) continue;
+    support::budget_charge(support::BudgetSite::kFusionModel);
     std::vector<std::size_t> fusable;
     if (!precedence_ok(scc_of(s))) {
       // Flush unvisited ancestors (each as its own pre-fusion entry),
@@ -203,6 +211,8 @@ class SmartfusePolicy final : public sched::FusionPolicy {
   std::vector<std::size_t> prefusion_order(
       const ir::Scop&, const ddg::DependenceGraph&,
       const ddg::SccResult& sccs) override {
+    support::budget_op(support::BudgetSite::kFusionModel);
+    support::budget_charge(support::BudgetSite::kFusionModel);
     return dfs_order(sccs);
   }
   std::vector<i64> cut_on_infeasible(const sched::CutContext& ctx) override {
@@ -219,6 +229,8 @@ class NofusePolicy final : public sched::FusionPolicy {
     // Canonical ids are already a program-order-respecting topological
     // order; nofuse keeps the nests in source order like the paper's
     // figures.
+    support::budget_op(support::BudgetSite::kFusionModel);
+    support::budget_charge(support::BudgetSite::kFusionModel);
     std::vector<std::size_t> order(sccs.num_sccs());
     std::iota(order.begin(), order.end(), 0);
     return order;
@@ -237,6 +249,8 @@ class MaxfusePolicy final : public sched::FusionPolicy {
   std::vector<std::size_t> prefusion_order(
       const ir::Scop&, const ddg::DependenceGraph&,
       const ddg::SccResult& sccs) override {
+    support::budget_op(support::BudgetSite::kFusionModel);
+    support::budget_charge(support::BudgetSite::kFusionModel);
     return dfs_order(sccs);
   }
   std::vector<i64> cut_on_infeasible(const sched::CutContext& ctx) override {
@@ -308,6 +322,57 @@ std::unique_ptr<sched::FusionPolicy> make_policy(FusionModel m) {
 
 std::unique_ptr<sched::FusionPolicy> make_wisefuse(const WisefuseOptions& o) {
   return std::make_unique<WisefusePolicy>(o);
+}
+
+sched::Schedule compute_schedule_degrading(const ir::Scop& scop,
+                                           const ddg::DependenceGraph& dg,
+                                           FusionModel model,
+                                           const sched::SchedulerOptions& options,
+                                           FusionModel* used) {
+  // Cheaper models ask strictly less of the solver stack, so walking down
+  // the chain converges; nofuse needs no cross-nest reasoning at all.
+  std::vector<FusionModel> chain;
+  switch (model) {
+    case FusionModel::kWisefuse:
+      chain = {FusionModel::kWisefuse, FusionModel::kSmartfuse,
+               FusionModel::kNofuse};
+      break;
+    case FusionModel::kMaxfuse:
+      chain = {FusionModel::kMaxfuse, FusionModel::kSmartfuse,
+               FusionModel::kNofuse};
+      break;
+    case FusionModel::kSmartfuse:
+      chain = {FusionModel::kSmartfuse, FusionModel::kNofuse};
+      break;
+    case FusionModel::kNofuse:
+      chain = {FusionModel::kNofuse};
+      break;
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    try {
+      const std::unique_ptr<sched::FusionPolicy> policy =
+          make_policy(chain[i]);
+      sched::Schedule sch = sched::compute_schedule(scop, dg, *policy, options);
+      if (used != nullptr) *used = chain[i];
+      return sch;
+    } catch (const support::BudgetExceeded& e) {
+      // Only fusion_model faults escape compute_schedule; every other
+      // site already degraded inside the scheduler.
+      support::count(support::Counter::kBudgetDowngrades);
+      support::remark(
+          "budget", "fusion model degraded",
+          {{"from", to_string(chain[i])},
+           {"to", i + 1 < chain.size() ? to_string(chain[i + 1]) : "identity"},
+           {"site", e.site_name()},
+           {"cause", e.cause()}});
+    }
+  }
+  // Every model failed (e.g. zero fuel at the fusion_model site): the
+  // original statement order is always legal.
+  support::BudgetSuspend suspend;
+  sched::Schedule fallback = sched::identity_schedule(scop);
+  sched::annotate_dependences(fallback, dg, options.ilp);
+  return fallback;
 }
 
 }  // namespace pf::fusion

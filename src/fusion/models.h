@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "sched/pluto.h"
 #include "sched/policy.h"
 
 namespace pf::fusion {
@@ -45,6 +46,21 @@ std::unique_ptr<sched::FusionPolicy> make_policy(FusionModel m);
 
 /// Wisefuse with explicit (possibly ablated) options.
 std::unique_ptr<sched::FusionPolicy> make_wisefuse(const WisefuseOptions& o);
+
+/// compute_schedule with the budget graceful-degradation chain: when a
+/// fusion model's own work (the fusion_model budget site) runs out of
+/// fuel or hits an injected fault, fall back along
+///   wisefuse -> smartfuse -> nofuse,   maxfuse -> smartfuse -> nofuse,
+/// and, should every model fail, to the always-legal identity schedule.
+/// Other budget faults (lp_solve, fme_project, pluto_level) are already
+/// recovered inside the scheduler and never reach the chain. Each
+/// downgrade emits a "budget" remark and bumps budget_downgrades. With no
+/// budget installed this is exactly make_policy + sched::compute_schedule.
+/// `used` (optional) receives the model that produced the schedule, or is
+/// left untouched on the identity fallback.
+sched::Schedule compute_schedule_degrading(
+    const ir::Scop& scop, const ddg::DependenceGraph& dg, FusionModel model,
+    const sched::SchedulerOptions& options = {}, FusionModel* used = nullptr);
 
 /// The pre-fusion schedule of wisefuse's Algorithm 1, exposed for tests
 /// and Figure-5 style reporting: returns position -> scc id.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/budget.h"
 #include "support/stats.h"
 #include "support/trace.h"
 
@@ -102,6 +103,9 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
                                const IlpOptions& options) const {
   PF_CHECK(objective.size() == num_vars_);
   support::count(support::Counter::kIlpSolves);
+  // One lp_solve "operation" per top-level minimize: the unit --inject
+  // counts. Nodes and pivots below only burn fuel.
+  support::budget_op(support::BudgetSite::kLpSolve);
   support::TraceSpan span("lp", "ilp_minimize");
   if (span.active()) {
     span.attr("vars", static_cast<i64>(num_vars_));
@@ -131,6 +135,7 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
       break;
     }
     support::count(support::Counter::kIlpNodes);
+    support::budget_charge(support::BudgetSite::kLpSolve);
     const std::vector<BranchBound> bounds = std::move(stack.back());
     stack.pop_back();
 

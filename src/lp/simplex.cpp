@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/budget.h"
 #include "support/stats.h"
 
 namespace pf::lp {
@@ -59,6 +60,12 @@ struct Tableau {
 
   void pivot(std::size_t pr, std::size_t pc) {
     support::count(support::Counter::kSimplexPivots);
+    // A pivot's real cost is the row sweep, so it charges one LP fuel
+    // unit per tableau row (cf. ISL counting low-level operations, not
+    // pivots); exhaustion unwinds out of the whole solve to the
+    // caller's recovery boundary.
+    support::budget_charge(support::BudgetSite::kLpSolve,
+                           static_cast<i64>(m) + 1);
     const Rational inv = at(pr, pc).reciprocal();
     for (auto& v : t[pr]) v *= inv;
     for (std::size_t r = 0; r <= m; ++r) {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "lp/simplex.h"
+#include "support/budget.h"
 #include "support/stats.h"
 
 namespace pf::poly {
@@ -194,6 +195,19 @@ bool IntegerSet::is_empty(const lp::IlpOptions& options) const {
   // A constraint-free set is the universe (even zero-dimensional, where
   // the single point is the empty tuple) -- never empty, no ILP needed.
   if (constraints_.empty()) return false;
+  if (support::budget_limited()) {
+    // Budgeted solves bypass the cache entirely: a hit would skip the ILP
+    // work and make fuel consumption depend on what other threads cached,
+    // and a degraded answer must never be memoized as exact.
+    try {
+      return to_ilp().proven_empty(options);
+    } catch (const support::BudgetExceeded&) {
+      // Conservative recovery: not *proven* empty, so report non-empty.
+      // Callers treat the set as holding a dependence, which can only
+      // constrain schedules further (sound over-approximation).
+      return false;
+    }
+  }
   if (!solve_cache_enabled()) return to_ilp().proven_empty(options);
 
   SolveKey key = make_solve_key(SolveOp::kIsEmpty, dims_, constraints_,
@@ -235,6 +249,16 @@ IntegerSet::Opt IntegerSet::integer_min(const AffineExpr& e,
                                         const lp::IlpOptions& options) const {
   PF_CHECK(e.dims() == dims_);
   if (trivially_empty_) return Opt{Opt::kEmpty, 0};
+  if (support::budget_limited()) {
+    // Same cache bypass + conservative recovery as is_empty: an
+    // inconclusive minimum degrades to kUnknown, which every caller
+    // treats pessimistically.
+    try {
+      return integer_min_uncached(e, options);
+    } catch (const support::BudgetExceeded&) {
+      return Opt{Opt::kUnknown, 0};
+    }
+  }
   if (!solve_cache_enabled()) return integer_min_uncached(e, options);
 
   SolveKey key =
@@ -300,6 +324,7 @@ void IntegerSet::dedupe(std::vector<Constraint>& cs) {
 
 void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
                                      std::size_t k, bool* trivially_empty) {
+  support::budget_charge(support::BudgetSite::kFmeProject);
   // Prefer exact substitution through an equality with a +-1 coefficient
   // on x_k: x_k = -(rest) keeps the projection integer-exact.
   for (std::size_t i = 0; i < cs.size(); ++i) {
@@ -361,6 +386,7 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
       AffineExpr combined = lo.expr * b + up.expr * a;
       PF_CHECK(combined.coeff(k) == 0);
       support::count(support::Counter::kFmeRowsGenerated);
+      support::budget_charge(support::BudgetSite::kFmeProject);
       if (combined.is_constant()) {
         if (combined.const_term() < 0) *trivially_empty = true;
         support::count(support::Counter::kFmeRowsDropped);
@@ -381,6 +407,9 @@ IntegerSet IntegerSet::eliminate_dims(const std::vector<bool>& remove) const {
   std::vector<std::size_t> pending;
   for (std::size_t d = 0; d < dims_; ++d)
     if (remove[d]) pending.push_back(d);
+  // One fme_project "operation" per projection that actually eliminates
+  // something (the --inject unit).
+  if (!pending.empty()) support::budget_op(support::BudgetSite::kFmeProject);
 
   while (!pending.empty() && !empty) {
     std::size_t best_idx = 0;

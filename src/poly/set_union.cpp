@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "support/budget.h"
 #include "support/error.h"
 
 namespace pf::poly {
@@ -73,6 +74,7 @@ SetUnion SetUnion::intersect(const SetUnion& o) const {
   SetUnion out(dims_);
   for (const IntegerSet& a : disjuncts_)
     for (const IntegerSet& b : o.disjuncts_) {
+      support::budget_charge(support::BudgetSite::kFmeProject);
       IntegerSet x = a;
       x.intersect(b);
       out.add_disjunct(std::move(x));
@@ -85,6 +87,9 @@ SetUnion SetUnion::subtract(const IntegerSet& b) const {
   if (b.trivially_empty()) return *this;
   SetUnion out(dims_);
   for (const IntegerSet& a : disjuncts_) {
+    // Union algebra can blow up quadratically in disjunct count, so it
+    // burns fuel at the projection site alongside FME proper.
+    support::budget_charge(support::BudgetSite::kFmeProject);
     // carry accumulates c_1 /\ ... /\ c_{i-1} on top of a.
     IntegerSet carry = a;
     for (const Constraint& c : b.constraints()) {

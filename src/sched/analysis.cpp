@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 
+#include "support/budget.h"
+
 namespace pf::sched {
 
 Schedule identity_schedule(const ir::Scop& scop) {
@@ -81,6 +83,10 @@ Schedule identity_schedule(const ir::Scop& scop) {
 
 void annotate_dependences(Schedule& sch, const ddg::DependenceGraph& dg,
                           const lp::IlpOptions& options) {
+  // Must-complete region: a conservative integer_min here would report a
+  // dependence as never satisfied and fail the final legality check, so
+  // annotation always runs exact (it is polynomial in practice).
+  support::BudgetSuspend budget_suspend;
   const std::size_t nd = dg.deps().size();
   sch.satisfied_at.assign(nd, SIZE_MAX);
   sch.dep_endpoints.clear();
@@ -106,7 +112,10 @@ void annotate_dependences(Schedule& sch, const ddg::DependenceGraph& dg,
                            (mx.kind == poly::IntegerSet::Opt::kOk &&
                             mx.value >= 1);
       if (carried) sch.carried_at[l].push_back(i);
-      if (mn.kind == poly::IntegerSet::Opt::kOk && mn.value >= 1) {
+      // kEmpty: a vacuous polyhedron (possible for budget-assumed deps
+      // that are in truth empty) constrains nothing -- satisfied.
+      if (mn.kind == poly::IntegerSet::Opt::kEmpty ||
+          (mn.kind == poly::IntegerSet::Opt::kOk && mn.value >= 1)) {
         sch.satisfied_at[i] = l;
         break;
       }
@@ -119,6 +128,9 @@ void annotate_dependences(Schedule& sch, const ddg::DependenceGraph& dg,
 std::vector<std::size_t> permutable_bands(const Schedule& sch,
                                           const ddg::DependenceGraph& dg,
                                           const lp::IlpOptions& options) {
+  // Must-complete, like annotate_dependences: band detection is a
+  // *checker* over the final schedule, not search work.
+  support::BudgetSuspend budget_suspend;
   PF_CHECK_MSG(sch.satisfied_at.size() == dg.deps().size(),
                "schedule lacks dependence annotations (run the scheduler or "
                "annotate_dependences first)");

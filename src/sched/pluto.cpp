@@ -9,6 +9,8 @@
 
 #include "sched/analysis.h"
 #include "sched/farkas.h"
+#include "support/budget.h"
+#include "support/stats.h"
 #include "support/strings.h"
 #include "support/trace.h"
 
@@ -90,6 +92,12 @@ class Scheduler {
       const bool full = all_full_rank();
       if (full && active.empty()) break;
 
+      try {
+      // One pluto_level operation per level (the --inject unit); the
+      // Farkas/FME/ILP work below burns lp_solve and fme_project fuel.
+      support::budget_op(support::BudgetSite::kPlutoLevel);
+      support::budget_charge(support::BudgetSite::kPlutoLevel);
+
       if (!full) {
         auto hyperplane = find_hyperplane(active);
         if (opts_.trace) {
@@ -152,6 +160,9 @@ class Scheduler {
                 << policy_.name() << "'); active:" << os.str());
       }
       apply_scalar_level(values);
+      } catch (const support::BudgetExceeded& e) {
+        degrade_level(active, e);
+      }
     }
     PF_CHECK_MSG(level_linear_.size() < opts_.max_levels,
                  "scheduler exceeded max_levels");
@@ -171,6 +182,27 @@ class Scheduler {
 
  private:
   // --- current (active-dependence) SCC structure -----------------------------
+
+  // Budget recovery boundary for one scheduling level: fall back to a
+  // scalar cut of the original statement order (always legal -- it
+  // satisfies every remaining dependence it separates). Rethrows when
+  // even that makes no progress; compute_schedule then degrades the
+  // whole schedule to the identity order.
+  void degrade_level(const std::vector<std::size_t>& active,
+                     const support::BudgetExceeded& e) {
+    support::BudgetSuspend suspend;  // the fallback itself must complete
+    refresh_current();
+    cut_reason_ = e.cause();
+    const std::vector<i64> values = cut_all(cur_order_.size());
+    if (count_satisfied_by(values, active) == 0) throw;
+    support::count(support::Counter::kBudgetDowngrades);
+    support::remark("budget", "pluto level degraded to scalar cut",
+                    {{"level", std::to_string(level_linear_.size())},
+                     {"site", e.site_name()},
+                     {"cause", e.cause()},
+                     {"policy", policy_.name()}});
+    apply_scalar_level(values);
+  }
 
   void refresh_current() {
     const std::size_t n = scop_.num_statements();
@@ -606,6 +638,11 @@ class Scheduler {
           satisfied_[dep_idx] = true;
           satisfied_at_[dep_idx] = level;
         }
+      } else if (mn.kind == poly::IntegerSet::Opt::kEmpty) {
+        // Vacuous dependence (possible for budget-assumed candidates
+        // that are in truth empty): nothing to satisfy.
+        satisfied_[dep_idx] = true;
+        satisfied_at_[dep_idx] = level;
       }
       const auto mx = d.poly.integer_max(diff, opts_.ilp);
       const bool is_carried =
@@ -726,6 +763,21 @@ Schedule compute_schedule(const ir::Scop& scop,
     Schedule sch = Scheduler(scop, dg, policy, options).run();
     remark_partition_outcomes(scop, sch);
     return sch;
+  } catch (const support::BudgetExceeded& e) {
+    // Fusion-model faults belong to the model degradation chain
+    // (fusion::compute_schedule_degrading); everything else degrades to
+    // the always-legal identity schedule right here.
+    if (e.site() == support::BudgetSite::kFusionModel) throw;
+    support::count(support::Counter::kBudgetDowngrades);
+    support::remark("budget", "schedule degraded to original statement order",
+                    {{"policy", policy.name()},
+                     {"site", e.site_name()},
+                     {"cause", e.cause()}});
+    support::BudgetSuspend suspend;
+    Schedule fallback = identity_schedule(scop);
+    annotate_dependences(fallback, dg, options.ilp);
+    remark_partition_outcomes(scop, fallback);
+    return fallback;
   } catch (const Error& e) {
     if (std::string(e.what()).find("stuck:") == std::string::npos) throw;
     // The greedy per-level search occasionally strands a dependence that

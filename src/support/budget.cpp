@@ -1,0 +1,211 @@
+#include "support/budget.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace pf::support {
+namespace {
+
+// Deadline checks read the clock, so they run every kDeadlineStride
+// charges rather than on each one; ops are coarse enough to check always.
+constexpr i64 kDeadlineStride = 64;
+
+thread_local Budget* tl_budget = nullptr;
+
+Counter fuel_counter(BudgetSite site) {
+  switch (site) {
+    case BudgetSite::kLpSolve:
+      return Counter::kBudgetFuelLpSolve;
+    case BudgetSite::kFmeProject:
+      return Counter::kBudgetFuelFmeProject;
+    case BudgetSite::kDepPair:
+      return Counter::kBudgetFuelDepPair;
+    case BudgetSite::kPlutoLevel:
+      return Counter::kBudgetFuelPlutoLevel;
+    case BudgetSite::kFusionModel:
+      return Counter::kBudgetFuelFusionModel;
+    case BudgetSite::kJitCc:
+      return Counter::kBudgetFuelJitCc;
+    case BudgetSite::kNumSites:
+      break;
+  }
+  return Counter::kBudgetFuelLpSolve;
+}
+
+std::string exceeded_message(BudgetSite site, BudgetExceeded::Kind kind,
+                             i64 ordinal) {
+  std::ostringstream os;
+  os << "budget exceeded at " << to_string(site) << ": ";
+  switch (kind) {
+    case BudgetExceeded::Kind::kFuel:
+      os << "fuel exhausted";
+      break;
+    case BudgetExceeded::Kind::kDeadline:
+      os << "deadline expired";
+      break;
+    case BudgetExceeded::Kind::kInjected:
+      os << "injected fault (op #" << ordinal << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(BudgetSite site) {
+  switch (site) {
+    case BudgetSite::kLpSolve:
+      return "lp_solve";
+    case BudgetSite::kFmeProject:
+      return "fme_project";
+    case BudgetSite::kDepPair:
+      return "dep_pair";
+    case BudgetSite::kPlutoLevel:
+      return "pluto_level";
+    case BudgetSite::kFusionModel:
+      return "fusion_model";
+    case BudgetSite::kJitCc:
+      return "jit_cc";
+    case BudgetSite::kNumSites:
+      break;
+  }
+  return "?";
+}
+
+std::optional<BudgetSite> budget_site_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < kNumBudgetSites; ++i) {
+    const auto site = static_cast<BudgetSite>(i);
+    if (name == to_string(site)) return site;
+  }
+  return std::nullopt;
+}
+
+BudgetExceeded::BudgetExceeded(BudgetSite site, Kind kind, i64 ordinal)
+    : Error(exceeded_message(site, kind, ordinal)), site_(site), kind_(kind) {}
+
+const char* BudgetExceeded::cause() const {
+  switch (kind_) {
+    case Kind::kFuel:
+      return "fuel-exhausted";
+    case Kind::kDeadline:
+      return "deadline-expired";
+    case Kind::kInjected:
+      return "fault-injected";
+  }
+  return "?";
+}
+
+std::optional<Injection> parse_injection(const std::string& text,
+                                         std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos)
+    return fail("expected SITE:fail-after=K, got '" + text + "'");
+  const std::string site_name = text.substr(0, colon);
+  const auto site = budget_site_from_string(site_name);
+  if (!site)
+    return fail("unknown injection site '" + site_name +
+                "' (expected lp_solve, fme_project, dep_pair, pluto_level, "
+                "fusion_model, or jit_cc)");
+  const std::string rest = text.substr(colon + 1);
+  const std::string key = "fail-after=";
+  if (rest.rfind(key, 0) != 0)
+    return fail("expected 'fail-after=K' after the site name, got '" + rest +
+                "'");
+  const auto ordinal = parse_i64(rest.substr(key.size()));
+  if (!ordinal || *ordinal < 0)
+    return fail("fail-after wants a non-negative integer, got '" +
+                rest.substr(key.size()) + "'");
+  return Injection{*site, *ordinal};
+}
+
+Budget::Budget(const BudgetSpec& spec)
+    : fuel_(spec.fuel < 0 ? -1 : spec.fuel),
+      limited_(spec.limited()),
+      injections_(spec.injections) {
+  if (spec.deadline_ms >= 0)
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(spec.deadline_ms);
+}
+
+void Budget::charge(BudgetSite site, i64 n) {
+  count(fuel_counter(site), n);
+  spent_ += n;
+  if (++tick_ >= kDeadlineStride) {
+    tick_ = 0;
+    check_deadline(site);
+  }
+  if (fuel_ >= 0) {
+    if (fuel_ < n) {
+      fuel_ = 0;
+      fault(site, BudgetExceeded::Kind::kFuel, -1);
+    }
+    fuel_ -= n;
+  }
+}
+
+void Budget::op(BudgetSite site) {
+  op_at(site, ops_[static_cast<std::size_t>(site)]++);
+}
+
+void Budget::op_at(BudgetSite site, i64 ordinal) {
+  check_deadline(site);
+  for (const Injection& inj : injections_)
+    if (inj.site == site && inj.fail_at == ordinal)
+      fault(site, BudgetExceeded::Kind::kInjected, ordinal);
+}
+
+i64 Budget::task_allowance(std::size_t tasks) const {
+  if (fuel_ < 0) return -1;
+  return fuel_ / static_cast<i64>(std::max<std::size_t>(tasks, 1));
+}
+
+Budget Budget::make_task_budget(i64 fuel_allowance) const {
+  Budget task;
+  task.fuel_ = fuel_allowance < 0 ? -1 : fuel_allowance;
+  task.limited_ = limited_;
+  task.deadline_ = deadline_;
+  task.injections_ = injections_;
+  return task;
+}
+
+void Budget::absorb(const Budget& task) {
+  spent_ += task.spent_;
+  faults_ += task.faults_;
+  if (fuel_ >= 0) fuel_ = std::max<i64>(0, fuel_ - task.spent_);
+}
+
+void Budget::fault(BudgetSite site, BudgetExceeded::Kind kind, i64 ordinal) {
+  ++faults_;
+  count(kind == BudgetExceeded::Kind::kInjected
+            ? Counter::kBudgetInjectedFaults
+            : Counter::kBudgetExhaustions);
+  throw BudgetExceeded(site, kind, ordinal);
+}
+
+void Budget::check_deadline(BudgetSite site) {
+  if (deadline_ && std::chrono::steady_clock::now() > *deadline_)
+    fault(site, BudgetExceeded::Kind::kDeadline, -1);
+}
+
+Budget* current_budget() { return tl_budget; }
+
+bool budget_limited() {
+  return tl_budget != nullptr && tl_budget->limited();
+}
+
+BudgetScope::BudgetScope(Budget* budget) : previous_(tl_budget) {
+  tl_budget = budget;
+}
+
+BudgetScope::~BudgetScope() { tl_budget = previous_; }
+
+BudgetSuspend::BudgetSuspend() : scope_(nullptr) {}
+
+}  // namespace pf::support

@@ -41,6 +41,26 @@ const char* to_string(Counter c) {
       return "lint_findings";
     case Counter::kLintErrors:
       return "lint_errors";
+    case Counter::kBudgetFuelLpSolve:
+      return "budget_fuel_lp_solve";
+    case Counter::kBudgetFuelFmeProject:
+      return "budget_fuel_fme_project";
+    case Counter::kBudgetFuelDepPair:
+      return "budget_fuel_dep_pair";
+    case Counter::kBudgetFuelPlutoLevel:
+      return "budget_fuel_pluto_level";
+    case Counter::kBudgetFuelFusionModel:
+      return "budget_fuel_fusion_model";
+    case Counter::kBudgetFuelJitCc:
+      return "budget_fuel_jit_cc";
+    case Counter::kBudgetExhaustions:
+      return "budget_exhaustions";
+    case Counter::kBudgetInjectedFaults:
+      return "budget_injected_faults";
+    case Counter::kBudgetDowngrades:
+      return "budget_downgrades";
+    case Counter::kBudgetAssumedDeps:
+      return "budget_assumed_deps";
     case Counter::kNumCounters:
       break;
   }

@@ -42,6 +42,16 @@ enum class Counter : std::size_t {
   kLintValueFlows,       // value-based (last-writer) flows computed
   kLintFindings,         // lint findings, every severity
   kLintErrors,           // lint findings of error (correctness) severity
+  kBudgetFuelLpSolve,    // fuel charged at simplex pivots + B&B nodes
+  kBudgetFuelFmeProject,  // fuel charged at Fourier-Motzkin eliminations
+  kBudgetFuelDepPair,    // fuel charged at dependence-pair solves
+  kBudgetFuelPlutoLevel,  // fuel charged at Pluto scheduling levels
+  kBudgetFuelFusionModel,  // fuel charged in fusion-policy work
+  kBudgetFuelJitCc,      // fuel charged at JIT compiler invocations
+  kBudgetExhaustions,    // fuel/deadline faults raised (BudgetExceeded)
+  kBudgetInjectedFaults,  // faults raised by --inject
+  kBudgetDowngrades,     // graceful-degradation steps taken, any layer
+  kBudgetAssumedDeps,    // dependences conservatively assumed under budget
   kNumCounters,
 };
 

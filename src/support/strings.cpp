@@ -1,12 +1,29 @@
 #include "support/strings.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 
 #include "support/error.h"
 
 namespace pf {
+
+std::optional<i64> parse_i64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  // stoll would skip leading whitespace; full-consumption parsing means
+  // rejecting it instead.
+  if (std::isspace(static_cast<unsigned char>(text.front())) != 0)
+    return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(text, &consumed, 10);
+    if (consumed != text.size()) return std::nullopt;
+    return static_cast<i64>(value);
+  } catch (const std::exception&) {
+    return std::nullopt;  // no digits, or out of range
+  }
+}
 
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep) {

@@ -2,10 +2,18 @@
 // harness to print paper-style result tables.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "support/intmath.h"
+
 namespace pf {
+
+/// Strict decimal i64 parse: optional sign, digits, full consumption,
+/// range-checked. Returns nullopt on empty/garbage/trailing text/overflow.
+/// Shared by checked CLI option parsing and the POLYFUSE_* env equivalents.
+std::optional<i64> parse_i64(const std::string& text);
 
 /// Join elements with a separator; each element is converted with
 /// std::to_string unless it already is a string.

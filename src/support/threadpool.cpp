@@ -2,6 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "support/strings.h"
 
 namespace pf::support {
 
@@ -9,16 +13,35 @@ namespace {
 
 std::atomic<std::size_t> g_jobs_override{0};
 
-std::size_t env_or_hardware_jobs() {
-  if (const char* env = std::getenv("POLYFUSE_JOBS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
+std::size_t hardware_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }
 
+std::size_t env_or_hardware_jobs() {
+  if (const char* env = std::getenv("POLYFUSE_JOBS")) {
+    // Empty means unset (harness scripts do POLYFUSE_JOBS= to clear it);
+    // anything else gets the same checked parse as --jobs, with a
+    // once-per-process warning instead of silent misbehavior.
+    if (*env == '\0') return hardware_jobs();
+    if (const auto v = parse_jobs_value(env)) return *v;
+    static std::once_flag warned;
+    std::call_once(warned, [env] {
+      std::cerr << "polyfuse: ignoring invalid POLYFUSE_JOBS='" << env
+                << "' (expected an integer >= 1); using hardware concurrency"
+                << std::endl;
+    });
+  }
+  return hardware_jobs();
+}
+
 }  // namespace
+
+std::optional<std::size_t> parse_jobs_value(const std::string& text) {
+  const std::optional<i64> v = parse_i64(text);
+  if (!v || *v < 1) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
 
 std::size_t default_jobs() {
   const std::size_t o = g_jobs_override.load(std::memory_order_relaxed);

@@ -17,14 +17,22 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace pf::support {
 
+/// The checked parse behind POLYFUSE_JOBS (same rules as --jobs): a
+/// strict positive decimal integer, full consumption, range-checked.
+/// Returns nullopt for garbage, zero, negatives and overflow. Exposed
+/// for tests.
+std::optional<std::size_t> parse_jobs_value(const std::string& text);
+
 /// Process-wide default worker count: set_default_jobs() override if any,
-/// else POLYFUSE_JOBS (if set and positive), else hardware_concurrency
-/// (at least 1).
+/// else POLYFUSE_JOBS (validated -- an invalid value warns once on stderr
+/// and falls back), else hardware_concurrency (at least 1).
 std::size_t default_jobs();
 /// Override default_jobs() process-wide; 0 restores the env/hardware
 /// default.

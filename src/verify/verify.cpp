@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "support/budget.h"
 #include "support/stats.h"
 #include "support/trace.h"
 #include "verify/internal.h"
@@ -135,6 +136,10 @@ Report run_all(const ir::Scop& scop, const ddg::DependenceGraph& dg,
                const sched::Schedule& sch, const codegen::AstNode* ast,
                const Options& options) {
   support::TraceSpan span("verify", "run_all");
+  // The verifier is a must-complete checker: a conservative (budgeted)
+  // is_empty would fabricate "violations" that do not exist, so it always
+  // runs with the budget suspended.
+  support::BudgetSuspend budget_suspend;
   Report report;
   PF_CHECK_MSG(sch.scop == &scop || sch.scop == nullptr,
                "schedule built for another scop");

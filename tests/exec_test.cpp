@@ -2,7 +2,12 @@
 // paths and artifacts, C-emission details, interpreter math calls.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "codegen/cemit.h"
 #include "codegen/codegen.h"
@@ -11,6 +16,7 @@
 #include "exec/jit.h"
 #include "frontend/parser.h"
 #include "sched/analysis.h"
+#include "support/budget.h"
 
 namespace pf::exec {
 namespace {
@@ -27,7 +33,77 @@ TEST(Jit, CompileErrorIsReported) {
   std::string err;
   const auto k = JitKernel::compile("this is not C", "pf_kernel", {}, &err);
   EXPECT_FALSE(k.has_value());
-  EXPECT_NE(err.find("compiler failed"), std::string::npos);
+  // The nonzero exit is diagnosed and the compiler's own stderr is
+  // captured into the error message.
+  EXPECT_NE(err.find("exited with code"), std::string::npos) << err;
+  EXPECT_NE(err.find("error"), std::string::npos) << err;
+}
+
+// Write an executable fake "compiler" script and return its path.
+std::string write_fake_compiler(const std::string& name,
+                                const std::string& body) {
+  const std::string path = std::string(::testing::TempDir()) + "exec_" +
+                           std::to_string(::getpid()) + "_" + name;
+  {
+    std::ofstream out(path);
+    out << "#!/bin/sh\n" << body << "\n";
+  }
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+TEST(Jit, HungCompilerIsKilledOnTimeout) {
+  JitOptions opts;
+  opts.compiler = write_fake_compiler("sleepy.sh", "sleep 30");
+  opts.compile_timeout_ms = 200;
+  std::string err;
+  const auto k = JitKernel::compile("int x;", "pf_kernel", opts, &err);
+  EXPECT_FALSE(k.has_value());
+  EXPECT_NE(err.find("timed out after 200 ms"), std::string::npos) << err;
+}
+
+TEST(Jit, CompilerStderrSurfacesInTheError) {
+  JitOptions opts;
+  opts.compiler =
+      write_fake_compiler("noisy.sh", "echo boom-diagnostic >&2; exit 3");
+  std::string err;
+  const auto k = JitKernel::compile("int x;", "pf_kernel", opts, &err);
+  EXPECT_FALSE(k.has_value());
+  EXPECT_NE(err.find("exited with code 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("boom-diagnostic"), std::string::npos) << err;
+}
+
+TEST(Jit, FailedCompilesDoNotLeakTempDirs) {
+  JitOptions opts;
+  opts.compiler = write_fake_compiler("failing.sh", "exit 1");
+  const auto count_dirs = [] {
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto& e :
+         std::filesystem::directory_iterator("/tmp", ec))
+      if (e.path().filename().string().rfind("polyfuse-jit-", 0) == 0) ++n;
+    return n;
+  };
+  const std::size_t before = count_dirs();
+  for (int i = 0; i < 3; ++i) {
+    std::string err;
+    EXPECT_FALSE(JitKernel::compile("int x;", "pf_kernel", opts, &err));
+  }
+  // Tolerate unrelated concurrent JIT users; our three failures must
+  // not have left three new trees behind.
+  EXPECT_LT(count_dirs(), before + 3);
+}
+
+TEST(Jit, InjectedCcFaultSkipsTheCompile) {
+  support::BudgetSpec spec;
+  spec.injections.push_back({support::BudgetSite::kJitCc, 0});
+  support::Budget budget(spec);
+  support::BudgetScope scope(&budget);
+  std::string err;
+  const auto k = JitKernel::compile("int x;", "pf_kernel", {}, &err);
+  EXPECT_FALSE(k.has_value());
+  EXPECT_NE(err.find("jit compile aborted"), std::string::npos) << err;
+  EXPECT_EQ(budget.faults(), 1);
 }
 
 TEST(Jit, MissingSymbolIsReported) {

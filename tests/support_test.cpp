@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <functional>
 #include <future>
 #include <numeric>
@@ -333,6 +334,47 @@ TEST(ThreadPool, DefaultJobsOverride) {
   EXPECT_EQ(support::default_jobs(), 3u);
   support::set_default_jobs(0);  // back to the environment default
   EXPECT_EQ(support::default_jobs(), before);
+}
+
+TEST(ThreadPool, ParseJobsValueIsStrict) {
+  EXPECT_EQ(support::parse_jobs_value("1"), 1u);
+  EXPECT_EQ(support::parse_jobs_value("16"), 16u);
+  EXPECT_FALSE(support::parse_jobs_value("0").has_value());
+  EXPECT_FALSE(support::parse_jobs_value("-2").has_value());
+  EXPECT_FALSE(support::parse_jobs_value("abc").has_value());
+  EXPECT_FALSE(support::parse_jobs_value("4x").has_value());
+  EXPECT_FALSE(support::parse_jobs_value("4 ").has_value());
+  EXPECT_FALSE(support::parse_jobs_value("").has_value());
+  EXPECT_FALSE(support::parse_jobs_value("99999999999999999999").has_value());
+}
+
+TEST(ThreadPool, InvalidJobsEnvFallsBackToHardware) {
+  // An unparseable POLYFUSE_JOBS must not crash or yield 0 workers; it
+  // warns (once) and uses the hardware default.
+  char* old = std::getenv("POLYFUSE_JOBS");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had = old != nullptr;
+  ::setenv("POLYFUSE_JOBS", "not-a-number", 1);
+  support::set_default_jobs(0);
+  EXPECT_GE(support::default_jobs(), 1u);
+  ::setenv("POLYFUSE_JOBS", "0", 1);
+  EXPECT_GE(support::default_jobs(), 1u);
+  if (had)
+    ::setenv("POLYFUSE_JOBS", saved.c_str(), 1);
+  else
+    ::unsetenv("POLYFUSE_JOBS");
+}
+
+TEST(Strings, ParseI64IsStrict) {
+  EXPECT_EQ(pf::parse_i64("42"), 42);
+  EXPECT_EQ(pf::parse_i64("-7"), -7);
+  EXPECT_EQ(pf::parse_i64("0"), 0);
+  EXPECT_FALSE(pf::parse_i64("").has_value());
+  EXPECT_FALSE(pf::parse_i64("7up").has_value());
+  EXPECT_FALSE(pf::parse_i64(" 7").has_value());
+  EXPECT_FALSE(pf::parse_i64("7 ").has_value());
+  EXPECT_FALSE(pf::parse_i64("nine").has_value());
+  EXPECT_FALSE(pf::parse_i64("99999999999999999999999").has_value());
 }
 
 TEST(Stats, CountersAccumulateAndReset) {

@@ -5,7 +5,12 @@
 #   2. clang-tidy over src/ against that build's compile_commands.json
 #      (.clang-tidy: bugprone-*, performance-*, modernize-use-*);
 #      skipped with a notice when clang-tidy is not installed.
-#   3. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined).
+#   3. Robustness sweep on the plain build: the pipeline under tight
+#      compute-fuel budgets, a wall-clock budget, and one injected fault
+#      per solver site must still emit verified, validated code
+#      (docs/robustness.md).
+#   4. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
+#      then the same robustness sweep under the sanitizers.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #   JOBS=N       parallelism for build and ctest (default: nproc)
@@ -30,7 +35,33 @@ run_stage() {
   ctest --test-dir "$dir" -j "$JOBS" --output-on-failure $CTEST_ARGS
 }
 
+# Degradation must never cost correctness: every budgeted or
+# fault-injected run still has to pass the static verifier (strict) and
+# the interpreter differential. jit_cc injection is exercised by ctest
+# (exec_test), which both stages already run.
+run_robustness() {
+  local name="$1" dir="$2"
+  local cli="$dir/tools/polyfuse"
+  local input="examples/pipeline.pf"
+  local checks="--verify=strict --validate --params=64"
+  echo "==== [$name] robustness: fuel sweep ===="
+  for fuel in 0 200 1000 5000; do
+    echo "-- --fuel=$fuel"
+    "$cli" --model=wisefuse --fuel="$fuel" $checks "$input" >/dev/null
+  done
+  echo "==== [$name] robustness: time budget ===="
+  "$cli" --model=wisefuse --time-budget=10000 $checks "$input" >/dev/null
+  echo "==== [$name] robustness: fault injection ===="
+  for site in lp_solve fme_project dep_pair pluto_level fusion_model; do
+    echo "-- --inject=$site:fail-after=0"
+    "$cli" --model=wisefuse --inject="$site:fail-after=0" --explain \
+      $checks "$input" >/dev/null 2>&1 ||
+      { echo "injection at $site broke the pipeline"; exit 1; }
+  done
+}
+
 run_stage "plain" "$PREFIX" -DCMAKE_BUILD_TYPE=Release
+run_robustness "plain" "$PREFIX"
 
 echo "==== [clang-tidy] src/ ===="
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -46,5 +77,6 @@ fi
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 run_stage "asan+ubsan" "$PREFIX-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DPOLYFUSE_SANITIZE=address,undefined"
+run_robustness "asan+ubsan" "$PREFIX-san"
 
 echo "==== ci.sh: all stages passed ===="

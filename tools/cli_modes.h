@@ -40,6 +40,18 @@ inline constexpr OptionDoc kOptionDocs[] = {
      "write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE)"},
     {"--explain[=json]", "print scheduler/fusion decision remarks to stderr"},
     {"--no-solve-cache", "disable the polyhedral solve cache"},
+    {"--fuel=N",
+     "compute-fuel budget: abort solver work after N units\n"
+     "and degrade gracefully (POLYFUSE_FUEL); see\n"
+     "docs/robustness.md"},
+    {"--time-budget=MS",
+     "wall-clock budget for solver work, in milliseconds\n"
+     "(POLYFUSE_TIME_BUDGET_MS)"},
+    {"--inject=S:fail-after=K",
+     "deterministically fail the K-th operation at site S\n"
+     "(lp_solve, fme_project, dep_pair, pluto_level,\n"
+     "fusion_model, jit_cc); repeatable, for testing the\n"
+     "degradation chain (POLYFUSE_INJECT)"},
 };
 
 /// The program-checking modes every user-facing document must mention.

@@ -32,6 +32,16 @@
 //   --explain[=json]  print the scheduler/fusion decision-remark log to
 //                     stderr (deterministic: identical at every --jobs)
 //   --no-solve-cache  disable the polyhedral solve cache
+//   --fuel=N          compute-fuel budget: abort solver work after N units
+//                     and degrade gracefully instead of crashing
+//                     (docs/robustness.md). POLYFUSE_FUEL is the env
+//                     equivalent.
+//   --time-budget=MS  wall-clock budget for solver work
+//                     (POLYFUSE_TIME_BUDGET_MS)
+//   --inject=SITE:fail-after=K
+//                     deterministically fail the K-th operation at SITE
+//                     (lp_solve, fme_project, dep_pair, pluto_level,
+//                     fusion_model, jit_cc); repeatable (POLYFUSE_INJECT)
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
@@ -56,6 +66,7 @@
 #include "poly/set.h"
 #include "sched/analysis.h"
 #include "sched/pluto.h"
+#include "support/budget.h"
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
@@ -86,6 +97,9 @@ struct Options {
   bool explain_json = false;
   std::string trace_file;  // empty = tracing off
   bool solve_cache = true;
+  i64 fuel = -1;            // < 0 = unlimited
+  i64 time_budget_ms = -1;  // < 0 = unlimited
+  std::vector<support::Injection> injections;
   IntVector params;
   std::string input;
 };
@@ -164,6 +178,19 @@ Options parse_args(int argc, char** argv) {
       o.trace_file = value_of("--trace=");
       if (o.trace_file.empty()) usage("--trace expects a file name");
     } else if (arg == "--no-solve-cache") o.solve_cache = false;
+    else if (arg.rfind("--fuel=", 0) == 0) {
+      o.fuel = parse_int_option("--fuel", value_of("--fuel="));
+      if (o.fuel < 0) usage("--fuel must be >= 0");
+    } else if (arg.rfind("--time-budget=", 0) == 0) {
+      o.time_budget_ms =
+          parse_int_option("--time-budget", value_of("--time-budget="));
+      if (o.time_budget_ms < 1) usage("--time-budget must be >= 1 (ms)");
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      std::string err;
+      const auto inj = support::parse_injection(value_of("--inject="), &err);
+      if (!inj) usage("--inject: " + err);
+      o.injections.push_back(*inj);
+    }
     else if (arg == "--validate") o.validate = true;
     else if (arg == "--verify") o.verify = true;
     else if (arg == "--verify=strict") {
@@ -194,6 +221,42 @@ Options parse_args(int argc, char** argv) {
     // Env-var equivalent of --trace, mirroring POLYFUSE_JOBS.
     if (const char* env = std::getenv("POLYFUSE_TRACE"))
       if (*env != '\0') o.trace_file = env;
+  }
+  // Env equivalents of the budget flags, mirroring POLYFUSE_TRACE.
+  // Explicit flags win; env values get the same checked parsing.
+  if (o.fuel < 0) {
+    if (const char* env = std::getenv("POLYFUSE_FUEL"))
+      if (*env != '\0') {
+        const auto v = pf::parse_i64(env);
+        if (!v || *v < 0)
+          usage(std::string("POLYFUSE_FUEL expects an integer >= 0, got '") +
+                env + "'");
+        o.fuel = *v;
+      }
+  }
+  if (o.time_budget_ms < 0) {
+    if (const char* env = std::getenv("POLYFUSE_TIME_BUDGET_MS"))
+      if (*env != '\0') {
+        const auto v = pf::parse_i64(env);
+        if (!v || *v < 1)
+          usage(std::string(
+                    "POLYFUSE_TIME_BUDGET_MS expects an integer >= 1, got '") +
+                env + "'");
+        o.time_budget_ms = *v;
+      }
+  }
+  if (o.injections.empty()) {
+    if (const char* env = std::getenv("POLYFUSE_INJECT"))
+      if (*env != '\0') {
+        std::stringstream ss(env);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+          std::string err;
+          const auto inj = support::parse_injection(tok, &err);
+          if (!inj) usage("POLYFUSE_INJECT: " + err);
+          o.injections.push_back(*inj);
+        }
+      }
   }
   if (o.input.empty()) usage("no input file");
   if (o.verify && (o.emit == "source" || o.emit == "deps"))
@@ -292,6 +355,20 @@ int run_lint_mode(const Options& o, const ir::Scop& scop,
 int run(const Options& o) {
   if (o.jobs != 0) support::set_default_jobs(o.jobs);
   poly::set_solve_cache_enabled(o.solve_cache);
+
+  // Install the compute budget for the whole pipeline. Must-complete
+  // regions (codegen, verify, lint, validation) suspend it themselves;
+  // the parallel dependence phase splits it into per-pair sub-budgets.
+  // With no budget flags this installs nothing and every path is
+  // byte-identical to an unbudgeted build.
+  support::BudgetSpec bspec;
+  bspec.fuel = o.fuel;
+  bspec.deadline_ms = o.time_budget_ms;
+  bspec.injections = o.injections;
+  std::optional<support::Budget> budget;
+  if (bspec.limited()) budget.emplace(bspec);
+  support::BudgetScope budget_scope(budget ? &*budget : nullptr);
+
   if (!o.trace_file.empty()) {
     support::Tracer::instance().set_spans_enabled(true);
     support::Tracer::instance().set_remarks_enabled(true);
@@ -341,18 +418,20 @@ int run(const Options& o) {
       sch = sched::identity_schedule(scop);
       sched::annotate_dependences(sch, dg);
     } else {
-      std::unique_ptr<sched::FusionPolicy> policy;
+      fusion::FusionModel model = fusion::FusionModel::kWisefuse;
       if (o.model == "wisefuse")
-        policy = fusion::make_policy(fusion::FusionModel::kWisefuse);
+        model = fusion::FusionModel::kWisefuse;
       else if (o.model == "smartfuse")
-        policy = fusion::make_policy(fusion::FusionModel::kSmartfuse);
+        model = fusion::FusionModel::kSmartfuse;
       else if (o.model == "nofuse")
-        policy = fusion::make_policy(fusion::FusionModel::kNofuse);
+        model = fusion::FusionModel::kNofuse;
       else if (o.model == "maxfuse")
-        policy = fusion::make_policy(fusion::FusionModel::kMaxfuse);
+        model = fusion::FusionModel::kMaxfuse;
       else
         usage("unknown model '" + o.model + "'");
-      sch = sched::compute_schedule(scop, dg, *policy);
+      // The degradation chain is a no-op without a budget: the first
+      // attempt is exactly make_policy + compute_schedule.
+      sch = fusion::compute_schedule_degrading(scop, dg, model);
     }
   }
 
