@@ -197,15 +197,45 @@ inline std::string budget_summary_json() {
          std::to_string(st.get(support::Counter::kBudgetAssumedDeps)) + "}";
 }
 
+/// Int64 fast-lane outcome counts (lp/fastlane.h): solves and FM row
+/// combinations served by the integer lane vs fallen back to the exact
+/// Rational path, warm-start acceptance, and arena storage footprint.
+/// Archived next to timings because a fast-lane speedup claim is only
+/// meaningful when the record shows the lane actually served the solves.
+inline std::string fastlane_summary_json() {
+  const support::Stats& st = support::Stats::instance();
+  const i64 solves = st.get(support::Counter::kFastlaneSolves);
+  const i64 fallbacks = st.get(support::Counter::kFastlaneFallbacks);
+  const double rate =
+      solves + fallbacks > 0
+          ? 100.0 * static_cast<double>(solves) /
+                static_cast<double>(solves + fallbacks)
+          : 0.0;
+  return "{\"solves\": " + std::to_string(solves) +
+         ", \"fallbacks\": " + std::to_string(fallbacks) +
+         ", \"rate_percent\": " + std::to_string(rate) +
+         ", \"fme_rows\": " +
+         std::to_string(st.get(support::Counter::kFastlaneFmeRows)) +
+         ", \"fme_fallbacks\": " +
+         std::to_string(st.get(support::Counter::kFastlaneFmeFallbacks)) +
+         ", \"warm_hits\": " +
+         std::to_string(st.get(support::Counter::kFastlaneWarmHits)) +
+         ", \"warm_misses\": " +
+         std::to_string(st.get(support::Counter::kFastlaneWarmMisses)) +
+         ", \"arena_bytes\": " +
+         std::to_string(st.get(support::Counter::kFastlaneArenaBytes)) + "}";
+}
+
 /// Accumulated solver work (counters + phase wall times) as JSON, for
 /// embedding in BENCH_*.json records. Includes the decision summary and
-/// the verifier, linter, and budget outcome counts.
+/// the verifier, linter, budget, and fast-lane outcome counts.
 inline std::string solver_stats_json() {
   std::string s = support::Stats::instance().to_json();
   s.insert(s.size() - 1, ", \"decisions\": " + decision_summary_json() +
                              ", \"verify\": " + verify_summary_json() +
                              ", \"lint\": " + lint_summary_json() +
-                             ", \"budget\": " + budget_summary_json());
+                             ", \"budget\": " + budget_summary_json() +
+                             ", \"fastlane\": " + fastlane_summary_json());
   return s;
 }
 

@@ -14,20 +14,34 @@
 // The solve cache and stats are reset between configurations so each
 // run pays the full cost; "speedup_analyze_4" is what the acceptance
 // bar (>= 1.8x on 4 threads) reads.
+//
+// "end_to_end_compile_seconds" (analyze at jobs=1 + schedule) is the
+// figure BENCH_*.json records compare across PRs, and the "fastlane"
+// object says how much of the solver work the int64 fast lane served.
+// A small Rational comparison/hash microbench rides along, pinning the
+// scalar-level cost the fast lane avoids.
+//
+// --smoke: one rep under a generous compute-fuel budget; tools/ci.sh
+// uses it as the perf-smoke stage and fails the build when the
+// fast-lane rate drops below threshold (see docs/performance.md).
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common.h"
 #include "ddg/dependences.h"
 #include "frontend/parser.h"
 #include "fusion/models.h"
 #include "poly/set.h"
 #include "sched/pluto.h"
 #include "suite/synthetic.h"
+#include "support/budget.h"
+#include "support/rational.h"
 #include "support/stats.h"
 
 namespace {
@@ -53,6 +67,48 @@ double time_analyze(const pf::ir::Scop& scop, std::size_t jobs, int reps) {
   return times[times.size() / 2];
 }
 
+// ns/op over `iters` calls of `op` on a pre-generated Rational stream,
+// with a data dependence through `sink` so the loop cannot be hoisted.
+template <typename Op>
+double time_rational_op(const std::vector<pf::Rational>& vals,
+                        std::size_t iters, Op op) {
+  std::size_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i)
+    sink += op(vals[(i + sink % 2) % vals.size()], vals[(i * 7 + 3) % vals.size()]);
+  const double s = seconds_since(t0);
+  // Keep `sink` observable.
+  if (sink == static_cast<std::size_t>(-1)) std::cerr << "";
+  return 1e9 * s / static_cast<double>(iters);
+}
+
+// Rational comparison and hash throughput: the per-cell costs the int64
+// fast lane removes from the simplex inner loop.
+std::string rational_microbench_json() {
+  std::vector<pf::Rational> vals;
+  std::uint64_t lcg = 0x2545F4914F6CDD1DULL;
+  for (int i = 0; i < 256; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const pf::i64 num = static_cast<pf::i64>(lcg >> 40) - (1 << 23);
+    const pf::i64 den = static_cast<pf::i64>((lcg >> 16) % 97) + 1;
+    vals.emplace_back(num, den);
+  }
+  constexpr std::size_t kIters = 2'000'000;
+  const double cmp_rat = time_rational_op(
+      vals, kIters,
+      [](const pf::Rational& a, const pf::Rational& b) { return a < b ? 1u : 0u; });
+  const double cmp_int = time_rational_op(
+      vals, kIters,
+      [](const pf::Rational& a, const pf::Rational&) { return a < 0 ? 1u : 0u; });
+  const double hash = time_rational_op(
+      vals, kIters, [](const pf::Rational& a, const pf::Rational&) {
+        return pf::hash_value(a);
+      });
+  return "{\"compare_rational_ns\": " + std::to_string(cmp_rat) +
+         ", \"compare_int64_ns\": " + std::to_string(cmp_int) +
+         ", \"hash_ns\": " + std::to_string(hash) + "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,10 +116,24 @@ int main(int argc, char** argv) {
 
   unsigned seed = 11;
   int reps = 3;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--seed=", 0) == 0) seed = std::stoul(a.substr(7));
     if (a.rfind("--reps=", 0) == 0) reps = std::stoi(a.substr(7));
+    if (a == "--smoke") smoke = true;
+  }
+  // Smoke mode (tools/ci.sh): one rep under a generous fuel budget --
+  // enough that nothing degrades, but the whole budget accounting path
+  // (task budgets, per-site counters) runs alongside the fast lane.
+  std::optional<pf::support::Budget> budget;
+  std::optional<pf::support::BudgetScope> budget_scope;
+  if (smoke) {
+    reps = 1;
+    pf::support::BudgetSpec spec;
+    spec.fuel = 50'000'000;
+    budget.emplace(spec);
+    budget_scope.emplace(&*budget);
   }
 
   // Many nests, two statements each, dense read sets: access pairs per
@@ -117,9 +187,21 @@ int main(int argc, char** argv) {
   auto policy = pf::fusion::make_policy(pf::fusion::FusionModel::kWisefuse);
   const auto t0 = std::chrono::steady_clock::now();
   const auto sch = pf::sched::compute_schedule(sched_scop, dg, *policy);
-  std::cout << "  \"schedule_seconds\": " << seconds_since(t0) << ",\n";
+  const double schedule_seconds = seconds_since(t0);
+  std::cout << "  \"schedule_seconds\": " << schedule_seconds << ",\n";
   std::cout << "  \"schedule_levels\": "
             << (sch.rows.empty() ? 0 : sch.rows[0].size()) << ",\n";
+  std::cout << "  \"end_to_end_compile_seconds\": " << (t1 + schedule_seconds)
+            << ",\n"
+            << std::flush;
+
+  std::cerr << "... rational microbench\n";
+  std::cout << "  \"rational_microbench\": " << rational_microbench_json()
+            << ",\n";
+  // Fast-lane outcomes over the schedule section (its own analysis +
+  // Pluto); the ci.sh perf-smoke stage parses rate_percent from here.
+  std::cout << "  \"fastlane\": " << pf::bench::fastlane_summary_json()
+            << ",\n";
   std::cout << "  \"stats\": " << Stats::instance().to_json() << "\n}\n";
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/arena.h"
 #include "support/budget.h"
 #include "support/stats.h"
 #include "support/threadpool.h"
@@ -196,6 +197,11 @@ PairResult analyze_pair(const ir::Scop& scop, std::size_t si, std::size_t sj,
                         std::size_t pair_ordinal,
                         const AnalysisOptions& options) {
   support::count(support::Counter::kDepPairsAnalyzed);
+  // The fast-lane simplex tableaux of every solve under this pair come
+  // from the thread's arena; releasing per pair puts a hard cap on the
+  // storage one pathological pair can pin (the release-to-empty trim).
+  support::ArenaScope arena_scope(
+      support::Arena::thread_local_instance());
   support::TraceSpan span("deps", "analyze_pair");
   if (span.active()) {
     span.attr("src", scop.statement(si).name());

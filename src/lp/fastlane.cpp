@@ -1,0 +1,38 @@
+#include "lp/fastlane.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pf::lp {
+
+namespace {
+
+// -1: undecided (consult the environment on first read), 0: off, 1: on.
+std::atomic<int> g_state{-1};
+
+int read_env_state() {
+  const char* v = std::getenv("POLYFUSE_NO_FASTLANE");
+  const bool disabled = v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  return disabled ? 0 : 1;
+}
+
+}  // namespace
+
+bool fastlane_enabled() {
+  int s = g_state.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = read_env_state();
+    int expected = -1;
+    if (!g_state.compare_exchange_strong(expected, s,
+                                         std::memory_order_relaxed))
+      s = expected;
+  }
+  return s != 0;
+}
+
+void set_fastlane_enabled(bool enabled) {
+  g_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace pf::lp

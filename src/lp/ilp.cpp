@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "lp/fastlane.h"
 #include "support/budget.h"
 #include "support/stats.h"
 #include "support/trace.h"
@@ -97,10 +98,23 @@ RatVector to_rat(const IntVector& v) {
   return r;
 }
 
+// objective . point in 128 bits; nullopt when the value leaves int64
+// (an unusable warm bound, not an error).
+std::optional<i64> dot_objective(const IntVector& objective,
+                                 const IntVector& point) {
+  i128 acc = 0;
+  for (std::size_t i = 0; i < objective.size(); ++i)
+    acc += static_cast<i128>(objective[i]) * point[i];
+  if (acc < static_cast<i128>(INT64_MIN) || acc > static_cast<i128>(INT64_MAX))
+    return std::nullopt;
+  return static_cast<i64>(acc);
+}
+
 }  // namespace
 
 IlpResult IlpProblem::minimize(const IntVector& objective,
-                               const IlpOptions& options) const {
+                               const IlpOptions& options,
+                               std::optional<i64> warm_bound) const {
   PF_CHECK(objective.size() == num_vars_);
   support::count(support::Counter::kIlpSolves);
   // One lp_solve "operation" per top-level minimize: the unit --inject
@@ -121,6 +135,19 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
                   [](i64 c) { return c == 0; });
   const RatVector rat_objective = to_rat(objective);
 
+  // The base LP relaxation is identical for every node; build it once and
+  // copy per node (a flat copy of canonical Rationals), adding only the
+  // node's branch bounds on top.
+  SimplexSolver base(num_vars_, nonneg_);
+  for (const Row& row : rows_) {
+    RatVector c(num_vars_);
+    for (std::size_t j = 0; j < num_vars_; ++j) c[j] = Rational(row.coeffs[j]);
+    if (row.is_equality)
+      base.add_equality(std::move(c), Rational(row.constant));
+    else
+      base.add_inequality(std::move(c), Rational(row.constant));
+  }
+
   std::optional<IntVector> incumbent;
   Rational incumbent_obj(0);
   bool cap_hit = false;
@@ -139,16 +166,8 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
     const std::vector<BranchBound> bounds = std::move(stack.back());
     stack.pop_back();
 
-    // Build the node's LP relaxation: base rows + branch bounds.
-    SimplexSolver lp(num_vars_, nonneg_);
-    for (const Row& row : rows_) {
-      RatVector c(num_vars_);
-      for (std::size_t j = 0; j < num_vars_; ++j) c[j] = Rational(row.coeffs[j]);
-      if (row.is_equality)
-        lp.add_equality(std::move(c), Rational(row.constant));
-      else
-        lp.add_inequality(std::move(c), Rational(row.constant));
-    }
+    // The node's LP relaxation: base rows + branch bounds.
+    SimplexSolver lp = base;
     for (const BranchBound& b : bounds) {
       RatVector c(num_vars_, Rational(0));
       c[b.var] = b.is_upper ? Rational(-1) : Rational(1);
@@ -165,6 +184,11 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
       span.attr("status", pf::lp::to_string(IlpStatus::kUnbounded));
       return IlpResult{IlpStatus::kUnbounded, {}, 0};
     }
+    // A warm bound is the objective of a known feasible point. The prune
+    // is strict (>): nodes that merely tie the bound are still explored,
+    // so the first optimal point the cold search finds is also the one
+    // found here.
+    if (warm_bound && rel.objective > *warm_bound) continue;
     if (incumbent && rel.objective >= incumbent_obj) continue;  // pruned
 
     // Find a fractional coordinate.
@@ -230,18 +254,51 @@ IlpResult IlpProblem::find_point(const IlpOptions& options) const {
 }
 
 IlpResult IlpProblem::lexmin(const std::vector<IntVector>& objectives,
-                             const IlpOptions& options) const {
+                             const IlpOptions& options,
+                             const IntVector* warm_start) const {
+  // Warm point: feasible for the current `work` problem, so its objective
+  // value strictly bounds each stage's branch-and-bound. The external
+  // point (from the scheduler's previous level) is validated first --
+  // structural changes make it stale, never wrong. Stage k's own optimum
+  // then becomes the warm point of stage k+1 (it satisfies the pinning
+  // equality by construction). All of this is bypassed with the fast lane
+  // off so a cold run is maximally plain.
+  std::optional<IntVector> warm;
+  if (warm_start != nullptr && fastlane_enabled()) {
+    if (is_feasible_point(*warm_start)) {
+      warm = *warm_start;
+      support::count(support::Counter::kFastlaneWarmHits);
+    } else {
+      support::count(support::Counter::kFastlaneWarmMisses);
+    }
+  }
   IlpProblem work = *this;
   IlpResult last;
   last.status = IlpStatus::kInfeasible;
   for (std::size_t k = 0; k < objectives.size(); ++k) {
-    last = work.minimize(objectives[k], options);
+    std::optional<i64> bound;
+    if (warm) bound = dot_objective(objectives[k], *warm);
+    last = work.minimize(objectives[k], options, bound);
     if (last.status != IlpStatus::kOptimal) return last;
     if (k + 1 < objectives.size())
       work.add_equality(objectives[k], checked_neg(last.objective));
+    if (fastlane_enabled()) warm = last.point;
   }
   if (objectives.empty()) last = find_point(options);
   return last;
+}
+
+bool IlpProblem::is_feasible_point(const IntVector& point) const {
+  if (point.size() != num_vars_ || trivially_infeasible_) return false;
+  for (std::size_t j = 0; j < num_vars_; ++j)
+    if (nonneg_[j] && point[j] < 0) return false;
+  for (const Row& row : rows_) {
+    i128 acc = row.constant;
+    for (std::size_t j = 0; j < num_vars_; ++j)
+      acc += static_cast<i128>(row.coeffs[j]) * point[j];
+    if (row.is_equality ? acc != 0 : acc < 0) return false;
+  }
+  return true;
 }
 
 bool IlpProblem::proven_empty(const IlpOptions& options) const {

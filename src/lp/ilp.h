@@ -55,9 +55,14 @@ class IlpProblem {
   /// x_v <= bound.
   void add_upper_bound(std::size_t v, i64 bound);
 
-  /// min objective . x over integer points.
+  /// min objective . x over integer points. `warm_bound`, when given,
+  /// must be the objective value of some feasible integer point (e.g. a
+  /// warm-start solution); branch-and-bound prunes every node whose LP
+  /// relaxation exceeds it *strictly*, so the search returns the same
+  /// point it would have found without the bound -- just faster.
   IlpResult minimize(const IntVector& objective,
-                     const IlpOptions& options = {}) const;
+                     const IlpOptions& options = {},
+                     std::optional<i64> warm_bound = std::nullopt) const;
 
   /// max objective . x over integer points.
   IlpResult maximize(const IntVector& objective,
@@ -69,8 +74,16 @@ class IlpProblem {
 
   /// Lexicographic minimization: minimize objectives[0], fix its value,
   /// minimize objectives[1], ... Returns the final point.
+  ///
+  /// `warm_start`, when non-null, is a candidate feasible point from an
+  /// earlier, similar solve (the scheduler reuses the previous level's
+  /// hyperplane). It is validated against this problem's constraints
+  /// before use -- a stale point is simply ignored -- and only ever
+  /// tightens the strict pruning bound, so the returned point is the one
+  /// the cold search finds. Disabled when the fast lane is off.
   IlpResult lexmin(const std::vector<IntVector>& objectives,
-                   const IlpOptions& options = {}) const;
+                   const IlpOptions& options = {},
+                   const IntVector* warm_start = nullptr) const;
 
   /// True if the constraint set has no integer point (kInfeasible). A
   /// kCapExceeded search counts as "not proven empty" -> false.
@@ -89,6 +102,10 @@ class IlpProblem {
   // Normalize a row by the gcd of its coefficients; returns false if an
   // equality is thereby proven unsatisfiable over the integers.
   static bool normalize(Row& row);
+
+  // Exact membership test (128-bit row evaluation, no solver) -- the
+  // warm-start validator.
+  bool is_feasible_point(const IntVector& point) const;
 
   std::size_t num_vars_;
   std::vector<bool> nonneg_;

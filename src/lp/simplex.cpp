@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lp/fastlane.h"
+#include "support/arena.h"
 #include "support/budget.h"
 #include "support/stats.h"
 
@@ -44,6 +46,42 @@ void SimplexSolver::add_equality(RatVector coeffs, Rational constant) {
 
 namespace {
 
+// Shared column layout of both tableau lanes: for each variable j,
+// col_pos[j]; for free vars also col_neg[j] (x_j = pos - neg). Then one
+// slack per inequality, then one artificial per row that needs one
+// (equalities, and inequalities infeasible at x = 0).
+struct Layout {
+  std::vector<std::size_t> col_pos, col_neg;
+  std::size_t first_slack = 0;
+  std::size_t num_slacks = 0;
+  std::size_t first_artificial = 0;
+  std::size_t num_artificials = 0;
+  std::size_t nc = 0;  // variable columns (excl. rhs)
+};
+
+template <typename RowVec>
+Layout make_layout(std::size_t num_vars, const std::vector<bool>& nonneg,
+                   const RowVec& rows) {
+  Layout lay;
+  lay.col_pos.resize(num_vars);
+  lay.col_neg.assign(num_vars, SIZE_MAX);
+  std::size_t nc = 0;
+  for (std::size_t j = 0; j < num_vars; ++j) {
+    lay.col_pos[j] = nc++;
+    if (!nonneg[j]) lay.col_neg[j] = nc++;
+  }
+  lay.first_slack = nc;
+  for (const auto& r : rows)
+    if (!r.is_equality) ++lay.num_slacks;
+  nc += lay.num_slacks;
+  lay.first_artificial = nc;
+  for (const auto& r : rows)
+    if (r.is_equality || r.constant < 0) ++lay.num_artificials;
+  nc += lay.num_artificials;
+  lay.nc = nc;
+  return lay;
+}
+
 // Dense simplex tableau. Columns 0..ncols-1 are structural/slack/artificial
 // variables; column ncols is the right-hand side. Row `m` (the last) is the
 // reduced-cost row; its RHS cell holds the negated objective value.
@@ -76,15 +114,15 @@ struct Tableau {
     basis[pr] = pc;
   }
 
-  // One phase of Bland-rule simplex on the current cost row. `allowed`
-  // masks the columns eligible to enter the basis. Returns false if
-  // unbounded.
-  bool optimize(const std::vector<bool>& allowed) {
+  // One phase of Bland-rule simplex on the current cost row. Columns
+  // < limit are eligible to enter the basis (phase 2 bars artificials,
+  // which always form a suffix). Returns false if unbounded.
+  bool optimize(std::size_t limit) {
     for (;;) {
       // Entering: smallest-index allowed column with negative reduced cost.
       std::size_t enter = ncols;
-      for (std::size_t c = 0; c < ncols; ++c) {
-        if (allowed[c] && at(m, c).sign() < 0) {
+      for (std::size_t c = 0; c < limit; ++c) {
+        if (at(m, c).sign() < 0) {
           enter = c;
           break;
         }
@@ -121,33 +159,344 @@ struct Tableau {
   }
 };
 
+// ---------------------------------------------------------------------------
+// The int64 fast lane.
+//
+// Same tableau, same pivot rule, same answers -- but each row is stored as
+// int64 numerators over one per-row denominator instead of a vector of
+// canonicalized Rationals, so a pivot is a fused integer row operation
+// (two 128-bit multiplies and a subtract per cell, one gcd per row)
+// instead of ncols Rational multiply-subtracts with a gcd each.
+//
+// Every entry is kept below 2^62 (kFastLimit), which makes all the 128-bit
+// intermediates provably exact: products of two in-range values stay below
+// 2^124 and their sums below 2^125, well inside __int128. Any value that
+// would leave the range throws FastlaneOverflow and the caller reruns the
+// solve on the exact Rational tableau -- the lane is transparently
+// correct-or-absent, never wrong.
+//
+// Pivot-for-pivot identity with the Rational lane: the entering test reads
+// only reduced-cost signs (per-row denominators are positive, so signs
+// live in the numerators), and the leaving test compares ratios
+// rhs(r)/a(r) in which the row denominator cancels -- cross-multiplied in
+// 128 bits, exactly. Scaling the cost row by the positive lcm of the
+// objective's denominators preserves every sign, so both lanes take the
+// same pivots and return bit-identical Results.
+
+struct FastlaneOverflow {};
+
+constexpr i64 kFastLimit = i64{1} << 62;
+
+inline i64 fl_narrow(i128 v) {
+  if (v >= static_cast<i128>(kFastLimit) || v <= -static_cast<i128>(kFastLimit))
+    throw FastlaneOverflow{};
+  return static_cast<i64>(v);
+}
+
+inline i128 abs128(i128 v) { return v < 0 ? -v : v; }
+
+i128 gcd128(i128 a, i128 b) {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    const i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// lcm of positive denominators; overflow exits to the Rational lane (the
+// exact tableau never scales, so this must not surface as a pf::Error).
+inline i64 fl_lcm(i64 a, i64 b) {
+  return fl_narrow(static_cast<i128>(a / gcd(a, b)) * b);
+}
+
+// v scaled to the common denominator `den` (a multiple of v.den()).
+inline i64 fl_scaled(const Rational& v, i64 den) {
+  return fl_narrow(static_cast<i128>(v.num()) * (den / v.den()));
+}
+
+// Integer tableau: value(r, c) = nums[r * stride + c] / dens[r], with
+// dens[r] > 0 and every stored integer in (-2^62, 2^62). Storage comes
+// from the thread's arena (released wholesale by the caller's ArenaScope).
+struct IntTableau {
+  std::size_t m = 0;
+  std::size_t ncols = 0;
+  std::size_t stride = 0;  // ncols + 1 (rhs in the last cell)
+  i64* nums = nullptr;     // (m + 1) * stride
+  i64* dens = nullptr;     // m + 1
+  i128* scratch = nullptr;  // stride; the in-flight combined row
+  std::size_t* basis = nullptr;  // m
+
+  i64* row(std::size_t r) { return nums + r * stride; }
+  const i64* row(std::size_t r) const { return nums + r * stride; }
+  i64 num_at(std::size_t r, std::size_t c) const { return row(r)[c]; }
+
+  // Divide row r (and its denominator) by their common gcd, keeping the
+  // representation small across pivots.
+  void reduce_row(std::size_t r) {
+    i64* q = row(r);
+    i64 g = dens[r];
+    for (std::size_t c = 0; c <= ncols && g != 1; ++c) g = gcd(g, q[c]);
+    if (g <= 1) return;
+    for (std::size_t c = 0; c <= ncols; ++c) q[c] /= g;
+    dens[r] /= g;
+  }
+
+  // Store scratch / den128 into row r in lowest terms; throws
+  // FastlaneOverflow when the reduced row leaves the safe range.
+  void store_reduced(std::size_t r, i128 den128) {
+    i128 g = den128;
+    for (std::size_t c = 0; c <= ncols && g != 1; ++c)
+      if (scratch[c] != 0) g = gcd128(g, scratch[c]);
+    i64* q = row(r);
+    for (std::size_t c = 0; c <= ncols; ++c) q[c] = fl_narrow(scratch[c] / g);
+    dens[r] = fl_narrow(den128 / g);
+  }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    support::count(support::Counter::kSimplexPivots);
+    support::budget_charge(support::BudgetSite::kLpSolve,
+                           static_cast<i64>(m) + 1);
+    // Scale the pivot row so its pivot cell becomes 1: dividing every
+    // value p[c]/dp by the pivot value p[pc]/dp leaves p[c]/p[pc], so the
+    // numerators stay put and the pivot numerator becomes the denominator
+    // (row negated first when it is negative, keeping dens > 0).
+    i64* p = row(pr);
+    if (p[pc] < 0)
+      for (std::size_t c = 0; c <= ncols; ++c) p[c] = -p[c];
+    dens[pr] = p[pc];
+    reduce_row(pr);
+    const i64 dp = dens[pr];
+    for (std::size_t r = 0; r <= m; ++r) {
+      if (r == pr) continue;
+      i64* q = row(r);
+      const i64 f = q[pc];
+      if (f == 0) continue;
+      const i64 dr = dens[r];
+      // value'(c) = q[c]/dr - (f/dr) * (p[c]/dp)
+      //          = (q[c]*dp - f*p[c]) / (dr*dp)
+      for (std::size_t c = 0; c <= ncols; ++c)
+        scratch[c] = static_cast<i128>(q[c]) * dp - static_cast<i128>(f) * p[c];
+      store_reduced(r, static_cast<i128>(dr) * dp);
+    }
+    basis[pr] = pc;
+  }
+
+  bool optimize(std::size_t limit) {
+    for (;;) {
+      const i64* cost = row(m);
+      std::size_t enter = ncols;
+      for (std::size_t c = 0; c < limit; ++c) {
+        if (cost[c] < 0) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == ncols) return true;  // optimal
+      // Leaving: min rhs(r)/a(r, enter) over positive entries. The row
+      // denominator cancels inside the ratio, so it is rhs_num/a_num;
+      // cross-rows compare by 128-bit cross-multiplication (both
+      // divisors positive, so the inequality direction is preserved).
+      std::size_t leave = m;
+      i64 best_rhs = 0, best_a = 1;
+      for (std::size_t r = 0; r < m; ++r) {
+        const i64 a = num_at(r, enter);
+        if (a <= 0) continue;
+        const i64 rh = num_at(r, ncols);
+        if (leave != m) {
+          const i128 lhs = static_cast<i128>(rh) * best_a;
+          const i128 rhs = static_cast<i128>(best_rhs) * a;
+          if (lhs > rhs) continue;
+          if (lhs == rhs && basis[leave] < basis[r]) continue;
+        }
+        leave = r;
+        best_rhs = rh;
+        best_a = a;
+      }
+      if (leave == m) return false;  // unbounded
+      pivot(leave, enter);
+    }
+  }
+
+  // Integer cost vector (the caller pre-scales rational objectives by a
+  // positive constant, which preserves every reduced-cost sign).
+  void set_costs(const i64* costs) {
+    i64* cost = row(m);
+    for (std::size_t c = 0; c < ncols; ++c) cost[c] = costs[c];
+    cost[ncols] = 0;
+    dens[m] = 1;
+    for (std::size_t r = 0; r < m; ++r) {
+      const i64 cb = costs[basis[r]];
+      if (cb == 0) continue;
+      const i64* q = row(r);
+      const i64 dr = dens[r];
+      const i64 dm = dens[m];
+      // cost'(c) = cost[c]/dm - cb * q[c]/dr
+      //          = (cost[c]*dr - (cb*dm)*q[c]) / (dm*dr)
+      // cb*dm is narrowed first so the per-cell product stays two-term.
+      const i64 cbdm = fl_narrow(static_cast<i128>(cb) * dm);
+      for (std::size_t c = 0; c <= ncols; ++c)
+        scratch[c] = static_cast<i128>(cost[c]) * dr -
+                     static_cast<i128>(cbdm) * q[c];
+      store_reduced(m, static_cast<i128>(dm) * dr);
+    }
+  }
+};
+
 }  // namespace
 
-SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const {
+SimplexSolver::Result SimplexSolver::minimize(
+    const RatVector& objective) const {
   PF_CHECK(objective.size() == num_vars_);
-
-  // Column layout: for each variable j, col_pos[j]; for free vars also
-  // col_neg[j] (x_j = pos - neg). Then one slack per inequality, then one
-  // artificial per row.
-  std::vector<std::size_t> col_pos(num_vars_), col_neg(num_vars_, SIZE_MAX);
-  std::size_t nc = 0;
-  for (std::size_t j = 0; j < num_vars_; ++j) {
-    col_pos[j] = nc++;
-    if (!nonneg_[j]) col_neg[j] = nc++;
+  if (fastlane_enabled()) {
+    if (support::budget_injection_fires(support::BudgetSite::kLpFastlane)) {
+      // --inject lp.fastlane:fail-after=K forces this solve down the
+      // Rational lane; both lanes return the same bits, so this is a
+      // pure coverage knob, not a fault.
+      support::count(support::Counter::kFastlaneFallbacks);
+    } else {
+      try {
+        Result res = minimize_fast(objective);
+        support::count(support::Counter::kFastlaneSolves);
+        return res;
+      } catch (const FastlaneOverflow&) {
+        support::count(support::Counter::kFastlaneFallbacks);
+      }
+    }
   }
-  const std::size_t first_slack = nc;
-  std::size_t num_slacks = 0;
-  for (const Row& r : rows_)
-    if (!r.is_equality) ++num_slacks;
-  nc += num_slacks;
-  const std::size_t first_artificial = nc;
-  // Artificials only for rows whose slack cannot serve as the initial
-  // basic variable: equalities, and inequalities with negative slack
-  // value at x = 0 (i.e. constant < 0).
-  std::size_t num_artificials = 0;
-  for (const Row& r : rows_)
-    if (r.is_equality || r.constant < 0) ++num_artificials;
-  nc += num_artificials;
+  return minimize_exact(objective);
+}
+
+SimplexSolver::Result SimplexSolver::minimize_fast(
+    const RatVector& objective) const {
+  support::Arena& arena = support::Arena::thread_local_instance();
+  support::ArenaScope scope(arena);
+
+  const Layout lay = make_layout(num_vars_, nonneg_, rows_);
+  const std::size_t nc = lay.nc;
+
+  IntTableau tab;
+  tab.m = rows_.size();
+  tab.ncols = nc;
+  tab.stride = nc + 1;
+  tab.nums = arena.alloc_array<i64>((tab.m + 1) * tab.stride);
+  tab.dens = arena.alloc_array<i64>(tab.m + 1);
+  tab.scratch = arena.alloc_array<i128>(tab.stride);
+  tab.basis = arena.alloc_array<std::size_t>(std::max<std::size_t>(tab.m, 1));
+  std::fill_n(tab.nums, (tab.m + 1) * tab.stride, i64{0});
+  std::fill_n(tab.dens, tab.m + 1, i64{1});
+  std::fill_n(tab.basis, tab.m, std::size_t{0});
+
+  // Build the constraint rows. Each row is brought to one common
+  // denominator (the lcm of its cells' denominators); scaling a row by a
+  // positive constant changes no represented value.
+  std::size_t slack_idx = 0;
+  std::size_t artificial_idx = 0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    i64 den = 1;
+    for (const Rational& v : r.coeffs) den = fl_lcm(den, v.den());
+    den = fl_lcm(den, r.constant.den());
+    i64* row = tab.row(i);
+    // coeffs . x + constant >= 0  becomes  coeffs . x - s = -constant.
+    for (std::size_t j = 0; j < num_vars_; ++j) {
+      const i64 n = fl_scaled(r.coeffs[j], den);
+      row[lay.col_pos[j]] = n;
+      if (lay.col_neg[j] != SIZE_MAX) row[lay.col_neg[j]] = -n;
+    }
+    if (!r.is_equality) {
+      row[lay.first_slack + slack_idx] = -den;
+      ++slack_idx;
+    }
+    row[nc] = -fl_scaled(r.constant, den);
+    tab.dens[i] = den;
+    if (!r.is_equality && r.constant >= 0) {
+      // Slack value at x = 0 is `constant` >= 0: negate the row so the
+      // slack column is positive with a non-negative RHS, and make it
+      // basic.
+      for (std::size_t c = 0; c <= nc; ++c) row[c] = -row[c];
+      tab.basis[i] = lay.first_slack + slack_idx - 1;
+      tab.reduce_row(i);
+      continue;
+    }
+    // Normalize RHS >= 0, then attach an artificial (coefficient 1, i.e.
+    // the row's denominator).
+    if (row[nc] < 0)
+      for (std::size_t c = 0; c <= nc; ++c) row[c] = -row[c];
+    row[lay.first_artificial + artificial_idx] = den;
+    tab.basis[i] = lay.first_artificial + artificial_idx;
+    ++artificial_idx;
+    tab.reduce_row(i);
+  }
+
+  // Phase 1: minimize the sum of artificials (skipped when none exist).
+  if (lay.num_artificials > 0) {
+    i64* costs = arena.alloc_array<i64>(nc);
+    std::fill_n(costs, nc, i64{0});
+    for (std::size_t a = 0; a < lay.num_artificials; ++a)
+      costs[lay.first_artificial + a] = 1;
+    tab.set_costs(costs);
+    const bool bounded = tab.optimize(nc);
+    PF_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
+    // Objective value is -rhs of the cost row; infeasible when positive.
+    if (tab.num_at(tab.m, nc) < 0)
+      return Result{Status::kInfeasible, {}, Rational(0)};
+    // Pivot remaining artificials (at value 0) out of the basis where
+    // possible; rows with no non-artificial entry are redundant and stay
+    // (they are all-zero, harmless).
+    for (std::size_t r = 0; r < tab.m; ++r) {
+      if (tab.basis[r] < lay.first_artificial) continue;
+      std::size_t c = 0;
+      while (c < lay.first_artificial && tab.num_at(r, c) == 0) ++c;
+      if (c < lay.first_artificial) tab.pivot(r, c);
+    }
+  }
+
+  // Phase 2: the original objective, scaled integral by the positive lcm
+  // of its denominators (undone when the objective value is read back);
+  // artificial columns are barred.
+  i64 obj_scale = 1;
+  {
+    for (const Rational& v : objective) obj_scale = fl_lcm(obj_scale, v.den());
+    i64* costs = arena.alloc_array<i64>(nc);
+    std::fill_n(costs, nc, i64{0});
+    for (std::size_t j = 0; j < num_vars_; ++j) {
+      const i64 n = fl_scaled(objective[j], obj_scale);
+      costs[lay.col_pos[j]] = n;
+      if (lay.col_neg[j] != SIZE_MAX) costs[lay.col_neg[j]] = -n;
+    }
+    tab.set_costs(costs);
+    if (!tab.optimize(lay.first_artificial))
+      return Result{Status::kUnbounded, {}, Rational(0)};
+  }
+
+  // Extract solution.
+  RatVector values(nc, Rational(0));
+  for (std::size_t r = 0; r < tab.m; ++r)
+    values[tab.basis[r]] = Rational(tab.num_at(r, nc), tab.dens[r]);
+  Result res;
+  res.status = Status::kOptimal;
+  res.point.resize(num_vars_);
+  for (std::size_t j = 0; j < num_vars_; ++j) {
+    res.point[j] = values[lay.col_pos[j]];
+    if (lay.col_neg[j] != SIZE_MAX) res.point[j] -= values[lay.col_neg[j]];
+  }
+  // objective = -rhs(m) / obj_scale.
+  {
+    const i128 onum = -static_cast<i128>(tab.num_at(tab.m, nc));
+    const i128 oden = static_cast<i128>(tab.dens[tab.m]) * obj_scale;
+    const i128 g = onum == 0 ? oden : gcd128(onum, oden);
+    res.objective = Rational(fl_narrow(onum / g), fl_narrow(oden / g));
+  }
+  return res;
+}
+
+SimplexSolver::Result SimplexSolver::minimize_exact(
+    const RatVector& objective) const {
+  const Layout lay = make_layout(num_vars_, nonneg_, rows_);
+  const std::size_t nc = lay.nc;
 
   Tableau tab;
   tab.m = rows_.size();
@@ -161,11 +510,11 @@ SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const 
     const Row& r = rows_[i];
     // coeffs . x + constant >= 0  becomes  coeffs . x - s = -constant.
     for (std::size_t j = 0; j < num_vars_; ++j) {
-      tab.at(i, col_pos[j]) = r.coeffs[j];
-      if (col_neg[j] != SIZE_MAX) tab.at(i, col_neg[j]) = -r.coeffs[j];
+      tab.at(i, lay.col_pos[j]) = r.coeffs[j];
+      if (lay.col_neg[j] != SIZE_MAX) tab.at(i, lay.col_neg[j]) = -r.coeffs[j];
     }
     if (!r.is_equality) {
-      tab.at(i, first_slack + slack_idx) = Rational(-1);
+      tab.at(i, lay.first_slack + slack_idx) = Rational(-1);
       ++slack_idx;
     }
     tab.rhs(i) = -r.constant;
@@ -173,26 +522,25 @@ SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const 
       // Slack value at x = 0 is `constant` >= 0: negate the row so the
       // slack column has +1 and a non-negative RHS, and make it basic.
       for (std::size_t c = 0; c <= nc; ++c) tab.t[i][c] = -tab.t[i][c];
-      tab.basis[i] = first_slack + slack_idx - 1;
+      tab.basis[i] = lay.first_slack + slack_idx - 1;
       continue;
     }
     // Normalize RHS >= 0, then attach an artificial.
     if (tab.rhs(i).sign() < 0) {
       for (std::size_t c = 0; c <= nc; ++c) tab.t[i][c] = -tab.t[i][c];
     }
-    tab.at(i, first_artificial + artificial_idx) = Rational(1);
-    tab.basis[i] = first_artificial + artificial_idx;
+    tab.at(i, lay.first_artificial + artificial_idx) = Rational(1);
+    tab.basis[i] = lay.first_artificial + artificial_idx;
     ++artificial_idx;
   }
 
   // Phase 1: minimize the sum of artificials (skipped when none exist).
-  if (num_artificials > 0) {
+  if (lay.num_artificials > 0) {
     RatVector costs(nc, Rational(0));
-    for (std::size_t a = 0; a < num_artificials; ++a)
-      costs[first_artificial + a] = Rational(1);
+    for (std::size_t a = 0; a < lay.num_artificials; ++a)
+      costs[lay.first_artificial + a] = Rational(1);
     tab.set_costs(costs);
-    std::vector<bool> allowed(nc, true);
-    const bool bounded = tab.optimize(allowed);
+    const bool bounded = tab.optimize(nc);
     PF_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
     // Objective value is -rhs of the cost row.
     if ((-tab.rhs(tab.m)).sign() > 0)
@@ -201,10 +549,10 @@ SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const 
     // possible; rows with no non-artificial entry are redundant and stay
     // (they are all-zero, harmless).
     for (std::size_t r = 0; r < tab.m; ++r) {
-      if (tab.basis[r] < first_artificial) continue;
+      if (tab.basis[r] < lay.first_artificial) continue;
       std::size_t c = 0;
-      while (c < first_artificial && tab.at(r, c).is_zero()) ++c;
-      if (c < first_artificial) tab.pivot(r, c);
+      while (c < lay.first_artificial && tab.at(r, c).is_zero()) ++c;
+      if (c < lay.first_artificial) tab.pivot(r, c);
     }
   }
 
@@ -212,13 +560,12 @@ SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const 
   {
     RatVector costs(nc, Rational(0));
     for (std::size_t j = 0; j < num_vars_; ++j) {
-      costs[col_pos[j]] = objective[j];
-      if (col_neg[j] != SIZE_MAX) costs[col_neg[j]] = -objective[j];
+      costs[lay.col_pos[j]] = objective[j];
+      if (lay.col_neg[j] != SIZE_MAX) costs[lay.col_neg[j]] = -objective[j];
     }
     tab.set_costs(costs);
-    std::vector<bool> allowed(nc, true);
-    for (std::size_t c = first_artificial; c < nc; ++c) allowed[c] = false;
-    if (!tab.optimize(allowed)) return Result{Status::kUnbounded, {}, Rational(0)};
+    if (!tab.optimize(lay.first_artificial))
+      return Result{Status::kUnbounded, {}, Rational(0)};
   }
 
   // Extract solution.
@@ -228,8 +575,8 @@ SimplexSolver::Result SimplexSolver::minimize(const RatVector& objective) const 
   res.status = Status::kOptimal;
   res.point.resize(num_vars_);
   for (std::size_t j = 0; j < num_vars_; ++j) {
-    res.point[j] = values[col_pos[j]];
-    if (col_neg[j] != SIZE_MAX) res.point[j] -= values[col_neg[j]];
+    res.point[j] = values[lay.col_pos[j]];
+    if (lay.col_neg[j] != SIZE_MAX) res.point[j] -= values[lay.col_neg[j]];
   }
   res.objective = -tab.rhs(tab.m);
   return res;

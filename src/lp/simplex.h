@@ -62,6 +62,13 @@ class SimplexSolver {
     bool is_equality;
   };
 
+  /// The exact Rational tableau (always correct, never fast).
+  Result minimize_exact(const RatVector& objective) const;
+  /// The int64 fast lane: same pivots, same Result, arena-backed integer
+  /// rows; throws (internally) and defers to minimize_exact when any
+  /// intermediate leaves the 62-bit safe range. See lp/fastlane.h.
+  Result minimize_fast(const RatVector& objective) const;
+
   std::size_t num_vars_;
   std::vector<bool> nonneg_;
   std::vector<Row> rows_;

@@ -415,13 +415,15 @@ class Scheduler {
         obj_order[c_base_[s] + k] = static_cast<i64>(k);
     }
     const lp::IlpResult r =
-        ilp.lexmin({obj_u, obj_w, obj_c, obj_order}, opts_.ilp);
+        ilp.lexmin({obj_u, obj_w, obj_c, obj_order}, opts_.ilp,
+                   warm_point_ ? &*warm_point_ : nullptr);
     if (r.status != lp::IlpStatus::kOptimal) {
       if (opts_.trace)
         std::cerr << "[sched] lexmin status: " << lp::to_string(r.status)
                   << "\nILP:\n" << ilp.to_string();
       return std::nullopt;
     }
+    warm_point_ = r.point;
 
     // Remember the winning Farkas objective (communication-volume bound
     // u.n + w) for the hyperplane's decision remark.
@@ -713,6 +715,13 @@ class Scheduler {
   std::string cut_reason_ = "initial";
   i64 last_u_sum_ = 0;
   i64 last_w_ = 0;
+
+  // Warm start across Pluto levels: the previous level's lexmin point.
+  // Successive levels share most of their constraint system (bounds +
+  // Farkas rows), so the old point often remains feasible and bounds the
+  // new branch-and-bound; lexmin validates it and ignores stale points,
+  // keeping results byte-identical (see lp/ilp.h).
+  std::optional<IntVector> warm_point_;
 
   // Original SCCs + pre-fusion schedule (policy's view; kept for
   // reporting) and per-statement pre-fusion positions.

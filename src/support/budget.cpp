@@ -29,6 +29,7 @@ Counter fuel_counter(BudgetSite site) {
       return Counter::kBudgetFuelFusionModel;
     case BudgetSite::kJitCc:
       return Counter::kBudgetFuelJitCc;
+    case BudgetSite::kLpFastlane:  // fast-lane attempts never charge fuel
     case BudgetSite::kNumSites:
       break;
   }
@@ -69,6 +70,8 @@ const char* to_string(BudgetSite site) {
       return "fusion_model";
     case BudgetSite::kJitCc:
       return "jit_cc";
+    case BudgetSite::kLpFastlane:
+      return "lp.fastlane";
     case BudgetSite::kNumSites:
       break;
   }
@@ -112,7 +115,7 @@ std::optional<Injection> parse_injection(const std::string& text,
   if (!site)
     return fail("unknown injection site '" + site_name +
                 "' (expected lp_solve, fme_project, dep_pair, pluto_level, "
-                "fusion_model, or jit_cc)");
+                "fusion_model, jit_cc, or lp.fastlane)");
   const std::string rest = text.substr(colon + 1);
   const std::string key = "fail-after=";
   if (rest.rfind(key, 0) != 0)
@@ -159,6 +162,16 @@ void Budget::op_at(BudgetSite site, i64 ordinal) {
   for (const Injection& inj : injections_)
     if (inj.site == site && inj.fail_at == ordinal)
       fault(site, BudgetExceeded::Kind::kInjected, ordinal);
+}
+
+bool Budget::injection_fires(BudgetSite site) {
+  const i64 ordinal = ops_[static_cast<std::size_t>(site)]++;
+  for (const Injection& inj : injections_)
+    if (inj.site == site && inj.fail_at == ordinal) {
+      count(Counter::kBudgetInjectedFaults);
+      return true;
+    }
+  return false;
 }
 
 i64 Budget::task_allowance(std::size_t tasks) const {

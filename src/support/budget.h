@@ -56,6 +56,7 @@ enum class BudgetSite : std::size_t {
   kPlutoLevel,   // one Pluto scheduling level
   kFusionModel,  // fusion-policy work (pre-fusion order computation)
   kJitCc,        // one external JIT compiler invocation
+  kLpFastlane,   // one int64 fast-lane attempt (injection forces fallback)
   kNumSites,
 };
 
@@ -134,6 +135,13 @@ class Budget {
   /// deterministic operation index is defined globally (e.g. the linear
   /// pair index of the parallel dependence phase) rather than per budget.
   void op_at(BudgetSite site, i64 ordinal);
+
+  /// Non-throwing injection probe for fallback-style sites (lp.fastlane):
+  /// advances the site's op ordinal and reports whether an injection
+  /// matches it. The injected fault is counted in stats but, unlike op(),
+  /// does not raise faults() or throw -- a forced fast-lane fallback is
+  /// still an exact answer, not a degraded one.
+  bool injection_fires(BudgetSite site);
 
   i64 fuel_remaining() const { return fuel_; }
   /// Fuel spent through this budget (sub-budget spend counts once
@@ -223,6 +231,13 @@ inline void budget_op(BudgetSite site) {
 /// Announce an operation with an explicit deterministic ordinal.
 inline void budget_op_at(BudgetSite site, i64 ordinal) {
   if (Budget* b = current_budget()) b->op_at(site, ordinal);
+}
+
+/// Probe the calling thread's budget for a matching injection without
+/// throwing; false when no budget is installed.
+inline bool budget_injection_fires(BudgetSite site) {
+  Budget* b = current_budget();
+  return b != nullptr && b->injection_fires(site);
 }
 
 }  // namespace pf::support

@@ -53,6 +53,21 @@ class Rational {
   bool operator<=(const Rational& o) const { return !(o < *this); }
   bool operator>=(const Rational& o) const { return !(*this < o); }
 
+  /// Three-way comparison against a plain integer: num/den <=> v reduces
+  /// to num <=> v*den (den > 0; the 128-bit product is exact). These
+  /// overloads keep hot-loop comparisons like `r < 0` from constructing,
+  /// canonicalizing, and destroying a Rational temporary.
+  int compare(i64 v) const {
+    const i128 rhs = static_cast<i128>(v) * static_cast<i128>(den_);
+    return num_ < rhs ? -1 : (num_ > rhs ? 1 : 0);
+  }
+  bool operator==(i64 v) const { return den_ == 1 && num_ == v; }
+  bool operator!=(i64 v) const { return !(*this == v); }
+  bool operator<(i64 v) const { return compare(v) < 0; }
+  bool operator>(i64 v) const { return compare(v) > 0; }
+  bool operator<=(i64 v) const { return compare(v) <= 0; }
+  bool operator>=(i64 v) const { return compare(v) >= 0; }
+
   Rational abs() const { return num_ < 0 ? -*this : *this; }
   Rational reciprocal() const;
 

@@ -61,6 +61,20 @@ const char* to_string(Counter c) {
       return "budget_downgrades";
     case Counter::kBudgetAssumedDeps:
       return "budget_assumed_deps";
+    case Counter::kFastlaneSolves:
+      return "fastlane_solves";
+    case Counter::kFastlaneFallbacks:
+      return "fastlane_fallbacks";
+    case Counter::kFastlaneFmeRows:
+      return "fastlane_fme_rows";
+    case Counter::kFastlaneFmeFallbacks:
+      return "fastlane_fme_fallbacks";
+    case Counter::kFastlaneWarmHits:
+      return "fastlane_warm_hits";
+    case Counter::kFastlaneWarmMisses:
+      return "fastlane_warm_misses";
+    case Counter::kFastlaneArenaBytes:
+      return "fastlane_arena_bytes";
     case Counter::kNumCounters:
       break;
   }
@@ -110,6 +124,14 @@ std::string Stats::to_string() const {
     os << "  solve_cache_hit_rate = "
        << (100.0 * static_cast<double>(hits) /
            static_cast<double>(hits + misses))
+       << "%\n";
+  }
+  const i64 fast = get(Counter::kFastlaneSolves);
+  const i64 slow = get(Counter::kFastlaneFallbacks);
+  if (fast + slow > 0) {
+    os << "  fastlane_rate = "
+       << (100.0 * static_cast<double>(fast) /
+           static_cast<double>(fast + slow))
        << "%\n";
   }
   std::lock_guard<std::mutex> lock(mu_);

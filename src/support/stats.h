@@ -52,6 +52,13 @@ enum class Counter : std::size_t {
   kBudgetInjectedFaults,  // faults raised by --inject
   kBudgetDowngrades,     // graceful-degradation steps taken, any layer
   kBudgetAssumedDeps,    // dependences conservatively assumed under budget
+  kFastlaneSolves,       // simplex solves served by the int64 fast lane
+  kFastlaneFallbacks,    // per-solve fallbacks to the Rational tableau
+  kFastlaneFmeRows,      // FM row combinations taken by the int64 path
+  kFastlaneFmeFallbacks,  // FM combinations that fell back to checked ops
+  kFastlaneWarmHits,     // scheduler warm-start points accepted (feasible)
+  kFastlaneWarmMisses,   // scheduler warm-start points rejected
+  kFastlaneArenaBytes,   // bytes of arena chunk storage reserved
   kNumCounters,
 };
 

@@ -175,6 +175,48 @@ TEST(Cli, JobsProduceByteIdenticalOutput) {
   EXPECT_NE(run_cli("--jobs=x " + path).exit_code, 0);
 }
 
+TEST(Cli, FastlaneProducesByteIdenticalOutput) {
+  // The int64 fast lane is a pure performance path: --emit output must
+  // be byte-identical with the lane disabled (flag or env) at any job
+  // count. This is the acceptance bar for the lane's fallback contract.
+  const std::string path = write_program("p.pf", kPipeline);
+  for (const char* emit : {"--emit=c", "--emit=deps", "--emit=sched"}) {
+    for (const char* jobs : {"--jobs=1", "--jobs=8"}) {
+      const std::string base = std::string(jobs) + " " + emit + " " + path;
+      const CmdResult lane_on = run_cli(base);
+      const CmdResult lane_off = run_cli("--no-fastlane " + base);
+      const CmdResult env_off = run_cli(base, "POLYFUSE_NO_FASTLANE=1");
+      EXPECT_EQ(lane_on.exit_code, 0) << lane_on.output;
+      EXPECT_EQ(lane_off.exit_code, 0) << lane_off.output;
+      EXPECT_EQ(lane_on.output, lane_off.output) << emit << " " << jobs;
+      EXPECT_EQ(lane_on.output, env_off.output) << emit << " " << jobs;
+    }
+  }
+}
+
+TEST(Cli, FastlaneCountersAppearInStats) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const CmdResult r = run_cli("--stats --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("fastlane_solves"), std::string::npos);
+  EXPECT_NE(r.output.find("fastlane_rate"), std::string::npos);
+  // With the lane off, solves and fallbacks both stay zero.
+  const CmdResult off = run_cli("--stats --no-fastlane --emit=sched " + path);
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  EXPECT_NE(off.output.find("fastlane_solves = 0"), std::string::npos)
+      << off.output;
+  // An lp.fastlane injection forces fallbacks without failing the run.
+  // fail-after=0 fires once per per-pair sub-budget (docs/robustness.md
+  // "Determinism across --jobs"), so assert nonzero rather than a count.
+  const CmdResult inj = run_cli(
+      "--stats --inject=lp.fastlane:fail-after=0 --emit=sched " + path);
+  EXPECT_EQ(inj.exit_code, 0) << inj.output;
+  EXPECT_EQ(inj.output.find("fastlane_fallbacks = 0"), std::string::npos)
+      << inj.output;
+  EXPECT_EQ(inj.output.find("budget_injected_faults = 0"), std::string::npos)
+      << inj.output;
+}
+
 TEST(Cli, StatsReportShowsSolverWork) {
   const std::string path = write_program("p.pf", kPipeline);
   const CmdResult r = run_cli("--stats --emit=c " + path);

@@ -7,9 +7,12 @@
 #      skipped with a notice when clang-tidy is not installed.
 #   3. Robustness sweep on the plain build: the pipeline under tight
 #      compute-fuel budgets, a wall-clock budget, and one injected fault
-#      per solver site must still emit verified, validated code
-#      (docs/robustness.md).
-#   4. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
+#      per solver site (incl. forced lp.fastlane fallbacks) must still
+#      emit verified, validated code (docs/robustness.md).
+#   4. Perf smoke on the plain build: compile_scaling --smoke must show
+#      the int64 fast lane serving >= 90% of simplex solves
+#      (docs/performance.md).
+#   5. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
 #      then the same robustness sweep under the sanitizers.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
@@ -52,7 +55,10 @@ run_robustness() {
   echo "==== [$name] robustness: time budget ===="
   "$cli" --model=wisefuse --time-budget=10000 $checks "$input" >/dev/null
   echo "==== [$name] robustness: fault injection ===="
-  for site in lp_solve fme_project dep_pair pluto_level fusion_model; do
+  # lp.fastlane is injection-only: it forces int64 fast-lane fallbacks
+  # onto the exact Rational lane, which must be output-invisible.
+  for site in lp_solve fme_project dep_pair pluto_level fusion_model \
+              lp.fastlane; do
     echo "-- --inject=$site:fail-after=0"
     "$cli" --model=wisefuse --inject="$site:fail-after=0" --explain \
       $checks "$input" >/dev/null 2>&1 ||
@@ -60,8 +66,42 @@ run_robustness() {
   done
 }
 
+# Perf smoke: the int64 fast lane must actually serve the solver work.
+# compile_scaling --smoke does one rep under a generous fuel budget and
+# reports the lane's solve/fallback split; a rate below the threshold
+# means solves are silently degrading to the exact Rational path, and
+# recorded BENCH_*.json compile times would no longer mean what they
+# claim (docs/performance.md).
+run_perf_smoke() {
+  local name="$1" dir="$2" threshold=90
+  echo "==== [$name] perf smoke: compile_scaling --smoke ===="
+  local out line solves fallbacks total rate
+  out="$("$dir/bench/compile_scaling" --smoke 2>/dev/null)"
+  line="$(printf '%s\n' "$out" | grep '"fastlane":' | head -n 1)"
+  solves="$(printf '%s\n' "$line" | sed -n 's/.*"solves": \([0-9]*\).*/\1/p')"
+  fallbacks="$(printf '%s\n' "$line" |
+    sed -n 's/.*"fallbacks": \([0-9]*\).*/\1/p')"
+  if [ -z "$solves" ] || [ -z "$fallbacks" ]; then
+    echo "perf smoke: could not parse fastlane counters from:"
+    printf '%s\n' "$out"
+    exit 1
+  fi
+  total=$((solves + fallbacks))
+  if [ "$total" -eq 0 ]; then
+    echo "perf smoke: fast lane never attempted a solve"
+    exit 1
+  fi
+  rate=$((100 * solves / total))
+  echo "fast-lane rate: ${rate}% ($solves/$total solves)"
+  if [ "$rate" -lt "$threshold" ]; then
+    echo "perf smoke: fast-lane rate ${rate}% below ${threshold}% threshold"
+    exit 1
+  fi
+}
+
 run_stage "plain" "$PREFIX" -DCMAKE_BUILD_TYPE=Release
 run_robustness "plain" "$PREFIX"
+run_perf_smoke "plain" "$PREFIX"
 
 echo "==== [clang-tidy] src/ ===="
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -40,6 +40,11 @@ inline constexpr OptionDoc kOptionDocs[] = {
      "write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE)"},
     {"--explain[=json]", "print scheduler/fusion decision remarks to stderr"},
     {"--no-solve-cache", "disable the polyhedral solve cache"},
+    {"--no-fastlane",
+     "disable the int64 fast-lane solver paths and run the\n"
+     "exact Rational lane only (POLYFUSE_NO_FASTLANE);\n"
+     "output is byte-identical either way -- see\n"
+     "docs/performance.md"},
     {"--fuel=N",
      "compute-fuel budget: abort solver work after N units\n"
      "and degrade gracefully (POLYFUSE_FUEL); see\n"
@@ -50,8 +55,10 @@ inline constexpr OptionDoc kOptionDocs[] = {
     {"--inject=S:fail-after=K",
      "deterministically fail the K-th operation at site S\n"
      "(lp_solve, fme_project, dep_pair, pluto_level,\n"
-     "fusion_model, jit_cc); repeatable, for testing the\n"
-     "degradation chain (POLYFUSE_INJECT)"},
+     "fusion_model, jit_cc, lp.fastlane); repeatable, for\n"
+     "testing the degradation chain (POLYFUSE_INJECT);\n"
+     "lp.fastlane forces a fast-lane fallback instead of a\n"
+     "fault"},
 };
 
 /// The program-checking modes every user-facing document must mention.

@@ -32,6 +32,9 @@
 //   --explain[=json]  print the scheduler/fusion decision-remark log to
 //                     stderr (deterministic: identical at every --jobs)
 //   --no-solve-cache  disable the polyhedral solve cache
+//   --no-fastlane     disable the int64 fast-lane solver paths; the exact
+//                     Rational lane produces byte-identical output
+//                     (POLYFUSE_NO_FASTLANE, docs/performance.md)
 //   --fuel=N          compute-fuel budget: abort solver work after N units
 //                     and degrade gracefully instead of crashing
 //                     (docs/robustness.md). POLYFUSE_FUEL is the env
@@ -41,7 +44,8 @@
 //   --inject=SITE:fail-after=K
 //                     deterministically fail the K-th operation at SITE
 //                     (lp_solve, fme_project, dep_pair, pluto_level,
-//                     fusion_model, jit_cc); repeatable (POLYFUSE_INJECT)
+//                     fusion_model, jit_cc, lp.fastlane); repeatable
+//                     (POLYFUSE_INJECT)
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
@@ -62,6 +66,7 @@
 #include "exec/interp.h"
 #include "frontend/parser.h"
 #include "fusion/models.h"
+#include "lp/fastlane.h"
 #include "machine/perfmodel.h"
 #include "poly/set.h"
 #include "sched/analysis.h"
@@ -97,6 +102,7 @@ struct Options {
   bool explain_json = false;
   std::string trace_file;  // empty = tracing off
   bool solve_cache = true;
+  bool fastlane = true;
   i64 fuel = -1;            // < 0 = unlimited
   i64 time_budget_ms = -1;  // < 0 = unlimited
   std::vector<support::Injection> injections;
@@ -178,6 +184,7 @@ Options parse_args(int argc, char** argv) {
       o.trace_file = value_of("--trace=");
       if (o.trace_file.empty()) usage("--trace expects a file name");
     } else if (arg == "--no-solve-cache") o.solve_cache = false;
+    else if (arg == "--no-fastlane") o.fastlane = false;
     else if (arg.rfind("--fuel=", 0) == 0) {
       o.fuel = parse_int_option("--fuel", value_of("--fuel="));
       if (o.fuel < 0) usage("--fuel must be >= 0");
@@ -355,6 +362,7 @@ int run_lint_mode(const Options& o, const ir::Scop& scop,
 int run(const Options& o) {
   if (o.jobs != 0) support::set_default_jobs(o.jobs);
   poly::set_solve_cache_enabled(o.solve_cache);
+  if (!o.fastlane) lp::set_fastlane_enabled(false);
 
   // Install the compute budget for the whole pipeline. Must-complete
   // regions (codegen, verify, lint, validation) suspend it themselves;
