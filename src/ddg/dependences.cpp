@@ -1,6 +1,7 @@
 #include "ddg/dependences.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "support/arena.h"
@@ -197,6 +198,7 @@ PairResult analyze_pair(const ir::Scop& scop, std::size_t si, std::size_t sj,
                         std::size_t pair_ordinal,
                         const AnalysisOptions& options) {
   support::count(support::Counter::kDepPairsAnalyzed);
+  const auto t0 = std::chrono::steady_clock::now();
   // The fast-lane simplex tableaux of every solve under this pair come
   // from the thread's arena; releasing per pair puts a hard cap on the
   // storage one pathological pair can pin (the release-to-empty trim).
@@ -231,6 +233,10 @@ PairResult analyze_pair(const ir::Scop& scop, std::size_t si, std::size_t sj,
     span.attr("polyhedra_tested", static_cast<i64>(polyhedra_tested));
     span.attr("deps_found", static_cast<i64>(out.deps.size()));
   }
+  support::observe(support::Hist::kDepPairMicros,
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
   return out;
 }
 

@@ -1,14 +1,35 @@
 #include "lp/ilp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "lp/fastlane.h"
 #include "support/budget.h"
+#include "support/metrics.h"
 #include "support/stats.h"
 #include "support/trace.h"
 
 namespace pf::lp {
+
+namespace {
+
+// Per-solve histogram probe: observes the node count and wall time of one
+// top-level B&B minimize on every return path (including early exits).
+struct IlpSolveProbe {
+  long nodes = 0;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~IlpSolveProbe() {
+    support::observe(support::Hist::kIlpNodesPerSolve, nodes);
+    support::observe(
+        support::Hist::kIlpSolveMicros,
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+};
+
+}  // namespace
 
 const char* to_string(IlpStatus s) {
   switch (s) {
@@ -120,6 +141,8 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
   // One lp_solve "operation" per top-level minimize: the unit --inject
   // counts. Nodes and pivots below only burn fuel.
   support::budget_op(support::BudgetSite::kLpSolve);
+  IlpSolveProbe probe;
+  long& nodes = probe.nodes;
   support::TraceSpan span("lp", "ilp_minimize");
   if (span.active()) {
     span.attr("vars", static_cast<i64>(num_vars_));
@@ -154,7 +177,6 @@ IlpResult IlpProblem::minimize(const IntVector& objective,
 
   std::vector<std::vector<BranchBound>> stack;
   stack.push_back({});
-  long nodes = 0;
 
   while (!stack.empty()) {
     if (++nodes > options.node_cap) {

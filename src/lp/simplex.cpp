@@ -1,13 +1,39 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "lp/fastlane.h"
 #include "support/arena.h"
 #include "support/budget.h"
+#include "support/metrics.h"
 #include "support/stats.h"
 
 namespace pf::lp {
+
+namespace {
+
+// Per-thread running pivot total (both lanes bump it); minimize()
+// snapshots it around a solve to feed the pivots-per-solve histogram.
+thread_local i64 tl_pivots = 0;
+
+// Distribution probe for one top-level SimplexSolver::minimize: pivot
+// delta + wall time, observed on every return path via RAII.
+struct SolveProbe {
+  i64 pivots0 = tl_pivots;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~SolveProbe() {
+    support::observe(support::Hist::kSimplexPivotsPerSolve,
+                     tl_pivots - pivots0);
+    support::observe(
+        support::Hist::kSimplexSolveMicros,
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+};
+
+}  // namespace
 
 const char* to_string(Status s) {
   switch (s) {
@@ -98,6 +124,7 @@ struct Tableau {
 
   void pivot(std::size_t pr, std::size_t pc) {
     support::count(support::Counter::kSimplexPivots);
+    ++tl_pivots;
     // A pivot's real cost is the row sweep, so it charges one LP fuel
     // unit per tableau row (cf. ISL counting low-level operations, not
     // pivots); exhaustion unwinds out of the whole solve to the
@@ -257,6 +284,7 @@ struct IntTableau {
 
   void pivot(std::size_t pr, std::size_t pc) {
     support::count(support::Counter::kSimplexPivots);
+    ++tl_pivots;
     support::budget_charge(support::BudgetSite::kLpSolve,
                            static_cast<i64>(m) + 1);
     // Scale the pivot row so its pivot cell becomes 1: dividing every
@@ -350,12 +378,15 @@ struct IntTableau {
 SimplexSolver::Result SimplexSolver::minimize(
     const RatVector& objective) const {
   PF_CHECK(objective.size() == num_vars_);
+  SolveProbe probe;
   if (fastlane_enabled()) {
     if (support::budget_injection_fires(support::BudgetSite::kLpFastlane)) {
       // --inject lp.fastlane:fail-after=K forces this solve down the
       // Rational lane; both lanes return the same bits, so this is a
       // pure coverage knob, not a fault.
       support::count(support::Counter::kFastlaneFallbacks);
+      support::observe(support::Hist::kFastlaneFallbackCause,
+                       support::kFallbackSimplexInjected);
     } else {
       try {
         Result res = minimize_fast(objective);
@@ -363,6 +394,8 @@ SimplexSolver::Result SimplexSolver::minimize(
         return res;
       } catch (const FastlaneOverflow&) {
         support::count(support::Counter::kFastlaneFallbacks);
+        support::observe(support::Hist::kFastlaneFallbackCause,
+                         support::kFallbackSimplexOverflow);
       }
     }
   }

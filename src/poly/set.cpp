@@ -392,10 +392,13 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
   support::budget_charge(support::BudgetSite::kFmeProject);
   bool lane = false;
   if (lp::fastlane_enabled()) {
-    if (support::budget_injection_fires(support::BudgetSite::kLpFastlane))
+    if (support::budget_injection_fires(support::BudgetSite::kLpFastlane)) {
       support::count(support::Counter::kFastlaneFmeFallbacks);
-    else
+      support::observe(support::Hist::kFastlaneFallbackCause,
+                       support::kFallbackFmeInjected);
+    } else {
       lane = true;
+    }
   }
   // Prefer exact substitution through an equality with a +-1 coefficient
   // on x_k: x_k = -(rest) keeps the projection integer-exact.
@@ -417,6 +420,9 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
           fused = fast_sub_scaled(&c.expr, e, b, a);
           support::count(fused ? support::Counter::kFastlaneFmeRows
                                : support::Counter::kFastlaneFmeFallbacks);
+          if (!fused)
+            support::observe(support::Hist::kFastlaneFallbackCause,
+                             support::kFallbackFmeOverflow);
         }
         if (!fused) c.expr = c.expr - e * checked_mul(b, a);
       }
@@ -458,6 +464,7 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
   }
 
   rest.reserve(rest.size() + lowers.size() * uppers.size());
+  i64 rows_generated = 0;
   for (const Constraint& lo : lowers) {
     for (const Constraint& up : uppers) {
       const i64 a = lo.expr.coeff(k);        // > 0
@@ -469,10 +476,14 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
         fused = fast_combine(lo.expr, b, up.expr, a, &combined);
         support::count(fused ? support::Counter::kFastlaneFmeRows
                              : support::Counter::kFastlaneFmeFallbacks);
+        if (!fused)
+          support::observe(support::Hist::kFastlaneFallbackCause,
+                           support::kFallbackFmeOverflow);
       }
       if (!fused) combined = lo.expr * b + up.expr * a;
       PF_CHECK(combined.coeff(k) == 0);
       support::count(support::Counter::kFmeRowsGenerated);
+      ++rows_generated;
       support::budget_charge(support::BudgetSite::kFmeProject);
       if (combined.is_constant()) {
         if (combined.const_term() < 0) *trivially_empty = true;
@@ -482,6 +493,7 @@ void IntegerSet::fm_eliminate_column(std::vector<Constraint>& cs,
       rest.push_back(Constraint::ge0(std::move(combined)));
     }
   }
+  support::observe(support::Hist::kFmeRowsPerElimination, rows_generated);
   cs = std::move(rest);
 }
 

@@ -1,8 +1,10 @@
 #include "support/budget.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
+#include "support/flightrec.h"
 #include "support/stats.h"
 #include "support/strings.h"
 
@@ -117,15 +119,20 @@ std::optional<Injection> parse_injection(const std::string& text,
                 "' (expected lp_solve, fme_project, dep_pair, pluto_level, "
                 "fusion_model, jit_cc, or lp.fastlane)");
   const std::string rest = text.substr(colon + 1);
-  const std::string key = "fail-after=";
-  if (rest.rfind(key, 0) != 0)
-    return fail("expected 'fail-after=K' after the site name, got '" + rest +
-                "'");
-  const auto ordinal = parse_i64(rest.substr(key.size()));
+  const std::string soft_key = "fail-after=";
+  const std::string hard_key = "abort-after=";
+  const bool hard = rest.rfind(hard_key, 0) == 0;
+  if (!hard && rest.rfind(soft_key, 0) != 0)
+    return fail("expected 'fail-after=K' or 'abort-after=K' after the site "
+                "name, got '" + rest + "'");
+  const std::string value =
+      rest.substr(hard ? hard_key.size() : soft_key.size());
+  const auto ordinal = parse_i64(value);
   if (!ordinal || *ordinal < 0)
-    return fail("fail-after wants a non-negative integer, got '" +
-                rest.substr(key.size()) + "'");
-  return Injection{*site, *ordinal};
+    return fail((hard ? std::string("abort-after")
+                      : std::string("fail-after")) +
+                " wants a non-negative integer, got '" + value + "'");
+  return Injection{*site, *ordinal, hard};
 }
 
 Budget::Budget(const BudgetSpec& spec)
@@ -160,15 +167,20 @@ void Budget::op(BudgetSite site) {
 void Budget::op_at(BudgetSite site, i64 ordinal) {
   check_deadline(site);
   for (const Injection& inj : injections_)
-    if (inj.site == site && inj.fail_at == ordinal)
+    if (inj.site == site && inj.fail_at == ordinal) {
+      if (inj.hard) hard_abort(site, ordinal);
       fault(site, BudgetExceeded::Kind::kInjected, ordinal);
+    }
 }
 
 bool Budget::injection_fires(BudgetSite site) {
   const i64 ordinal = ops_[static_cast<std::size_t>(site)]++;
   for (const Injection& inj : injections_)
     if (inj.site == site && inj.fail_at == ordinal) {
+      if (inj.hard) hard_abort(site, ordinal);
       count(Counter::kBudgetInjectedFaults);
+      flightrec::record(flightrec::EventKind::kFault, to_string(site),
+                        "fault-injected", ordinal);
       return true;
     }
   return false;
@@ -199,7 +211,19 @@ void Budget::fault(BudgetSite site, BudgetExceeded::Kind kind, i64 ordinal) {
   count(kind == BudgetExceeded::Kind::kInjected
             ? Counter::kBudgetInjectedFaults
             : Counter::kBudgetExhaustions);
-  throw BudgetExceeded(site, kind, ordinal);
+  const BudgetExceeded ex(site, kind, ordinal);
+  flightrec::record(flightrec::EventKind::kFault, to_string(site), ex.cause(),
+                    ordinal);
+  throw ex;
+}
+
+void Budget::hard_abort(BudgetSite site, i64 ordinal) {
+  // A hard injection simulates a real crash: leave a breadcrumb in the
+  // ring, then die by SIGABRT so the installed crash handler (if any)
+  // produces the same diagnostic a genuine fatal signal would.
+  flightrec::record(flightrec::EventKind::kFault, to_string(site),
+                    "abort-injected", ordinal);
+  std::abort();
 }
 
 void Budget::check_deadline(BudgetSite site) {

@@ -92,13 +92,20 @@ class BudgetExceeded : public Error {
 
 /// One deterministic injected fault: the operation with 0-based ordinal
 /// `fail_at` at `site` fails (exactly once; later operations succeed).
+/// A *hard* injection (`SITE:abort-after=K`) calls std::abort() at the
+/// matching ordinal instead of throwing: soft faults are recovered by
+/// the graceful-degradation chain, so the hard flavor exists to
+/// deterministically exercise the fatal-signal path -- the flight
+/// recorder's crash dump (docs/observability.md) -- from tests and CI.
 struct Injection {
   BudgetSite site = BudgetSite::kLpSolve;
   i64 fail_at = 0;
+  bool hard = false;
 };
 
-/// Parse "SITE:fail-after=K" (e.g. "dep_pair:fail-after=2"). On failure
-/// returns nullopt and, when `error` is non-null, stores a description.
+/// Parse "SITE:fail-after=K" or "SITE:abort-after=K" (e.g.
+/// "dep_pair:fail-after=2"). On failure returns nullopt and, when
+/// `error` is non-null, stores a description.
 std::optional<Injection> parse_injection(const std::string& text,
                                          std::string* error);
 
@@ -172,6 +179,7 @@ class Budget {
 
   [[noreturn]] void fault(BudgetSite site, BudgetExceeded::Kind kind,
                           i64 ordinal);
+  [[noreturn]] static void hard_abort(BudgetSite site, i64 ordinal);
   void check_deadline(BudgetSite site);
 
   i64 fuel_ = -1;

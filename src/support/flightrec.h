@@ -1,0 +1,121 @@
+// Always-on flight recorder: a fixed-memory, lock-free log of what the
+// pipeline was recently doing, dumped as a self-contained diagnostic
+// when a run dies.
+//
+// Every thread that records gets its own ring of the last kRingEvents
+// events (span opens, decision remarks, phase boundaries, budget faults,
+// injected faults). Recording is wait-free -- a global sequence
+// fetch_add, a bounded byte copy into the thread's own slot, no locks,
+// no allocation after ring creation -- so it stays on in production
+// builds; the recorded overhead budget is <= 2% of end-to-end compile
+// time (enforced by the BENCH_*.json trajectory, docs/observability.md).
+//
+// Dumping is async-signal-safe: install_crash_handler() hooks the fatal
+// signals (SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL) with a handler that
+// writes `polyfuse-diag.<pid>.json` -- ring contents, a metrics
+// snapshot (relaxed atomic reads of the registered registry), and
+// build/invocation info -- using only write(2)/open(2) and hand-rolled
+// formatting, then re-raises the signal. The same writer serves the
+// non-signal dump paths: --diagnose=FILE on exit, BudgetExceeded
+// escaping the pipeline, and strict --verify/--lint failures.
+//
+// Reader caveat: the signal handler snapshots rings other threads are
+// still writing; an event may be torn (mixed fields). Events carry a
+// global sequence number so a torn or stale entry is detectable, and
+// the dump is ordered best-effort, not transactional.
+//
+// POLYFUSE_NO_FLIGHTREC=1 disables recording entirely (the overhead A/B
+// knob for benchmarks); dumps then contain only the metrics snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+namespace pf::support {
+
+class MetricsRegistry;
+
+namespace flightrec {
+
+enum class EventKind : unsigned char {
+  kSpan = 0,    // a TraceSpan opened (a = nesting depth)
+  kRemark,      // a decision remark was emitted
+  kPhaseBegin,  // a PhaseTimer opened (name = phase)
+  kPhaseEnd,    // a PhaseTimer closed (a = elapsed microseconds)
+  kFault,       // a budget fault was raised (name = cause, a = ordinal)
+  kMark,        // anything else worth a breadcrumb
+};
+
+const char* to_string(EventKind kind);
+
+constexpr std::size_t kEventCategoryBytes = 24;  // incl. NUL
+constexpr std::size_t kEventNameBytes = 64;      // incl. NUL
+constexpr std::size_t kRingEvents = 256;         // per recording thread
+
+struct Event {
+  std::uint64_t seq = 0;  // global record order (1-based; 0 = never written)
+  i64 t_us = 0;           // microseconds since the recorder's epoch
+  int tid = 0;            // small per-process recording-thread index
+  EventKind kind = EventKind::kMark;
+  char category[kEventCategoryBytes] = {};
+  char name[kEventNameBytes] = {};
+  i64 a = 0;
+  i64 b = 0;
+};
+
+/// Recording gate; initialized from POLYFUSE_NO_FLIGHTREC on first use.
+bool enabled();
+void set_enabled(bool on);
+
+/// Append one event to the calling thread's ring. Strings are copied
+/// (truncated) into the fixed-size event; near-zero cost, never throws,
+/// no-op when disabled.
+void record(EventKind kind, const char* category, const char* name,
+            i64 a = 0, i64 b = 0) noexcept;
+
+/// Total events ever recorded (each ring keeps only its last
+/// kRingEvents).
+std::uint64_t events_recorded();
+
+/// Number of threads that have recorded at least one event.
+int recording_threads();
+
+/// All currently-retained events, oldest first by global sequence (for
+/// tests and the bench harness; takes no locks, same caveats as dumps).
+std::vector<Event> snapshot();
+
+/// Register the registry whose counters/gauges/histograms dumps
+/// snapshot; nullptr restores the global registry. (An atomic pointer,
+/// not the thread-local scope: signal handlers must not touch TLS.)
+void set_metrics(const MetricsRegistry* registry);
+
+/// Remember the (pre-escaped) command line for dump headers.
+void set_invocation(int argc, char** argv);
+
+/// Hook SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL: dump to
+/// `polyfuse-diag.<pid>.json` (under POLYFUSE_DIAG_DIR if set, else the
+/// working directory), then re-raise. Idempotent.
+void install_crash_handler();
+
+/// The path crash dumps go to (fixed at install_crash_handler() time).
+std::string default_diag_path();
+
+/// Async-signal-safe: write the full diagnostic JSON to an open fd.
+/// `cause` must be a NUL-terminated string with no characters needing
+/// JSON escaping. Returns false on a write error.
+bool dump(int fd, const char* cause) noexcept;
+
+/// Convenience for the non-signal paths (--diagnose, budget/strict-
+/// failure dumps): open `path`, dump, close. Returns false on failure.
+bool write_diag_file(const std::string& path, const char* cause);
+
+/// Drop every ring and zero the recorded-event count (tests only; not
+/// thread-safe against concurrent recording).
+void reset_for_test();
+
+}  // namespace flightrec
+}  // namespace pf::support

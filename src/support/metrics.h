@@ -1,0 +1,290 @@
+// The metrics registry: counters, gauges, and fixed-boundary log-bucket
+// histograms for every layer of the compile pipeline.
+//
+// This generalizes the original flat-counter Stats singleton into the
+// observability substrate a resident compile service needs:
+//
+//  * Counters -- monotone event counts (simplex pivots, FME rows, budget
+//    faults, ...). Lock-free relaxed atomics; worker threads bump them
+//    without contention.
+//
+//  * Gauges -- last-written configuration/footprint values (worker
+//    threads configured, trace-event cap). Merged by max on absorb.
+//
+//  * Histograms -- fixed-boundary distributions of per-operation values:
+//    pivots per simplex solve, branch-and-bound nodes per ILP solve,
+//    solve wall time, FME rows per elimination, dependence-pair analysis
+//    time, fast-lane fallback causes. Buckets are powers of two
+//    (bucket i >= 1 covers [2^(i-1), 2^i - 1]) so observation is one
+//    bit_width plus a few relaxed atomic adds; categorical histograms
+//    (fallback causes) use a linear layout instead.
+//
+// Scoping: metrics flow into the *current* registry -- a thread-local
+// pointer defaulting to the process-wide global registry. A MetricsScope
+// gives one unit of work (today: one polyfuse invocation; tomorrow: one
+// service request) an isolated registry and absorbs it into the parent
+// when the scope ends; absorption is a serial, ordered merge, so scoped
+// runs report deterministically. ThreadPool propagates the submitting
+// thread's registry into its workers, mirroring the per-task budget
+// plumbing.
+//
+// Determinism contract (docs/observability.md): everything under the
+// "runtime" subtree of to_json() -- gauges, wall-clock histograms, phase
+// times, arena footprints -- legitimately varies with machine load and
+// thread count. Everything *outside* it is byte-identical at every
+// --jobs setting (with the solve cache off; cache hit/miss totals depend
+// on interleaving). Tests enforce exactly that split.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/intmath.h"
+
+namespace pf::support {
+
+enum class Counter : std::size_t {
+  kSimplexPivots = 0,    // tableau pivots across all simplex solves
+  kIlpNodes,             // branch-and-bound nodes expanded
+  kIlpSolves,            // top-level ILP minimize() calls
+  kFmeRowsGenerated,     // lower*upper combinations emitted by FM
+  kFmeRowsDropped,       // FM rows dropped (constant rows + pre-dedupe)
+  kSolveCacheHits,       // polyhedral solve cache hits
+  kSolveCacheMisses,     // polyhedral solve cache misses
+  kDepPairsAnalyzed,     // statement pairs processed by dependence analysis
+  kDepPolyhedraBuilt,    // candidate dependence polyhedra tested
+  kVerifyCheckedDeps,    // dependences legality-checked by the verifier
+  kVerifyViolations,     // verifier findings (all kinds)
+  kVerifyRaceChecks,     // (parallel loop, dependence) race checks
+  kLintCheckedAccesses,  // accesses bounds/coverage-checked by --lint
+  kLintValueFlows,       // value-based (last-writer) flows computed
+  kLintFindings,         // lint findings, every severity
+  kLintErrors,           // lint findings of error (correctness) severity
+  kBudgetFuelLpSolve,    // fuel charged at simplex pivots + B&B nodes
+  kBudgetFuelFmeProject,  // fuel charged at Fourier-Motzkin eliminations
+  kBudgetFuelDepPair,    // fuel charged at dependence-pair solves
+  kBudgetFuelPlutoLevel,  // fuel charged at Pluto scheduling levels
+  kBudgetFuelFusionModel,  // fuel charged in fusion-policy work
+  kBudgetFuelJitCc,      // fuel charged at JIT compiler invocations
+  kBudgetExhaustions,    // fuel/deadline faults raised (BudgetExceeded)
+  kBudgetInjectedFaults,  // faults raised by --inject
+  kBudgetDowngrades,     // graceful-degradation steps taken, any layer
+  kBudgetAssumedDeps,    // dependences conservatively assumed under budget
+  kFastlaneSolves,       // simplex solves served by the int64 fast lane
+  kFastlaneFallbacks,    // per-solve fallbacks to the Rational tableau
+  kFastlaneFmeRows,      // FM row combinations taken by the int64 path
+  kFastlaneFmeFallbacks,  // FM combinations that fell back to checked ops
+  kFastlaneWarmHits,     // scheduler warm-start points accepted (feasible)
+  kFastlaneWarmMisses,   // scheduler warm-start points rejected
+  kFastlaneArenaBytes,   // bytes of arena chunk storage reserved
+  kTraceEventsDropped,   // spans/remarks dropped at the tracer buffer cap
+  kNumCounters,
+};
+
+constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kNumCounters);
+
+const char* to_string(Counter c);
+
+/// Counters whose value legitimately depends on the execution
+/// environment (thread count, allocator behavior) rather than on the
+/// input program; reported under the "runtime" subtree of to_json().
+bool counter_is_runtime(Counter c);
+
+enum class Gauge : std::size_t {
+  kJobsConfigured = 0,  // effective worker-thread count of the run
+  kTraceEventCap,       // tracer in-memory buffer cap (events per channel)
+  kFlightrecThreads,    // threads that recorded flight-recorder events
+  kNumGauges,
+};
+
+constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::kNumGauges);
+
+const char* to_string(Gauge g);
+
+enum class Hist : std::size_t {
+  kSimplexPivotsPerSolve = 0,  // pivots per SimplexSolver::minimize
+  kIlpNodesPerSolve,           // B&B nodes per IlpProblem::minimize
+  kFmeRowsPerElimination,      // rows generated per pairwise FM elimination
+  kFastlaneFallbackCause,      // categorical: see FastlaneFallbackCause
+  kSimplexSolveMicros,         // wall microseconds per simplex solve
+  kIlpSolveMicros,             // wall microseconds per ILP solve
+  kDepPairMicros,              // wall microseconds per dependence pair
+  kNumHists,
+};
+
+constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kNumHists);
+
+const char* to_string(Hist h);
+
+/// Bucket layout: log2 for magnitude distributions, linear for
+/// small categorical codes.
+enum class HistLayout { kLog2, kLinear };
+
+HistLayout hist_layout(Hist h);
+
+/// Wall-clock histograms live under the "runtime" subtree of to_json():
+/// their buckets can never be byte-identical across runs.
+bool hist_is_runtime(Hist h);
+
+/// Category codes observed into Hist::kFastlaneFallbackCause (linear
+/// buckets; the bucket index *is* the code).
+enum FastlaneFallbackCause : i64 {
+  kFallbackSimplexOverflow = 0,  // int64 tableau overflowed mid-solve
+  kFallbackSimplexInjected = 1,  // --inject=lp.fastlane forced the solve over
+  kFallbackFmeOverflow = 2,      // int64 FM row combination overflowed
+  kFallbackFmeInjected = 3,      // --inject=lp.fastlane forced the rows over
+  kNumFallbackCauses = 4,
+};
+
+const char* to_string(FastlaneFallbackCause cause);
+
+/// Fixed bucket count for every histogram. Log2 layout: bucket 0 holds
+/// values <= 0, bucket i in [1, kHistBuckets-2] holds [2^(i-1), 2^i - 1],
+/// and the last bucket holds everything >= 2^(kHistBuckets-2).
+constexpr std::size_t kHistBuckets = 24;
+
+/// The bucket a value lands in under `layout` (exposed for tests).
+std::size_t hist_bucket_index(HistLayout layout, i64 value);
+/// Smallest value mapping to bucket `b` (exposed for tests).
+i64 hist_bucket_lower_bound(HistLayout layout, std::size_t b);
+
+/// One registry of counters + gauges + histograms + phase timings.
+/// Recording is thread-safe and lock-free (phase timers take a mutex;
+/// they fire a handful of times per run). Snapshot reads are relaxed
+/// atomic loads, safe from a signal handler holding a registry pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void add(Counter c, i64 n = 1) {
+    counters_[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  i64 get(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+
+  void gauge_set(Gauge g, i64 value) {
+    gauges_[static_cast<std::size_t>(g)].store(value,
+                                               std::memory_order_relaxed);
+  }
+  i64 gauge(Gauge g) const {
+    return gauges_[static_cast<std::size_t>(g)].load(
+        std::memory_order_relaxed);
+  }
+
+  void observe(Hist h, i64 value);
+
+  i64 hist_count(Hist h) const {
+    return hists_[static_cast<std::size_t>(h)].count.load(
+        std::memory_order_relaxed);
+  }
+  i64 hist_sum(Hist h) const {
+    return hists_[static_cast<std::size_t>(h)].sum.load(
+        std::memory_order_relaxed);
+  }
+  /// Min/max observed value; 0 when the histogram is empty.
+  i64 hist_min(Hist h) const;
+  i64 hist_max(Hist h) const;
+  i64 hist_bucket(Hist h, std::size_t b) const {
+    return hists_[static_cast<std::size_t>(h)].buckets[b].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Accumulate wall time under a phase name ("deps", "schedule", ...).
+  /// Repeated phases accumulate; first-use order is preserved for output.
+  void add_phase_seconds(const std::string& phase, double seconds);
+  double phase_seconds(const std::string& phase) const;
+
+  /// Merge `other` into this registry: counters and histogram contents
+  /// add, gauges merge by max, phase timings accumulate in `other`'s
+  /// first-use order. Call from one thread at a time (scope teardown).
+  void absorb(const MetricsRegistry& other);
+
+  /// Zero every counter, gauge and histogram; drop all phase timings.
+  void reset();
+
+  /// Human-readable multi-line report (for `polyfuse --stats`).
+  std::string to_string() const;
+  /// One JSON object: {"counters": {...}, "histograms": {...},
+  /// "runtime": {"counters": {...}, "gauges": {...}, "histograms": {...},
+  /// "phase_seconds": {...}}}. Everything outside "runtime" is
+  /// deterministic; see the header comment.
+  std::string to_json() const;
+
+ private:
+  struct HistData {
+    // min/max start at their sentinel extremes so concurrent first
+    // observations need no "is this the first?" check (which would race);
+    // accessors report 0 while count == 0.
+    std::atomic<i64> count{0};
+    std::atomic<i64> sum{0};
+    std::atomic<i64> min{INT64_MAX};
+    std::atomic<i64> max{INT64_MIN};
+    std::array<std::atomic<i64>, kHistBuckets> buckets{};
+  };
+
+  std::array<std::atomic<i64>, kNumCounters> counters_{};
+  std::array<std::atomic<i64>, kNumGauges> gauges_{};
+  std::array<HistData, kNumHists> hists_{};
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// The process-wide root registry (the absorb target of outermost
+/// scopes; also what unscoped code reports into).
+MetricsRegistry& global_metrics();
+
+/// The registry the calling thread currently reports into: the innermost
+/// MetricsScope's registry, else global_metrics().
+MetricsRegistry& current_metrics();
+
+/// Raw thread-local scope pointer (nullptr = global); used by ThreadPool
+/// to propagate the submitter's scope into worker tasks.
+MetricsRegistry* current_metrics_ptr();
+
+/// RAII metrics scoping. The default constructor opens an *owning* scope:
+/// a fresh registry that the thread reports into, absorbed into the
+/// previously-current registry when the scope closes (a serial, ordered
+/// merge -- this is the per-request isolation a compile service needs).
+/// The pointer constructor opens an *adopting* scope: the thread reports
+/// into an existing registry (nullptr = the global one) and nothing is
+/// absorbed on close -- this is how pool workers join the submitting
+/// thread's scope.
+class MetricsScope {
+ public:
+  MetricsScope();
+  explicit MetricsScope(MetricsRegistry* adopt);
+  ~MetricsScope();
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+  MetricsRegistry& registry() { return *registry_; }
+
+ private:
+  MetricsRegistry* previous_;
+  MetricsRegistry* registry_;
+  MetricsRegistry* absorb_into_ = nullptr;  // owning scopes only
+  std::unique_ptr<MetricsRegistry> owned_;
+};
+
+/// Shorthands: report into the calling thread's current registry.
+inline void count(Counter c, i64 n = 1) { current_metrics().add(c, n); }
+inline void observe(Hist h, i64 value) { current_metrics().observe(h, value); }
+inline void gauge_set(Gauge g, i64 value) {
+  current_metrics().gauge_set(g, value);
+}
+
+}  // namespace pf::support

@@ -1,164 +1,15 @@
 #include "support/stats.h"
 
 #include <chrono>
-#include <sstream>
 
+#include "support/flightrec.h"
 #include "support/trace.h"
 
 namespace pf::support {
 
-const char* to_string(Counter c) {
-  switch (c) {
-    case Counter::kSimplexPivots:
-      return "simplex_pivots";
-    case Counter::kIlpNodes:
-      return "ilp_nodes";
-    case Counter::kIlpSolves:
-      return "ilp_solves";
-    case Counter::kFmeRowsGenerated:
-      return "fme_rows_generated";
-    case Counter::kFmeRowsDropped:
-      return "fme_rows_dropped";
-    case Counter::kSolveCacheHits:
-      return "solve_cache_hits";
-    case Counter::kSolveCacheMisses:
-      return "solve_cache_misses";
-    case Counter::kDepPairsAnalyzed:
-      return "dep_pairs_analyzed";
-    case Counter::kDepPolyhedraBuilt:
-      return "dep_polyhedra_built";
-    case Counter::kVerifyCheckedDeps:
-      return "verify_checked_deps";
-    case Counter::kVerifyViolations:
-      return "verify_violations";
-    case Counter::kVerifyRaceChecks:
-      return "verify_race_checks";
-    case Counter::kLintCheckedAccesses:
-      return "lint_checked_accesses";
-    case Counter::kLintValueFlows:
-      return "lint_value_flows";
-    case Counter::kLintFindings:
-      return "lint_findings";
-    case Counter::kLintErrors:
-      return "lint_errors";
-    case Counter::kBudgetFuelLpSolve:
-      return "budget_fuel_lp_solve";
-    case Counter::kBudgetFuelFmeProject:
-      return "budget_fuel_fme_project";
-    case Counter::kBudgetFuelDepPair:
-      return "budget_fuel_dep_pair";
-    case Counter::kBudgetFuelPlutoLevel:
-      return "budget_fuel_pluto_level";
-    case Counter::kBudgetFuelFusionModel:
-      return "budget_fuel_fusion_model";
-    case Counter::kBudgetFuelJitCc:
-      return "budget_fuel_jit_cc";
-    case Counter::kBudgetExhaustions:
-      return "budget_exhaustions";
-    case Counter::kBudgetInjectedFaults:
-      return "budget_injected_faults";
-    case Counter::kBudgetDowngrades:
-      return "budget_downgrades";
-    case Counter::kBudgetAssumedDeps:
-      return "budget_assumed_deps";
-    case Counter::kFastlaneSolves:
-      return "fastlane_solves";
-    case Counter::kFastlaneFallbacks:
-      return "fastlane_fallbacks";
-    case Counter::kFastlaneFmeRows:
-      return "fastlane_fme_rows";
-    case Counter::kFastlaneFmeFallbacks:
-      return "fastlane_fme_fallbacks";
-    case Counter::kFastlaneWarmHits:
-      return "fastlane_warm_hits";
-    case Counter::kFastlaneWarmMisses:
-      return "fastlane_warm_misses";
-    case Counter::kFastlaneArenaBytes:
-      return "fastlane_arena_bytes";
-    case Counter::kNumCounters:
-      break;
-  }
-  return "?";
-}
-
 Stats& Stats::instance() {
   static Stats s;
   return s;
-}
-
-void Stats::add_phase_seconds(const std::string& phase, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, total] : phases_) {
-    if (name == phase) {
-      total += seconds;
-      return;
-    }
-  }
-  phases_.emplace_back(phase, seconds);
-}
-
-double Stats::phase_seconds(const std::string& phase) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, total] : phases_)
-    if (name == phase) return total;
-  return 0.0;
-}
-
-void Stats::reset() {
-  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  phases_.clear();
-}
-
-std::string Stats::to_string() const {
-  std::ostringstream os;
-  os << "compile pipeline stats:\n";
-  for (std::size_t i = 0;
-       i < static_cast<std::size_t>(Counter::kNumCounters); ++i) {
-    const Counter c = static_cast<Counter>(i);
-    os << "  " << support::to_string(c) << " = " << get(c) << "\n";
-  }
-  const i64 hits = get(Counter::kSolveCacheHits);
-  const i64 misses = get(Counter::kSolveCacheMisses);
-  if (hits + misses > 0) {
-    os << "  solve_cache_hit_rate = "
-       << (100.0 * static_cast<double>(hits) /
-           static_cast<double>(hits + misses))
-       << "%\n";
-  }
-  const i64 fast = get(Counter::kFastlaneSolves);
-  const i64 slow = get(Counter::kFastlaneFallbacks);
-  if (fast + slow > 0) {
-    os << "  fastlane_rate = "
-       << (100.0 * static_cast<double>(fast) /
-           static_cast<double>(fast + slow))
-       << "%\n";
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, total] : phases_)
-    os << "  phase " << name << " = " << total << " s\n";
-  return os.str();
-}
-
-std::string Stats::to_json() const {
-  std::ostringstream os;
-  os << "{\"counters\": {";
-  for (std::size_t i = 0;
-       i < static_cast<std::size_t>(Counter::kNumCounters); ++i) {
-    const Counter c = static_cast<Counter>(i);
-    if (i != 0) os << ", ";
-    os << "\"" << support::to_string(c) << "\": " << get(c);
-  }
-  os << "}, \"phase_seconds\": {";
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t i = 0; i < phases_.size(); ++i) {
-      if (i != 0) os << ", ";
-      os << "\"" << phases_[i].first << "\": " << phases_[i].second;
-    }
-  }
-  os << "}}";
-  return os.str();
 }
 
 namespace {
@@ -173,6 +24,8 @@ double now_seconds() {
 
 PhaseTimer::PhaseTimer(std::string phase)
     : phase_(std::move(phase)), start_(now_seconds()) {
+  flightrec::record(flightrec::EventKind::kPhaseBegin, "phase",
+                    phase_.c_str());
   // Phases double as top-level trace spans, so a --trace run shows the
   // driver's parse/deps/schedule/codegen regions without extra plumbing.
   if (Tracer::spans_on())
@@ -180,7 +33,10 @@ PhaseTimer::PhaseTimer(std::string phase)
 }
 
 PhaseTimer::~PhaseTimer() {
-  Stats::instance().add_phase_seconds(phase_, now_seconds() - start_);
+  const double elapsed = now_seconds() - start_;
+  flightrec::record(flightrec::EventKind::kPhaseEnd, "phase", phase_.c_str(),
+                    static_cast<i64>(elapsed * 1e6));
+  Stats::instance().add_phase_seconds(phase_, elapsed);
 }
 
 }  // namespace pf::support

@@ -1,111 +1,55 @@
-// Pipeline-wide performance counters and phase timers.
+// Compatibility facade over the metrics registry (support/metrics.h).
 //
-// Every hot layer of the compile pipeline reports here: the simplex
-// counts pivots, the branch-and-bound ILP counts nodes, Fourier-Motzkin
-// counts generated/dropped rows, the polyhedral solve cache counts
-// hits/misses, and the driver records wall time per phase (parse / deps /
-// schedule / codegen). Counters are lock-free atomics so worker threads
-// can bump them without contention; phase timers take a mutex (they fire
-// a handful of times per run).
-//
-// Surfaced via `polyfuse --stats` and recorded as JSON by the bench
-// harness, so BENCH_*.json files can track solver work, not just kernel
-// time.
+// Stats predates the registry: it was the process-global flat-counter
+// singleton every pipeline layer reported into. The registry generalizes
+// it (counters + gauges + histograms, request-scoped via MetricsScope),
+// and this header keeps the old spelling working: `Stats::instance()`
+// is a stateless facade whose every call routes to the calling thread's
+// *current* registry, so existing call sites -- tests, the bench
+// harness, the CLI -- transparently observe whichever scope is
+// installed. New code should use support/metrics.h directly.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "support/intmath.h"
+#include "support/metrics.h"
 
 namespace pf::support {
 
-enum class Counter : std::size_t {
-  kSimplexPivots = 0,    // tableau pivots across all simplex solves
-  kIlpNodes,             // branch-and-bound nodes expanded
-  kIlpSolves,            // top-level ILP minimize() calls
-  kFmeRowsGenerated,     // lower*upper combinations emitted by FM
-  kFmeRowsDropped,       // FM rows dropped (constant rows + pre-dedupe)
-  kSolveCacheHits,       // polyhedral solve cache hits
-  kSolveCacheMisses,     // polyhedral solve cache misses
-  kDepPairsAnalyzed,     // statement pairs processed by dependence analysis
-  kDepPolyhedraBuilt,    // candidate dependence polyhedra tested
-  kVerifyCheckedDeps,    // dependences legality-checked by the verifier
-  kVerifyViolations,     // verifier findings (all kinds)
-  kVerifyRaceChecks,     // (parallel loop, dependence) race checks
-  kLintCheckedAccesses,  // accesses bounds/coverage-checked by --lint
-  kLintValueFlows,       // value-based (last-writer) flows computed
-  kLintFindings,         // lint findings, every severity
-  kLintErrors,           // lint findings of error (correctness) severity
-  kBudgetFuelLpSolve,    // fuel charged at simplex pivots + B&B nodes
-  kBudgetFuelFmeProject,  // fuel charged at Fourier-Motzkin eliminations
-  kBudgetFuelDepPair,    // fuel charged at dependence-pair solves
-  kBudgetFuelPlutoLevel,  // fuel charged at Pluto scheduling levels
-  kBudgetFuelFusionModel,  // fuel charged in fusion-policy work
-  kBudgetFuelJitCc,      // fuel charged at JIT compiler invocations
-  kBudgetExhaustions,    // fuel/deadline faults raised (BudgetExceeded)
-  kBudgetInjectedFaults,  // faults raised by --inject
-  kBudgetDowngrades,     // graceful-degradation steps taken, any layer
-  kBudgetAssumedDeps,    // dependences conservatively assumed under budget
-  kFastlaneSolves,       // simplex solves served by the int64 fast lane
-  kFastlaneFallbacks,    // per-solve fallbacks to the Rational tableau
-  kFastlaneFmeRows,      // FM row combinations taken by the int64 path
-  kFastlaneFmeFallbacks,  // FM combinations that fell back to checked ops
-  kFastlaneWarmHits,     // scheduler warm-start points accepted (feasible)
-  kFastlaneWarmMisses,   // scheduler warm-start points rejected
-  kFastlaneArenaBytes,   // bytes of arena chunk storage reserved
-  kNumCounters,
-};
-
-const char* to_string(Counter c);
-
 class Stats {
  public:
-  /// The process-wide instance everything reports into.
+  /// The facade instance; state lives in current_metrics().
   static Stats& instance();
 
-  void add(Counter c, i64 n = 1) {
-    counters_[static_cast<std::size_t>(c)].fetch_add(
-        n, std::memory_order_relaxed);
-  }
-  i64 get(Counter c) const {
-    return counters_[static_cast<std::size_t>(c)].load(
-        std::memory_order_relaxed);
-  }
+  void add(Counter c, i64 n = 1) { current_metrics().add(c, n); }
+  i64 get(Counter c) const { return current_metrics().get(c); }
 
   /// Accumulate wall time under a phase name ("deps", "schedule", ...).
   /// Repeated phases accumulate; first-use order is preserved for output.
-  void add_phase_seconds(const std::string& phase, double seconds);
-  double phase_seconds(const std::string& phase) const;
+  void add_phase_seconds(const std::string& phase, double seconds) {
+    current_metrics().add_phase_seconds(phase, seconds);
+  }
+  double phase_seconds(const std::string& phase) const {
+    return current_metrics().phase_seconds(phase);
+  }
 
-  /// Zero every counter and drop all phase timings.
-  void reset();
+  /// Zero every counter/gauge/histogram and drop all phase timings.
+  void reset() { current_metrics().reset(); }
 
   /// Human-readable multi-line report (for `polyfuse --stats`).
-  std::string to_string() const;
-  /// One JSON object: {"counters": {...}, "phase_seconds": {...}}.
-  std::string to_json() const;
-
- private:
-  std::array<std::atomic<i64>, static_cast<std::size_t>(Counter::kNumCounters)>
-      counters_{};
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, double>> phases_;
+  std::string to_string() const { return current_metrics().to_string(); }
+  /// The registry's JSON (see MetricsRegistry::to_json for the shape).
+  std::string to_json() const { return current_metrics().to_json(); }
 };
-
-/// Shorthand for Stats::instance().add(c, n).
-inline void count(Counter c, i64 n = 1) { Stats::instance().add(c, n); }
 
 class TraceSpan;
 
 /// RAII phase timer: accumulates elapsed wall time into the named phase.
 /// When span tracing is enabled (support/trace.h), the phase is also
-/// recorded as a top-level trace span.
+/// recorded as a top-level trace span; the flight recorder always logs
+/// the phase boundaries.
 class PhaseTimer {
  public:
   explicit PhaseTimer(std::string phase);

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <utility>
 
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace pf::support {
@@ -83,6 +85,17 @@ void ThreadPool::worker_loop() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  // Workers report metrics into the submitting thread's scope: capture
+  // the submitter's registry pointer now and adopt it inside the task,
+  // mirroring the per-task BudgetScope plumbing in dependence analysis.
+  // Inline mode skips the wrap -- the caller's TLS is already right.
+  if (!workers_.empty()) {
+    MetricsRegistry* scope = current_metrics_ptr();
+    fn = [scope, inner = std::move(fn)] {
+      MetricsScope adopt(scope);
+      inner();
+    };
+  }
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   if (workers_.empty()) {

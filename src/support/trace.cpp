@@ -5,10 +5,17 @@
 #include <sstream>
 #include <thread>
 
+#include "support/flightrec.h"
+#include "support/metrics.h"
+
 namespace pf::support {
 
 std::atomic<bool> Tracer::spans_enabled_{false};
 std::atomic<bool> Tracer::remarks_enabled_{false};
+// 1M events/channel ~ a few hundred MB worst case; far above any one
+// compile, low enough that a leaky resident service degrades to dropped
+// spans (counted) instead of OOM.
+std::atomic<std::size_t> Tracer::max_events_{1u << 20};
 
 namespace {
 
@@ -46,18 +53,28 @@ double Tracer::now_us() const {
 void Tracer::remark(std::string category, std::string message,
                     std::vector<TraceAttr> attrs) {
   if (!remarks_on()) return;
+  flightrec::record(flightrec::EventKind::kRemark, category.c_str(),
+                    message.c_str());
   Remark r;
   r.category = std::move(category);
   r.message = std::move(message);
   r.attrs = std::move(attrs);
   r.ts_us = now_us();
   std::lock_guard<std::mutex> lock(mu_);
+  if (remarks_.size() >= max_events()) {
+    count(Counter::kTraceEventsDropped);
+    return;
+  }
   r.seq = remarks_.size();
   remarks_.push_back(std::move(r));
 }
 
 void Tracer::record_span(SpanInfo info) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_events()) {
+    count(Counter::kTraceEventsDropped);
+    return;
+  }
   spans_.push_back(std::move(info));
 }
 
@@ -200,6 +217,11 @@ std::string Tracer::remarks_json() const {
 }
 
 TraceSpan::TraceSpan(const char* category, const char* name) {
+  // The flight recorder logs every span open, traced or not: a crash
+  // dump must say what the pipeline was doing without --trace on. Span
+  // bodies are bounded copies into a per-thread ring; when the span is
+  // inactive no strings are retained here, so only the open is logged.
+  flightrec::record(flightrec::EventKind::kSpan, category, name, tls_depth);
   if (!Tracer::spans_on()) return;
   active_ = true;
   info_.category = category;
@@ -210,6 +232,8 @@ TraceSpan::TraceSpan(const char* category, const char* name) {
 }
 
 TraceSpan::TraceSpan(const char* category, std::string name) {
+  flightrec::record(flightrec::EventKind::kSpan, category, name.c_str(),
+                    tls_depth);
   if (!Tracer::spans_on()) return;
   active_ = true;
   info_.category = category;

@@ -78,6 +78,20 @@ class Tracer {
     remarks_enabled_.store(on, std::memory_order_relaxed);
   }
 
+  /// In-memory buffer cap, per channel (spans and remarks each): once a
+  /// channel holds this many events, further events are dropped and
+  /// counted in the trace_events_dropped counter instead of growing the
+  /// vector without bound -- a resident service must not OOM from
+  /// tracing. Configurable via POLYFUSE_TRACE_MAX_EVENTS (parsed by the
+  /// CLI); the flight recorder (support/flightrec.h) still sees every
+  /// event, its rings overwrite instead of dropping.
+  static std::size_t max_events() {
+    return max_events_.load(std::memory_order_relaxed);
+  }
+  static void set_max_events(std::size_t cap) {
+    max_events_.store(cap, std::memory_order_relaxed);
+  }
+
   /// Append one decision remark (no-op when the channel is disabled).
   void remark(std::string category, std::string message,
               std::vector<TraceAttr> attrs = {});
@@ -107,6 +121,7 @@ class Tracer {
 
   static std::atomic<bool> spans_enabled_;
   static std::atomic<bool> remarks_enabled_;
+  static std::atomic<std::size_t> max_events_;
 
   mutable std::mutex mu_;
   std::vector<SpanInfo> spans_;

@@ -481,6 +481,136 @@ TEST(Cli, MalformedProgramsProduceLocatedDiagnostics) {
   }
 }
 
+TEST(Cli, StatsJsonHistogramsDeterministicAcrossJobs) {
+  // The determinism contract of docs/observability.md: everything outside
+  // the "runtime" subtree of --stats=json is byte-identical at every
+  // --jobs (cache off; hit/miss totals depend on interleaving). The
+  // histograms of per-solve work live in the deterministic part.
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string base = "--stats=json --no-solve-cache --emit=sched " + path;
+  const SplitResult serial = run_cli_split("--jobs=1 " + base);
+  const SplitResult parallel = run_cli_split("--jobs=8 " + base);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  const auto deterministic_part = [](const std::string& err) {
+    const std::size_t runtime = err.find("\"runtime\"");
+    EXPECT_NE(runtime, std::string::npos) << err;
+    return err.substr(0, runtime);
+  };
+  EXPECT_EQ(deterministic_part(serial.err), deterministic_part(parallel.err));
+  // Every histogram the registry defines is present.
+  for (const char* h :
+       {"\"simplex_pivots_per_solve\"", "\"ilp_nodes_per_solve\"",
+        "\"fme_rows_per_elimination\"", "\"fastlane_fallback_cause\"",
+        "\"simplex_solve_us\"", "\"ilp_solve_us\"", "\"dep_pair_us\""})
+    EXPECT_NE(serial.err.find(h), std::string::npos) << h;
+  EXPECT_TRUE(pf::testjson::valid(
+      serial.err.substr(0, serial.err.find_last_of('}') + 1)))
+      << serial.err;
+}
+
+// The polyfuse-diag.*.json files a run directed at `dir` left behind.
+std::vector<std::string> diag_files_in(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().filename().string().rfind("polyfuse-diag.", 0) == 0)
+      out.push_back(e.path().string());
+  return out;
+}
+
+std::string make_diag_dir(const std::string& name) {
+  const std::string dir = temp_path(name);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Cli, HardInjectionLeavesParseableCrashDiagnostic) {
+  // --inject=SITE:abort-after=K kills the run with SIGABRT at a
+  // deterministic operation; the crash handler must leave a parseable
+  // flight-recorder dump with recent events and a metrics snapshot.
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string dir = make_diag_dir("crashdiag");
+  const CmdResult r = run_cli("--inject=lp_solve:abort-after=0 " + path,
+                              "POLYFUSE_DIAG_DIR=" + dir);
+  EXPECT_NE(r.exit_code, 0);
+  const auto diags = diag_files_in(dir);
+  ASSERT_EQ(diags.size(), 1u) << r.output;
+  const std::string dump = slurp(diags[0]);
+  EXPECT_TRUE(pf::testjson::valid(dump)) << dump;
+  EXPECT_NE(dump.find("\"cause\": \"signal:SIGABRT\""), std::string::npos);
+  // The hard injection's own breadcrumb is the last recorded event.
+  EXPECT_NE(dump.find("\"abort-injected\""), std::string::npos) << dump;
+  // Recent spans/phases and the metrics snapshot are all present.
+  EXPECT_NE(dump.find("\"events\""), std::string::npos);
+  EXPECT_NE(dump.find("\"parse\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(dump.find("\"simplex_pivots\""), std::string::npos);
+  EXPECT_NE(dump.find("\"invocation\""), std::string::npos);
+}
+
+TEST(Cli, DiagnoseFlagWritesReportOnNormalExit) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string diag = temp_path("diagnose.json");
+  const CmdResult r = run_cli("--diagnose=" + diag + " --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string dump = slurp(diag);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_TRUE(pf::testjson::valid(dump)) << dump;
+  EXPECT_NE(dump.find("\"cause\": \"requested\""), std::string::npos);
+  EXPECT_NE(dump.find("\"events\""), std::string::npos);
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Cli, StrictLintFailureStillPrintsStatsAndDumpsDiag) {
+  // Early-exit paths owe the user their requested outputs: a strict lint
+  // failure exits 1 but --stats must still report, and a crash-style
+  // diagnostic records why the run was rejected.
+  const std::string bad = write_program(
+      "oobstats.pf",
+      "scop oob(N) { context N >= 4; array a[N];\n"
+      "for (i = 0 .. N) { S1: a[i] = i * 1.0; } }");
+  const std::string dir = make_diag_dir("lintdiag");
+  const std::string out_file = temp_path("lintout");
+  const std::string cmd = "POLYFUSE_DIAG_DIR=" + dir + " " +
+                          std::string(POLYFUSE_CLI_PATH) +
+                          " --lint=strict --stats --emit=sched " + bad +
+                          " > " + out_file + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  const std::string output = slurp(out_file);
+  EXPECT_EQ(WEXITSTATUS(rc), 1) << output;
+  EXPECT_NE(output.find("compile pipeline stats:"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("lint_errors = 1"), std::string::npos) << output;
+  const auto diags = diag_files_in(dir);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(slurp(diags[0]).find("\"cause\": \"lint-strict-failure\""),
+            std::string::npos);
+}
+
+TEST(Cli, TraceMaxEventsEnvCapsBufferAndCounts) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string trace = temp_path("capped_trace.json");
+  const SplitResult uncapped =
+      run_cli_split("--trace=" + trace + " --stats --emit=sched " + path);
+  EXPECT_EQ(uncapped.exit_code, 0) << uncapped.err;
+  EXPECT_NE(uncapped.err.find("trace_events_dropped = 0"), std::string::npos)
+      << uncapped.err;
+
+  const std::string out_file = temp_path("capout");
+  const std::string cmd = "POLYFUSE_TRACE_MAX_EVENTS=1 " +
+                          std::string(POLYFUSE_CLI_PATH) + " --trace=" + trace +
+                          " --stats --emit=sched " + path + " > /dev/null 2> " +
+                          out_file;
+  const int rc = std::system(cmd.c_str());
+  const std::string err = slurp(out_file);
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << err;
+  // With a one-event cap nearly everything is dropped -- and counted.
+  EXPECT_EQ(err.find("trace_events_dropped = 0"), std::string::npos) << err;
+  EXPECT_NE(err.find("trace_events_dropped"), std::string::npos) << err;
+  // The capped trace file is still well-formed JSON.
+  EXPECT_TRUE(pf::testjson::valid(slurp(trace)));
+}
+
 TEST(Cli, MalformedNumericOptionsExitWithUsage) {
   const std::string path = write_program("p.pf", kPipeline);
   for (const char* bad :

@@ -1,0 +1,342 @@
+// Unit tests for the observability substrate: the metrics registry
+// (counters, gauges, log-bucket histograms, scoped absorption), the
+// Stats compatibility shim, the tracer's buffer cap, and the flight
+// recorder (ring recording, snapshots, async-signal-safe dumps).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "support/flightrec.h"
+#include "support/metrics.h"
+#include "support/stats.h"
+#include "support/threadpool.h"
+#include "support/trace.h"
+
+namespace pf::support {
+namespace {
+
+TEST(HistBuckets, Log2Boundaries) {
+  const HistLayout L = HistLayout::kLog2;
+  // Non-positive values land in bucket 0.
+  EXPECT_EQ(hist_bucket_index(L, -100), 0u);
+  EXPECT_EQ(hist_bucket_index(L, 0), 0u);
+  // Bucket i >= 1 covers [2^(i-1), 2^i - 1].
+  EXPECT_EQ(hist_bucket_index(L, 1), 1u);
+  EXPECT_EQ(hist_bucket_index(L, 2), 2u);
+  EXPECT_EQ(hist_bucket_index(L, 3), 2u);
+  EXPECT_EQ(hist_bucket_index(L, 4), 3u);
+  EXPECT_EQ(hist_bucket_index(L, 7), 3u);
+  EXPECT_EQ(hist_bucket_index(L, 8), 4u);
+  for (std::size_t b = 1; b + 1 < kHistBuckets; ++b) {
+    const i64 lo = hist_bucket_lower_bound(L, b);
+    EXPECT_EQ(hist_bucket_index(L, lo), b) << "lower bound of bucket " << b;
+    EXPECT_EQ(hist_bucket_index(L, 2 * lo - 1), b)
+        << "upper bound of bucket " << b;
+    EXPECT_EQ(hist_bucket_index(L, 2 * lo), b + 1)
+        << "first value past bucket " << b;
+  }
+  // The last bucket absorbs the whole tail.
+  EXPECT_EQ(hist_bucket_index(L, INT64_MAX), kHistBuckets - 1);
+}
+
+TEST(HistBuckets, LinearBoundaries) {
+  const HistLayout L = HistLayout::kLinear;
+  EXPECT_EQ(hist_bucket_index(L, -1), 0u);
+  EXPECT_EQ(hist_bucket_index(L, 0), 0u);
+  EXPECT_EQ(hist_bucket_index(L, 1), 1u);
+  EXPECT_EQ(hist_bucket_index(L, 5), 5u);
+  EXPECT_EQ(hist_bucket_index(L, 1000), kHistBuckets - 1);  // clamped
+  EXPECT_EQ(hist_bucket_lower_bound(L, 7), 7);
+}
+
+TEST(MetricsRegistry, ObserveTracksCountSumMinMaxBuckets) {
+  MetricsRegistry reg;
+  const Hist h = Hist::kSimplexPivotsPerSolve;
+  EXPECT_EQ(reg.hist_count(h), 0);
+  EXPECT_EQ(reg.hist_min(h), 0);  // empty histogram reports 0, not sentinel
+  EXPECT_EQ(reg.hist_max(h), 0);
+  for (i64 v : {5, 1, 9, 0, 5}) reg.observe(h, v);
+  EXPECT_EQ(reg.hist_count(h), 5);
+  EXPECT_EQ(reg.hist_sum(h), 20);
+  EXPECT_EQ(reg.hist_min(h), 0);
+  EXPECT_EQ(reg.hist_max(h), 9);
+  EXPECT_EQ(reg.hist_bucket(h, 0), 1);  // the 0
+  EXPECT_EQ(reg.hist_bucket(h, 1), 1);  // the 1
+  EXPECT_EQ(reg.hist_bucket(h, 3), 2);  // the two 5s
+  EXPECT_EQ(reg.hist_bucket(h, 4), 1);  // the 9
+}
+
+TEST(MetricsRegistry, AbsorbMergesEverything) {
+  MetricsRegistry parent, child;
+  parent.add(Counter::kSimplexPivots, 10);
+  child.add(Counter::kSimplexPivots, 32);
+  parent.gauge_set(Gauge::kJobsConfigured, 2);
+  child.gauge_set(Gauge::kJobsConfigured, 8);  // gauges merge by max
+  parent.observe(Hist::kIlpNodesPerSolve, 3);
+  child.observe(Hist::kIlpNodesPerSolve, 100);
+  parent.add_phase_seconds("deps", 1.0);
+  child.add_phase_seconds("deps", 0.5);
+  child.add_phase_seconds("schedule", 2.0);
+
+  parent.absorb(child);
+  EXPECT_EQ(parent.get(Counter::kSimplexPivots), 42);
+  EXPECT_EQ(parent.gauge(Gauge::kJobsConfigured), 8);
+  EXPECT_EQ(parent.hist_count(Hist::kIlpNodesPerSolve), 2);
+  EXPECT_EQ(parent.hist_sum(Hist::kIlpNodesPerSolve), 103);
+  EXPECT_EQ(parent.hist_min(Hist::kIlpNodesPerSolve), 3);
+  EXPECT_EQ(parent.hist_max(Hist::kIlpNodesPerSolve), 100);
+  EXPECT_DOUBLE_EQ(parent.phase_seconds("deps"), 1.5);
+  EXPECT_DOUBLE_EQ(parent.phase_seconds("schedule"), 2.0);
+}
+
+TEST(MetricsRegistry, AbsorbEmptyHistogramKeepsMinMax) {
+  MetricsRegistry parent, child;
+  parent.observe(Hist::kDepPairMicros, 7);
+  parent.absorb(child);  // child never observed anything
+  EXPECT_EQ(parent.hist_min(Hist::kDepPairMicros), 7);
+  EXPECT_EQ(parent.hist_max(Hist::kDepPairMicros), 7);
+  // And the mirror case: empty parent absorbs a filled child.
+  MetricsRegistry parent2;
+  parent2.absorb(parent);
+  EXPECT_EQ(parent2.hist_min(Hist::kDepPairMicros), 7);
+  EXPECT_EQ(parent2.hist_count(Hist::kDepPairMicros), 1);
+}
+
+TEST(MetricsRegistry, ResetZeroesAndEmptiesSentinels) {
+  MetricsRegistry reg;
+  reg.add(Counter::kIlpNodes, 3);
+  reg.observe(Hist::kIlpNodesPerSolve, 12);
+  reg.add_phase_seconds("parse", 0.1);
+  reg.reset();
+  EXPECT_EQ(reg.get(Counter::kIlpNodes), 0);
+  EXPECT_EQ(reg.hist_count(Hist::kIlpNodesPerSolve), 0);
+  EXPECT_EQ(reg.hist_min(Hist::kIlpNodesPerSolve), 0);
+  EXPECT_DOUBLE_EQ(reg.phase_seconds("parse"), 0.0);
+  // A fresh observation after reset re-establishes min/max from scratch.
+  reg.observe(Hist::kIlpNodesPerSolve, 5);
+  EXPECT_EQ(reg.hist_min(Hist::kIlpNodesPerSolve), 5);
+  EXPECT_EQ(reg.hist_max(Hist::kIlpNodesPerSolve), 5);
+}
+
+TEST(MetricsScope, OwningScopeIsolatesAndAbsorbs) {
+  MetricsRegistry outer;
+  MetricsScope adopt_outer(&outer);
+  const i64 before = outer.get(Counter::kFmeRowsGenerated);
+  {
+    MetricsScope inner;  // owning: fresh registry
+    count(Counter::kFmeRowsGenerated, 4);
+    EXPECT_EQ(inner.registry().get(Counter::kFmeRowsGenerated), 4);
+    EXPECT_EQ(outer.get(Counter::kFmeRowsGenerated), before);  // isolated
+  }
+  // Scope close absorbed into the previously-current registry.
+  EXPECT_EQ(outer.get(Counter::kFmeRowsGenerated), before + 4);
+}
+
+TEST(MetricsScope, ConcurrentScopesStayIsolated) {
+  MetricsRegistry a, b;
+  std::atomic<bool> go{false};
+  auto work = [&go](MetricsRegistry* reg, i64 n) {
+    MetricsScope scope(reg);
+    while (!go.load()) std::this_thread::yield();
+    for (i64 i = 0; i < n; ++i) {
+      count(Counter::kDepPairsAnalyzed);
+      observe(Hist::kDepPairMicros, i);
+    }
+  };
+  std::thread ta(work, &a, 100), tb(work, &b, 37);
+  go.store(true);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.get(Counter::kDepPairsAnalyzed), 100);
+  EXPECT_EQ(b.get(Counter::kDepPairsAnalyzed), 37);
+  EXPECT_EQ(a.hist_count(Hist::kDepPairMicros), 100);
+  EXPECT_EQ(b.hist_count(Hist::kDepPairMicros), 37);
+  EXPECT_EQ(b.hist_max(Hist::kDepPairMicros), 36);
+}
+
+TEST(MetricsScope, AbsorbIsDeterministicAcrossThreadCounts) {
+  // The same work split across 1 or 8 scoped workers must absorb to the
+  // same deterministic JSON subtree (the contract --stats=json tests
+  // enforce end to end on the real binary).
+  auto run = [](std::size_t workers) {
+    MetricsRegistry total;
+    MetricsScope adopt(&total);
+    ThreadPool pool(workers);
+    pool.parallel_for(0, 64, [](std::size_t i) {
+      count(Counter::kSimplexPivots, static_cast<i64>(i));
+      observe(Hist::kSimplexPivotsPerSolve, static_cast<i64>(i % 11));
+    });
+    std::string json = total.to_json();
+    // Mask the runtime subtree: gauges and wall-clock data may differ.
+    const std::size_t runtime = json.find("\"runtime\"");
+    return json.substr(0, runtime);
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(MetricsScope, ThreadPoolWorkersReportIntoSubmitterScope) {
+  MetricsRegistry total;
+  {
+    MetricsScope adopt(&total);
+    ThreadPool pool(4);
+    pool.parallel_for(0, 32, [](std::size_t) {
+      count(Counter::kDepPolyhedraBuilt);
+    });
+  }
+  EXPECT_EQ(total.get(Counter::kDepPolyhedraBuilt), 32);
+}
+
+TEST(StatsShim, RoutesToCurrentRegistry) {
+  MetricsRegistry reg;
+  MetricsScope scope(&reg);
+  Stats::instance().add(Counter::kLintFindings, 3);
+  EXPECT_EQ(reg.get(Counter::kLintFindings), 3);
+  EXPECT_EQ(Stats::instance().get(Counter::kLintFindings), 3);
+  Stats::instance().add_phase_seconds("verify", 0.25);
+  EXPECT_DOUBLE_EQ(reg.phase_seconds("verify"), 0.25);
+}
+
+TEST(MetricsJson, OutputIsValidJsonWithHostilePhaseNames) {
+  MetricsRegistry reg;
+  reg.add(Counter::kSimplexPivots, 7);
+  reg.observe(Hist::kFmeRowsPerElimination, 12);
+  reg.gauge_set(Gauge::kTraceEventCap, 99);
+  reg.add_phase_seconds("ph\"ase\\with\nnasties", 0.5);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(testjson::valid(json)) << json;
+  // The deterministic/runtime split: histograms outside, gauges inside.
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime\""), std::string::npos);
+  EXPECT_LT(json.find("\"fme_rows_per_elimination\""), json.find("\"runtime\""));
+  EXPECT_GT(json.find("\"jobs_configured\""), json.find("\"runtime\""));
+}
+
+TEST(MetricsText, ReportsHistogramSummaries) {
+  MetricsRegistry reg;
+  for (i64 v : {1, 2, 4, 8, 16}) reg.observe(Hist::kIlpNodesPerSolve, v);
+  const std::string text = reg.to_string();
+  EXPECT_NE(text.find("hist ilp_nodes_per_solve"), std::string::npos);
+  EXPECT_NE(text.find("count=5"), std::string::npos);
+}
+
+TEST(TracerCap, DropsBeyondMaxEventsAndCounts) {
+  Tracer& tracer = Tracer::instance();
+  const std::size_t old_cap = Tracer::max_events();
+  const bool old_remarks = Tracer::remarks_on();
+  tracer.reset();
+  tracer.set_remarks_enabled(true);
+  Tracer::set_max_events(4);
+
+  MetricsRegistry reg;
+  {
+    MetricsScope scope(&reg);
+    for (int i = 0; i < 10; ++i) remark("test", "remark " + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.num_remarks(), 4u);
+  EXPECT_EQ(reg.get(Counter::kTraceEventsDropped), 6);
+
+  Tracer::set_max_events(old_cap);
+  tracer.set_remarks_enabled(old_remarks);
+  tracer.reset();
+}
+
+TEST(FlightRec, RecordsAndSnapshotsInSequenceOrder) {
+  flightrec::reset_for_test();
+  flightrec::record(flightrec::EventKind::kMark, "test", "first", 1, 2);
+  flightrec::record(flightrec::EventKind::kMark, "test", "second", 3);
+  flightrec::record(flightrec::EventKind::kFault, "lp_solve", "fuel-exhausted",
+                    -1);
+  const auto events = flightrec::snapshot();
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_GE(flightrec::events_recorded(), 3u);
+  EXPECT_GE(flightrec::recording_threads(), 1);
+  // Snapshot is ordered by global sequence.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  const auto& last = events[events.size() - 1];
+  EXPECT_EQ(std::string(last.category), "lp_solve");
+  EXPECT_EQ(std::string(last.name), "fuel-exhausted");
+  EXPECT_EQ(last.kind, flightrec::EventKind::kFault);
+  EXPECT_EQ(last.a, -1);
+}
+
+TEST(FlightRec, RingOverwritesKeepingLastEvents) {
+  flightrec::reset_for_test();
+  const std::size_t n = flightrec::kRingEvents + 50;
+  for (std::size_t i = 0; i < n; ++i)
+    flightrec::record(flightrec::EventKind::kMark, "test", "overflow",
+                      static_cast<i64>(i));
+  const auto events = flightrec::snapshot();
+  EXPECT_EQ(events.size(), flightrec::kRingEvents);
+  EXPECT_EQ(flightrec::events_recorded(), n);
+  // The retained window is the most recent kRingEvents observations.
+  EXPECT_EQ(events.front().a, static_cast<i64>(n - flightrec::kRingEvents));
+  EXPECT_EQ(events.back().a, static_cast<i64>(n - 1));
+}
+
+TEST(FlightRec, TruncatesOverlongStringsSafely) {
+  flightrec::reset_for_test();
+  const std::string long_cat(100, 'c');
+  const std::string long_name(300, 'n');
+  flightrec::record(flightrec::EventKind::kMark, long_cat.c_str(),
+                    long_name.c_str());
+  const auto events = flightrec::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].category),
+            std::string(flightrec::kEventCategoryBytes - 1, 'c'));
+  EXPECT_EQ(std::string(events[0].name),
+            std::string(flightrec::kEventNameBytes - 1, 'n'));
+}
+
+std::string dump_to_string(const char* cause) {
+  std::string path = ::testing::TempDir() + "flightrec_dump_test.json";
+  EXPECT_TRUE(flightrec::write_diag_file(path, cause));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+TEST(FlightRec, DumpIsValidSelfContainedJson) {
+  flightrec::reset_for_test();
+  // Hostile bytes in event strings must come out JSON-escaped.
+  flightrec::record(flightrec::EventKind::kRemark, "fu\"sion",
+                    "quote\" back\\slash \x01 tab\t", 5, 6);
+  MetricsRegistry reg;
+  reg.add(Counter::kSimplexPivots, 123);
+  reg.observe(Hist::kSimplexPivotsPerSolve, 9);
+  flightrec::set_metrics(&reg);
+  const std::string dump = dump_to_string("requested");
+  flightrec::set_metrics(nullptr);
+
+  EXPECT_TRUE(testjson::valid(dump)) << dump;
+  EXPECT_NE(dump.find("\"cause\": \"requested\""), std::string::npos);
+  EXPECT_NE(dump.find("\"tool\": \"polyfuse\""), std::string::npos);
+  EXPECT_NE(dump.find("quote\\\" back\\\\slash \\u0001 tab\\t"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("\"simplex_pivots\": 123"), std::string::npos);
+  EXPECT_NE(dump.find("\"simplex_pivots_per_solve\""), std::string::npos);
+}
+
+TEST(FlightRec, DisabledRecorderStillDumpsMetrics) {
+  flightrec::reset_for_test();
+  flightrec::set_enabled(false);
+  flightrec::record(flightrec::EventKind::kMark, "test", "ignored");
+  EXPECT_EQ(flightrec::snapshot().size(), 0u);
+  const std::string dump = dump_to_string("requested");
+  flightrec::set_enabled(true);
+  EXPECT_TRUE(testjson::valid(dump)) << dump;
+  EXPECT_NE(dump.find("\"recorder_enabled\": false"), std::string::npos);
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pf::support

@@ -1,0 +1,318 @@
+// bench_diff: the benchmark regression gate.
+//
+//   bench_diff <baseline.json> <candidate.json> [options]
+//
+// Compares two BENCH_*.json records (bench/README-style, e.g.
+// BENCH_pr6.json vs a fresh run) key by key and exits nonzero when the
+// candidate regresses past a threshold, so CI can hold the line on the
+// perf trajectory the BENCH_* records document (docs/observability.md).
+//
+// Keys are dotted paths into the JSON ("compile_scaling.fastlane.
+// rate_percent"); a bare key is also tried under "compile_scaling." so
+// the common gates read naturally. Two threshold kinds:
+//
+//   --max-increase=KEY:PCT   fail when candidate > baseline * (1+PCT/100)
+//                            (for costs: seconds, pivots, nodes, rows)
+//   --max-drop=KEY:ABS       fail when candidate < baseline - ABS
+//                            (for rates: fastlane rate_percent)
+//
+// Without explicit thresholds a built-in gate table covers the keys every
+// record carries; --no-defaults drops it. Keys missing from either file
+// are reported and skipped, not failed: records grow new keys over time
+// and an old baseline must not block a new candidate.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flattening JSON scanner: numeric leaves only, keyed by dotted path.
+// Strings/bools/nulls are skipped (they never gate); malformed input
+// fails the whole parse. Arrays index as path.0, path.1, ...
+// ---------------------------------------------------------------------------
+class Flattener {
+ public:
+  static bool run(const std::string& text,
+                  std::map<std::string, double>* out) {
+    Flattener f(text, out);
+    f.skip_ws();
+    if (!f.value("")) return false;
+    f.skip_ws();
+    return f.pos_ == text.size();
+  }
+
+ private:
+  Flattener(const std::string& text, std::map<std::string, double>* out)
+      : text_(text), out_(out) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p)
+      if (!eat(*p)) return false;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        if (out != nullptr) out->push_back(text_[pos_]);
+        ++pos_;
+        continue;
+      }
+      if (out != nullptr) out->push_back(c);
+    }
+    return false;
+  }
+
+  bool number(double* out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.'))
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      *out = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+
+  static std::string join(const std::string& path, const std::string& key) {
+    return path.empty() ? key : path + "." + key;
+  }
+
+  bool value(const std::string& path) {
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (eat('}')) return true;
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!string(&key)) return false;
+          skip_ws();
+          if (!eat(':')) return false;
+          if (!value(join(path, key))) return false;
+          skip_ws();
+          if (eat(',')) continue;
+          return eat('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (eat(']')) return true;
+        for (std::size_t i = 0;; ++i) {
+          if (!value(join(path, std::to_string(i)))) return false;
+          skip_ws();
+          if (eat(',')) continue;
+          return eat(']');
+        }
+      }
+      case '"':
+        return string(nullptr);
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default: {
+        double v = 0;
+        if (!number(&v)) return false;
+        (*out_)[path] = v;
+        return true;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, double>* out_;
+  std::size_t pos_ = 0;
+};
+
+struct Gate {
+  std::string key;
+  bool is_drop = false;  // false: max-increase (percent); true: max-drop (abs)
+  double limit = 0;      // percent for increase gates, absolute for drop
+};
+
+// The keys every compile_scaling record has carried since BENCH_seed:
+// wall time may wobble (generous 50%), the fastlane rate must hold, and
+// the algorithmic counters are deterministic so even small growth is a
+// real behavior change.
+const Gate kDefaultGates[] = {
+    {"end_to_end_compile_seconds", false, 50.0},
+    {"fastlane.rate_percent", true, 5.0},
+    {"stats.counters.simplex_pivots", false, 25.0},
+    {"stats.counters.ilp_nodes", false, 25.0},
+    {"stats.counters.fme_rows_generated", false, 25.0},
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "bench_diff: " << error << "\n";
+  std::cerr
+      << "usage: bench_diff <baseline.json> <candidate.json> [options]\n"
+         "  --max-increase=KEY:PCT  fail when candidate > baseline*(1+PCT%)\n"
+         "  --max-drop=KEY:ABS      fail when candidate < baseline-ABS\n"
+         "  --no-defaults           skip the built-in gate table\n"
+         "  --list                  print the numeric keys both files share\n"
+         "KEY is a dotted JSON path; bare keys are also looked up under\n"
+         "'compile_scaling.'.\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_diff: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+double parse_limit(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(text, &consumed);
+    if (consumed == text.size() && v >= 0) return v;
+  } catch (const std::exception&) {
+  }
+  usage(flag + " wants KEY:NUM with NUM >= 0, got '" + text + "'");
+}
+
+Gate parse_gate(const std::string& flag, const std::string& text,
+                bool is_drop) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0)
+    usage(flag + " wants KEY:NUM, got '" + text + "'");
+  Gate g;
+  g.key = text.substr(0, colon);
+  g.is_drop = is_drop;
+  g.limit = parse_limit(flag, text.substr(colon + 1));
+  return g;
+}
+
+// A bare key is tried verbatim, then under compile_scaling. (the record
+// section the default gates live in).
+const double* lookup(const std::map<std::string, double>& m,
+                     const std::string& key, std::string* resolved) {
+  auto it = m.find(key);
+  if (it == m.end()) it = m.find("compile_scaling." + key);
+  if (it == m.end()) return nullptr;
+  *resolved = it->first;
+  return &it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<Gate> gates;
+  bool defaults = true;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage();
+    else if (arg == "--no-defaults") defaults = false;
+    else if (arg == "--list") list = true;
+    else if (arg.rfind("--max-increase=", 0) == 0)
+      gates.push_back(parse_gate("--max-increase", arg.substr(15), false));
+    else if (arg.rfind("--max-drop=", 0) == 0)
+      gates.push_back(parse_gate("--max-drop", arg.substr(11), true));
+    else if (!arg.empty() && arg[0] == '-')
+      usage("unknown option '" + arg + "'");
+    else
+      files.push_back(arg);
+  }
+  if (files.size() != 2) usage("expected exactly two JSON files");
+  if (defaults)
+    gates.insert(gates.end(), std::begin(kDefaultGates),
+                 std::end(kDefaultGates));
+
+  std::map<std::string, double> base, cand;
+  if (!Flattener::run(read_file(files[0]), &base)) {
+    std::cerr << "bench_diff: '" << files[0] << "' is not valid JSON\n";
+    return 2;
+  }
+  if (!Flattener::run(read_file(files[1]), &cand)) {
+    std::cerr << "bench_diff: '" << files[1] << "' is not valid JSON\n";
+    return 2;
+  }
+
+  if (list) {
+    for (const auto& [key, v] : base)
+      if (cand.count(key) != 0) std::cout << key << "\n";
+    return 0;
+  }
+
+  int regressions = 0;
+  int checked = 0;
+  for (const Gate& g : gates) {
+    // Resolve in each file independently: a committed BENCH record nests
+    // the section under "compile_scaling." while a raw bench run emits
+    // bare keys, and the gate must bridge the two.
+    std::string bkey, ckey;
+    const double* b = lookup(base, g.key, &bkey);
+    const double* c = lookup(cand, g.key, &ckey);
+    if (b == nullptr || c == nullptr) {
+      std::cout << "skip  " << g.key << " (missing from "
+                << (b == nullptr ? files[0] : files[1]) << ")\n";
+      continue;
+    }
+    ++checked;
+    bool failed;
+    std::ostringstream detail;
+    if (g.is_drop) {
+      failed = *c < *b - g.limit;
+      detail << *b << " -> " << *c << " (max drop " << g.limit << ")";
+    } else {
+      failed = *c > *b * (1.0 + g.limit / 100.0);
+      const double pct = *b != 0 ? (*c / *b - 1.0) * 100.0 : 0.0;
+      detail << *b << " -> " << *c << " (" << (pct >= 0 ? "+" : "") << pct
+             << "%, max +" << g.limit << "%)";
+    }
+    std::cout << (failed ? "FAIL" : "ok  ") << "  " << bkey << ": "
+              << detail.str() << "\n";
+    if (failed) ++regressions;
+  }
+  std::cout << "bench_diff: " << checked << " gate(s) checked, " << regressions
+            << " regression(s)\n";
+  if (checked == 0) {
+    std::cerr << "bench_diff: no gate matched any key -- wrong files?\n";
+    return 2;
+  }
+  return regressions != 0 ? 1 : 0;
+}

@@ -12,8 +12,15 @@
 #   4. Perf smoke on the plain build: compile_scaling --smoke must show
 #      the int64 fast lane serving >= 90% of simplex solves
 #      (docs/performance.md).
-#   5. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
+#   5. Bench regression gate: the same --smoke record must pass
+#      tools/bench_diff against the committed baseline (BENCH_pr7.json)
+#      under smoke-generous thresholds (docs/observability.md).
+#   6. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
 #      then the same robustness sweep under the sanitizers.
+#
+# Any failing ctest stage sweeps crash diagnostics (polyfuse-diag.*.json,
+# written by the flight recorder when a test run dies) from the build
+# tree into <prefix>-diagnostics/ so they survive as CI artifacts.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #   JOBS=N       parallelism for build and ctest (default: nproc)
@@ -26,6 +33,20 @@ PREFIX="${1:-build-ci}"
 JOBS="${JOBS:-$(nproc)}"
 CTEST_ARGS="${CTEST_ARGS:-}"
 
+# A failed ctest run may leave flight-recorder crash dumps in the build
+# tree (any polyfuse process that dies on a fatal signal writes
+# polyfuse-diag.<pid>.json to its working directory). Preserve them where
+# a CI artifact step can pick them up, then fail the stage.
+collect_diagnostics() {
+  local name="$1" dir="$2" out="$PREFIX-diagnostics"
+  mapfile -t diags < <(find "$dir" -name 'polyfuse-diag.*.json' 2>/dev/null)
+  if [ "${#diags[@]}" -gt 0 ]; then
+    mkdir -p "$out"
+    mv "${diags[@]}" "$out/"
+    echo "[$name] collected ${#diags[@]} crash diagnostic(s) into $out/"
+  fi
+}
+
 run_stage() {
   local name="$1" dir="$2"
   shift 2
@@ -35,7 +56,8 @@ run_stage() {
   cmake --build "$dir" -j "$JOBS"
   echo "==== [$name] ctest ===="
   # shellcheck disable=SC2086  # intentional word-splitting of CTEST_ARGS
-  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure $CTEST_ARGS
+  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure $CTEST_ARGS ||
+    { collect_diagnostics "$name" "$dir"; exit 1; }
 }
 
 # Degradation must never cost correctness: every budgeted or
@@ -99,9 +121,31 @@ run_perf_smoke() {
   fi
 }
 
+# Regression gate: a fresh compile_scaling --smoke record must pass
+# bench_diff against the committed baseline. --smoke does one rep with
+# the solve cache cold, so the thresholds are deliberately generous --
+# 4x on wall time (shared CI machines), 2x on the deterministic
+# counters; the committed BENCH_*.json records track the precise
+# numbers. A genuine blowup (a solver regression, the fast lane dying)
+# still trips it.
+run_bench_gate() {
+  local name="$1" dir="$2" baseline="BENCH_pr7.json"
+  local record="$dir/bench_gate_smoke.json"
+  echo "==== [$name] bench regression gate (vs $baseline) ===="
+  "$dir/bench/compile_scaling" --smoke 2>/dev/null > "$record"
+  "$dir/tools/bench_diff" --no-defaults \
+    --max-increase=end_to_end_compile_seconds:300 \
+    --max-drop=fastlane.rate_percent:5 \
+    --max-increase=stats.counters.simplex_pivots:100 \
+    --max-increase=stats.counters.ilp_nodes:150 \
+    --max-increase=stats.counters.fme_rows_generated:100 \
+    "$baseline" "$record"
+}
+
 run_stage "plain" "$PREFIX" -DCMAKE_BUILD_TYPE=Release
 run_robustness "plain" "$PREFIX"
 run_perf_smoke "plain" "$PREFIX"
+run_bench_gate "plain" "$PREFIX"
 
 echo "==== [clang-tidy] src/ ===="
 if command -v clang-tidy >/dev/null 2>&1; then

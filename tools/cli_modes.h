@@ -35,9 +35,15 @@ inline constexpr OptionDoc kOptionDocs[] = {
     {"--machine-report", "modeled cache/parallelism report"},
     {"--report", "fusion & parallelism summary"},
     {"--jobs=N", "worker threads for dependence analysis"},
-    {"--stats[=json]", "print pipeline perf counters to stderr"},
+    {"--stats[=json]", "print pipeline perf counters + histograms to stderr"},
     {"--trace=FILE",
-     "write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE)"},
+     "write Chrome trace-event JSON (or POLYFUSE_TRACE=FILE);\n"
+     "POLYFUSE_TRACE_MAX_EVENTS caps the in-memory buffer"},
+    {"--diagnose=FILE",
+     "write the flight-recorder diagnostic JSON (recent\n"
+     "spans/remarks/faults + metrics snapshot) on exit; the\n"
+     "same report a crash or budget exhaustion dumps to\n"
+     "polyfuse-diag.<pid>.json -- see docs/observability.md"},
     {"--explain[=json]", "print scheduler/fusion decision remarks to stderr"},
     {"--no-solve-cache", "disable the polyhedral solve cache"},
     {"--no-fastlane",
@@ -58,7 +64,8 @@ inline constexpr OptionDoc kOptionDocs[] = {
      "fusion_model, jit_cc, lp.fastlane); repeatable, for\n"
      "testing the degradation chain (POLYFUSE_INJECT);\n"
      "lp.fastlane forces a fast-lane fallback instead of a\n"
-     "fault"},
+     "fault; S:abort-after=K instead aborts the process\n"
+     "(tests the crash-diagnostic path)"},
 };
 
 /// The program-checking modes every user-facing document must mention.

@@ -28,7 +28,12 @@
 //   --stats[=json]    print pipeline perf counters + phase times to stderr
 //   --trace=FILE      write a Chrome trace-event JSON file (spans from
 //                     every pipeline layer; open in chrome://tracing or
-//                     Perfetto). POLYFUSE_TRACE=FILE is the env equivalent.
+//                     Perfetto). POLYFUSE_TRACE=FILE is the env equivalent;
+//                     POLYFUSE_TRACE_MAX_EVENTS caps the in-memory buffer.
+//   --diagnose=FILE   write the flight-recorder diagnostic JSON on exit --
+//                     the same report a crash, budget exhaustion, or
+//                     strict verify/lint failure dumps automatically to
+//                     polyfuse-diag.<pid>.json (docs/observability.md)
 //   --explain[=json]  print the scheduler/fusion decision-remark log to
 //                     stderr (deterministic: identical at every --jobs)
 //   --no-solve-cache  disable the polyhedral solve cache
@@ -45,7 +50,8 @@
 //                     deterministically fail the K-th operation at SITE
 //                     (lp_solve, fme_project, dep_pair, pluto_level,
 //                     fusion_model, jit_cc, lp.fastlane); repeatable
-//                     (POLYFUSE_INJECT)
+//                     (POLYFUSE_INJECT). SITE:abort-after=K aborts the
+//                     process instead (tests the crash-diagnostic path)
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
@@ -72,6 +78,8 @@
 #include "sched/analysis.h"
 #include "sched/pluto.h"
 #include "support/budget.h"
+#include "support/flightrec.h"
+#include "support/metrics.h"
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
@@ -100,7 +108,8 @@ struct Options {
   bool stats_json = false;
   bool explain = false;
   bool explain_json = false;
-  std::string trace_file;  // empty = tracing off
+  std::string trace_file;     // empty = tracing off
+  std::string diagnose_file;  // empty = no on-exit diagnostic dump
   bool solve_cache = true;
   bool fastlane = true;
   i64 fuel = -1;            // < 0 = unlimited
@@ -183,6 +192,9 @@ Options parse_args(int argc, char** argv) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       o.trace_file = value_of("--trace=");
       if (o.trace_file.empty()) usage("--trace expects a file name");
+    } else if (arg.rfind("--diagnose=", 0) == 0) {
+      o.diagnose_file = value_of("--diagnose=");
+      if (o.diagnose_file.empty()) usage("--diagnose expects a file name");
     } else if (arg == "--no-solve-cache") o.solve_cache = false;
     else if (arg == "--no-fastlane") o.fastlane = false;
     else if (arg.rfind("--fuel=", 0) == 0) {
@@ -228,6 +240,18 @@ Options parse_args(int argc, char** argv) {
     // Env-var equivalent of --trace, mirroring POLYFUSE_JOBS.
     if (const char* env = std::getenv("POLYFUSE_TRACE"))
       if (*env != '\0') o.trace_file = env;
+  }
+  // Cap on the tracer's in-memory span/remark buffers (per channel);
+  // events beyond it are dropped and counted in trace_events_dropped.
+  if (const char* env = std::getenv("POLYFUSE_TRACE_MAX_EVENTS")) {
+    if (*env != '\0') {
+      const auto v = pf::parse_i64(env);
+      if (!v || *v < 0)
+        usage(std::string(
+                  "POLYFUSE_TRACE_MAX_EVENTS expects an integer >= 0, got '") +
+              env + "'");
+      support::Tracer::set_max_events(static_cast<std::size_t>(*v));
+    }
   }
   // Env equivalents of the budget flags, mirroring POLYFUSE_TRACE.
   // Explicit flags win; env values get the same checked parsing.
@@ -308,10 +332,13 @@ void default_params(const ir::Scop& scop, IntVector* params) {
   std::exit(2);
 }
 
-// Every successful exit path funnels through here: stats report, the
-// --explain remark log, and the --trace Chrome trace file all fire no
-// matter which --emit short-circuit returned.
+// Every exit path -- successful or not -- funnels through here: stats
+// report, the --explain remark log, the --trace Chrome trace file and
+// the --diagnose flight-recorder dump all fire no matter which --emit
+// short-circuit returned or which error unwound the pipeline.
 void finish_outputs(const Options& o) {
+  support::gauge_set(support::Gauge::kFlightrecThreads,
+                     support::flightrec::recording_threads());
   if (o.stats) {
     if (o.stats_json)
       std::cerr << support::Stats::instance().to_json() << "\n";
@@ -334,6 +361,24 @@ void finish_outputs(const Options& o) {
     }
     out << support::Tracer::instance().chrome_trace_json() << "\n";
   }
+  if (!o.diagnose_file.empty() &&
+      !support::flightrec::write_diag_file(o.diagnose_file, "requested")) {
+    std::cerr << "polyfuse: cannot write diagnostic file '" << o.diagnose_file
+              << "'\n";
+    std::exit(2);
+  }
+}
+
+// Fatal-path diagnostic: budget exhaustion and strict verify/lint
+// failures dump the same flight-recorder report a crash would, to
+// polyfuse-diag.<pid>.json (or POLYFUSE_DIAG_DIR). Independent of
+// --diagnose=FILE, which always writes its own "requested" dump on exit.
+void dump_fatal_diag(const std::string& cause) {
+  const std::string path = support::flightrec::default_diag_path();
+  if (support::flightrec::write_diag_file(path, cause.c_str()))
+    std::cerr << "polyfuse: diagnostic written to " << path << "\n";
+  else
+    std::cerr << "polyfuse: cannot write diagnostic file '" << path << "'\n";
 }
 
 // Static verification of the transformed program (src/verify): prints
@@ -345,7 +390,11 @@ int run_verify(const Options& o, const ir::Scop& scop,
   support::PhaseTimer timer("verify");
   const verify::Report report = verify::run_all(scop, dg, sch, ast);
   std::cerr << report.to_string(&scop);
-  return (!report.ok() && o.verify_strict) ? 1 : 0;
+  if (!report.ok() && o.verify_strict) {
+    dump_fatal_diag("verify-strict-failure");
+    return 1;
+  }
+  return 0;
 }
 
 // Static lint of the input program (src/analysis): prints every finding
@@ -356,33 +405,14 @@ int run_lint_mode(const Options& o, const ir::Scop& scop,
   support::PhaseTimer timer("lint");
   const analysis::LintReport report = analysis::run_lint(scop, dg);
   std::cerr << report.to_string(&scop);
-  return (!report.ok() && o.lint_strict) ? 1 : 0;
+  if (!report.ok() && o.lint_strict) {
+    dump_fatal_diag("lint-strict-failure");
+    return 1;
+  }
+  return 0;
 }
 
-int run(const Options& o) {
-  if (o.jobs != 0) support::set_default_jobs(o.jobs);
-  poly::set_solve_cache_enabled(o.solve_cache);
-  if (!o.fastlane) lp::set_fastlane_enabled(false);
-
-  // Install the compute budget for the whole pipeline. Must-complete
-  // regions (codegen, verify, lint, validation) suspend it themselves;
-  // the parallel dependence phase splits it into per-pair sub-budgets.
-  // With no budget flags this installs nothing and every path is
-  // byte-identical to an unbudgeted build.
-  support::BudgetSpec bspec;
-  bspec.fuel = o.fuel;
-  bspec.deadline_ms = o.time_budget_ms;
-  bspec.injections = o.injections;
-  std::optional<support::Budget> budget;
-  if (bspec.limited()) budget.emplace(bspec);
-  support::BudgetScope budget_scope(budget ? &*budget : nullptr);
-
-  if (!o.trace_file.empty()) {
-    support::Tracer::instance().set_spans_enabled(true);
-    support::Tracer::instance().set_remarks_enabled(true);
-  }
-  if (o.explain) support::Tracer::instance().set_remarks_enabled(true);
-
+int run_pipeline(const Options& o) {
   std::optional<ir::Scop> parsed;
   {
     support::PhaseTimer timer("parse");
@@ -508,7 +538,10 @@ int run(const Options& o) {
       const double diff = exec::ArrayStore::max_abs_diff(a, b);
       std::cerr << "polyfuse: validation max |diff| = " << diff
                 << (diff == 0.0 ? " (ok)" : " (MISMATCH)") << "\n";
-      if (diff != 0.0) return 1;
+      if (diff != 0.0) {
+        finish_outputs(o);
+        return 1;
+      }
     }
     if (o.machine_report) {
       support::PhaseTimer timer("machine-report");
@@ -534,9 +567,62 @@ int run(const Options& o) {
   return std::max(verify_rc, lint_rc);
 }
 
+int run(const Options& o) {
+  if (o.jobs != 0) support::set_default_jobs(o.jobs);
+  poly::set_solve_cache_enabled(o.solve_cache);
+  if (!o.fastlane) lp::set_fastlane_enabled(false);
+
+  // Install the compute budget for the whole pipeline. Must-complete
+  // regions (codegen, verify, lint, validation) suspend it themselves;
+  // the parallel dependence phase splits it into per-pair sub-budgets.
+  // With no budget flags this installs nothing and every path is
+  // byte-identical to an unbudgeted build.
+  support::BudgetSpec bspec;
+  bspec.fuel = o.fuel;
+  bspec.deadline_ms = o.time_budget_ms;
+  bspec.injections = o.injections;
+  std::optional<support::Budget> budget;
+  if (bspec.limited()) budget.emplace(bspec);
+  support::BudgetScope budget_scope(budget ? &*budget : nullptr);
+
+  if (!o.trace_file.empty()) {
+    support::Tracer::instance().set_spans_enabled(true);
+    support::Tracer::instance().set_remarks_enabled(true);
+  }
+  if (o.explain) support::Tracer::instance().set_remarks_enabled(true);
+
+  support::gauge_set(
+      support::Gauge::kJobsConfigured,
+      static_cast<i64>(o.jobs != 0 ? o.jobs : support::default_jobs()));
+  support::gauge_set(support::Gauge::kTraceEventCap,
+                     static_cast<i64>(support::Tracer::max_events()));
+
+  // Error paths still owe the user their requested outputs: a budget
+  // that escaped every recovery boundary additionally leaves a crash-
+  // style diagnostic, and any pipeline error prints stats/explain/trace
+  // before the nonzero exit.
+  try {
+    return run_pipeline(o);
+  } catch (const support::BudgetExceeded& e) {
+    std::cerr << "polyfuse: " << e.what() << "\n";
+    dump_fatal_diag(std::string("budget-exceeded:") + e.site_name());
+    finish_outputs(o);
+    return 1;
+  } catch (const pf::Error& e) {
+    std::cerr << "polyfuse: " << e.what() << "\n";
+    finish_outputs(o);
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hook fatal signals before any real work: a crash anywhere in the
+  // pipeline (including a --inject=SITE:abort-after=K hard fault) leaves
+  // polyfuse-diag.<pid>.json behind. Near-zero cost when nothing dies.
+  support::flightrec::install_crash_handler();
+  support::flightrec::set_invocation(argc, argv);
   try {
     return run(parse_args(argc, argv));
   } catch (const pf::Error& e) {
