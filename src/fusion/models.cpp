@@ -11,6 +11,23 @@
 
 namespace pf::fusion {
 
+namespace {
+// Observational only (see models.h): consulted when building candidate
+// remarks, never when deciding fusion.
+const ProfitabilityOracle* g_profitability_oracle = nullptr;
+}  // namespace
+
+const ProfitabilityOracle* set_profitability_oracle(
+    const ProfitabilityOracle* oracle) {
+  const ProfitabilityOracle* previous = g_profitability_oracle;
+  g_profitability_oracle = oracle;
+  return previous;
+}
+
+const ProfitabilityOracle* profitability_oracle() {
+  return g_profitability_oracle;
+}
+
 const char* to_string(FusionModel m) {
   switch (m) {
     case FusionModel::kWisefuse:
@@ -146,13 +163,31 @@ std::vector<std::size_t> wisefuse_prefusion_order(
       const std::size_t scc_t = scc_of(t);
       auto verdict = [&](const char* v, std::size_t reuse_pairs) {
         if (!explain) return;
-        support::remark("fusion", "fusion candidate",
-                        {{"candidate", scop.statement(t).name()},
-                         {"seed", scop.statement(s).name()},
-                         {"candidate_dim",
-                          std::to_string(scop.statement(t).dim())},
-                         {"reuse_score", std::to_string(reuse_pairs)},
-                         {"verdict", v}});
+        std::vector<std::pair<std::string, std::string>> attrs = {
+            {"candidate", scop.statement(t).name()},
+            {"seed", scop.statement(s).name()},
+            {"candidate_dim", std::to_string(scop.statement(t).dim())},
+            {"reuse_score", std::to_string(reuse_pairs)},
+            {"verdict", v}};
+        // With a profitability oracle installed (--analyze), quantify the
+        // candidate: exact distinct cells shared between the fusable set
+        // and SCC_t -- the data fusion would keep hot.
+        if (const ProfitabilityOracle* oracle = profitability_oracle()) {
+          i64 shared = 0;
+          bool unknown = false;
+          for (const std::size_t i : fusable) {
+            for (const std::size_t j : sccs.members[scc_t]) {
+              const i64 cells = oracle->shared_cells(i, j);
+              if (cells < 0)
+                unknown = true;
+              else
+                shared += cells;
+            }
+          }
+          attrs.emplace_back("shared_cells",
+                             unknown ? "unknown" : std::to_string(shared));
+        }
+        support::remark("fusion", "fusion candidate", attrs);
       };
       if (options.require_same_dim && scop.statement(t).dim() != dim_s) {
         verdict("cut: dimensionality mismatch", 0);

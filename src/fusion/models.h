@@ -41,6 +41,27 @@ struct WisefuseOptions {
   bool enforce_outer_parallelism = true;
 };
 
+/// Quantitative profitability feed for the fusion remark channel. When
+/// an oracle is installed (the --analyze pass adapts its LocalityReport
+/// into one), wisefuse's per-candidate decision remarks carry the exact
+/// number of distinct array cells the candidate shares with the fusable
+/// set -- *why* fusion pays -- alongside the reuse-pair score the
+/// heuristic itself uses. Purely observational: the oracle never changes
+/// a fusion decision, so schedules are identical with or without it.
+class ProfitabilityOracle {
+ public:
+  virtual ~ProfitabilityOracle() = default;
+  /// Distinct cells statements `s` and `t` both touch; -1 when unknown.
+  virtual i64 shared_cells(std::size_t s, std::size_t t) const = 0;
+};
+
+/// Install (or clear, with nullptr) the process-wide oracle consulted by
+/// the wisefuse candidate remarks. Returns the previous oracle so scoped
+/// installers can restore it.
+const ProfitabilityOracle* set_profitability_oracle(
+    const ProfitabilityOracle* oracle);
+const ProfitabilityOracle* profitability_oracle();
+
 /// Create a policy implementing the given model.
 std::unique_ptr<sched::FusionPolicy> make_policy(FusionModel m);
 

@@ -1,6 +1,7 @@
 #include "machine/perfmodel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <sstream>
 
@@ -124,7 +125,8 @@ CacheStats delta(const CacheStats& after, const CacheStats& before) {
 }  // namespace
 
 ModelReport evaluate(const codegen::AstNode& root, exec::ArrayStore& store,
-                     const MachineConfig& config) {
+                     const MachineConfig& config,
+                     const FootprintHints* hints) {
   const ir::Scop& scop = store.scop();
   PF_CHECK_MSG(config.hit_latency.size() == config.cache.levels.size(),
                "hit_latency must match cache level count");
@@ -226,6 +228,29 @@ ModelReport evaluate(const codegen::AstNode& root, exec::ArrayStore& store,
     report.serial_cycles += r.serial_cycles;
     report.modeled_cycles += r.modeled_cycles;
   }
+
+  // Counted compulsory-traffic floor: distinct cells (exact counts from
+  // --analyze) x element size, rounded up to cache lines, each fetched
+  // from memory at least once. Derived from the counting engine, not the
+  // simulated trace.
+  if (hints != nullptr && hints->cells.size() == store.num_arrays()) {
+    const double line =
+        static_cast<double>(config.cache.levels.front().line_bytes);
+    double bytes = 0;
+    bool exact = true;
+    for (const i64 cells : hints->cells) {
+      if (cells < 0) {
+        exact = false;
+        break;
+      }
+      bytes += static_cast<double>(cells) * sizeof(double);
+    }
+    if (exact) {
+      report.counted_footprint_bytes = bytes;
+      report.compulsory_memory_cycles =
+          std::ceil(bytes / line) * config.memory_latency;
+    }
+  }
   return report;
 }
 
@@ -244,6 +269,11 @@ std::string ModelReport::to_string() const {
   os << t.to_string();
   os << "total serial cycles:  " << fmt_double(serial_cycles, 0) << "\n";
   os << "total modeled cycles: " << fmt_double(modeled_cycles, 0) << "\n";
+  if (counted_footprint_bytes >= 0) {
+    os << "counted footprint:    " << fmt_double(counted_footprint_bytes, 0)
+       << " bytes (compulsory memory floor "
+       << fmt_double(compulsory_memory_cycles, 0) << " cycles)\n";
+  }
   return os.str();
 }
 

@@ -59,18 +59,38 @@ struct NestReport {
   double modeled_cycles = 0;   // on `cores` cores per the model above
 };
 
+/// Exact per-array footprints from the --analyze counting engine. When
+/// supplied, evaluate() derives the *compulsory* traffic floor -- the
+/// bytes that must cross the memory bus at least once because they are
+/// distinct cells -- from the counts instead of the simulated trace, and
+/// reports it next to the simulated totals. A simulated memory total
+/// below the counted floor would mean the trace under-covered the
+/// program (e.g. a zero-trip parameter choice), so the report makes both
+/// visible.
+struct FootprintHints {
+  /// cells[array_id] = distinct cells touched (exact count), or -1 when
+  /// the count degraded to unknown/unbounded.
+  std::vector<i64> cells;
+};
+
 struct ModelReport {
   std::vector<NestReport> nests;
   CacheStats cache;  // whole-program totals
   double serial_cycles = 0;
   double modeled_cycles = 0;
+  /// Counted-footprint figures; negative when no hints were supplied or
+  /// some array's count was not exact.
+  double counted_footprint_bytes = -1;
+  double compulsory_memory_cycles = -1;  // cold-miss cycle floor
 
   std::string to_string() const;
 };
 
 /// Run the model. Interprets the AST (so the store is updated exactly as
-/// a normal run would) while feeding the cache simulator.
+/// a normal run would) while feeding the cache simulator. `hints`
+/// (optional) adds the counted compulsory-traffic floor to the report.
 ModelReport evaluate(const codegen::AstNode& root, exec::ArrayStore& store,
-                     const MachineConfig& config = {});
+                     const MachineConfig& config = {},
+                     const FootprintHints* hints = nullptr);
 
 }  // namespace pf::machine

@@ -1,0 +1,450 @@
+#include "poly/count.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/budget.h"
+#include "support/error.h"
+#include "support/metrics.h"
+
+namespace pf::poly {
+namespace {
+
+inline bool in_i64(i128 v) {
+  return v >= static_cast<i128>(INT64_MIN) && v <= static_cast<i128>(INT64_MAX);
+}
+
+// ---------------------------------------------------------------------------
+// Count cache. Finished subproblems (a canonical constraint system plus
+// the prefix length and the ILP node cap) are memoized in a sharded,
+// content-addressed table -- the recursion re-derives structurally
+// identical slices constantly (every iteration of a rectangular loop
+// leaves the same remainder set). Keys compare full canonical content,
+// so hits are exact and results are byte-identical with the cache on or
+// off. kUnknown results are never stored: they can depend on transient
+// state (the step guard, the remaining fuel), not just on the key.
+// ---------------------------------------------------------------------------
+
+struct CountKey {
+  std::vector<i64> blob;
+  std::size_t hash = 0;
+  bool operator==(const CountKey& o) const { return blob == o.blob; }
+};
+
+struct CountKeyHash {
+  std::size_t operator()(const CountKey& k) const { return k.hash; }
+};
+
+struct CountShard {
+  std::mutex mu;
+  std::unordered_map<CountKey, Count, CountKeyHash> map;
+};
+
+constexpr std::size_t kNumCountShards = 16;
+
+std::array<CountShard, kNumCountShards>& count_shards() {
+  static auto* shards = new std::array<CountShard, kNumCountShards>();
+  return *shards;
+}
+
+CountKey make_count_key(const IntegerSet& s, std::size_t prefix,
+                        long node_cap) {
+  CountKey key;
+  const std::size_t dims = s.dims();
+  std::vector<std::vector<i64>> rows;
+  rows.reserve(s.num_constraints());
+  for (const Constraint& c : s.constraints()) {
+    std::vector<i64> row;
+    row.reserve(dims + 2);
+    row.push_back(c.is_equality ? 1 : 0);
+    row.push_back(c.expr.const_term());
+    for (std::size_t k = 0; k < dims; ++k) row.push_back(c.expr.coeff(k));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  key.blob.reserve(4 + rows.size() * (dims + 2));
+  key.blob.push_back(static_cast<i64>(prefix));
+  key.blob.push_back(static_cast<i64>(node_cap));
+  key.blob.push_back(static_cast<i64>(dims));
+  key.blob.push_back(static_cast<i64>(rows.size()));
+  for (const auto& row : rows)
+    key.blob.insert(key.blob.end(), row.begin(), row.end());
+  std::size_t h = std::hash<std::size_t>{}(key.blob.size());
+  for (const i64 v : key.blob) hash_combine(h, std::hash<i64>{}(v));
+  key.hash = h;
+  return key;
+}
+
+bool count_cache_lookup(const CountKey& key, Count* out) {
+  CountShard& shard = count_shards()[key.hash % kNumCountShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void count_cache_store(const CountKey& key, const Count& value) {
+  CountShard& shard = count_shards()[key.hash % kNumCountShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, value);
+}
+
+// ---------------------------------------------------------------------------
+// Recursive counting.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+  const CountOptions& opts;
+  i64 steps = 0;
+  bool use_cache = false;
+};
+
+// One recursion node: announce the op (fault injection point), spend one
+// fuel unit, and bump the step guard. BudgetExceeded unwinds to the
+// top-level wrapper, which reports kUnknown.
+bool step(Ctx& ctx) {
+  support::budget_op(support::BudgetSite::kCountSet);
+  support::budget_charge(support::BudgetSite::kCountSet);
+  ++ctx.steps;
+  return ctx.steps <= ctx.opts.max_steps;
+}
+
+// Definite emptiness probe. IntegerSet::is_empty is conservative the
+// wrong way for counting (a capped search answers "may be non-empty",
+// which would count a phantom point), so probe through integer_min of a
+// constant objective, whose kUnknown is explicit.
+Count probe_nonempty(const IntegerSet& s, const lp::IlpOptions& ilp) {
+  if (s.trivially_empty()) return Count::exact(0);
+  if (s.num_constraints() == 0) return Count::exact(1);  // universe
+  const auto r = s.integer_min(AffineExpr::constant(s.dims(), 0), ilp);
+  switch (r.kind) {
+    case IntegerSet::Opt::kOk:
+    case IntegerSet::Opt::kUnbounded:  // feasible either way
+      return Count::exact(1);
+    case IntegerSet::Opt::kEmpty:
+      return Count::exact(0);
+    case IntegerSet::Opt::kUnknown:
+      break;
+  }
+  return Count::unknown();
+}
+
+// Exact integer range of dim 0, or the structured degradation.
+struct Dim0Range {
+  enum Kind { kRange, kEmpty, kUnbounded, kUnknown } kind = kEmpty;
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+Dim0Range dim0_range(const IntegerSet& s, const lp::IlpOptions& ilp) {
+  const AffineExpr x0 = AffineExpr::var(s.dims(), 0);
+  const auto mn = s.integer_min(x0, ilp);
+  if (mn.kind == IntegerSet::Opt::kEmpty) return {Dim0Range::kEmpty, 0, 0};
+  if (mn.kind == IntegerSet::Opt::kUnknown) return {Dim0Range::kUnknown, 0, 0};
+  if (mn.kind == IntegerSet::Opt::kUnbounded) {
+    // The LP relaxation can be unbounded over an integer-empty set (gcd
+    // gaps); distinguish via the feasibility probe.
+    const Count probe = probe_nonempty(s, ilp);
+    if (probe.is_exact())
+      return {probe.value == 0 ? Dim0Range::kEmpty : Dim0Range::kUnbounded, 0,
+              0};
+    return {Dim0Range::kUnknown, 0, 0};
+  }
+  const auto mx = s.integer_max(x0, ilp);
+  if (mx.kind == IntegerSet::Opt::kEmpty) return {Dim0Range::kEmpty, 0, 0};
+  if (mx.kind == IntegerSet::Opt::kUnknown) return {Dim0Range::kUnknown, 0, 0};
+  if (mx.kind == IntegerSet::Opt::kUnbounded)
+    return {Dim0Range::kUnbounded, 0, 0};
+  return {Dim0Range::kRange, mn.value, mx.value};
+}
+
+// True when no constraint couples dim 0 to another dim: the dim's
+// contribution is then an independent range factor.
+bool dim0_separable(const IntegerSet& s) {
+  for (const Constraint& c : s.constraints()) {
+    if (c.expr.coeff(0) == 0) continue;
+    for (std::size_t k = 1; k < s.dims(); ++k)
+      if (c.expr.coeff(k) != 0) return false;
+  }
+  return true;
+}
+
+// Substitute dim 0 := v (the constant folds in; the dim drops out).
+// nullopt on int64 overflow of a folded constant.
+std::optional<IntegerSet> fix_dim0(const IntegerSet& s, i64 v) {
+  IntegerSet out(s.dims() - 1);
+  for (const Constraint& c : s.constraints()) {
+    const i128 folded = static_cast<i128>(c.expr.coeff(0)) * v +
+                        static_cast<i128>(c.expr.const_term());
+    if (!in_i64(folded)) return std::nullopt;
+    AffineExpr e(s.dims() - 1, static_cast<i64>(folded));
+    for (std::size_t k = 1; k < s.dims(); ++k)
+      e.set_coeff(k - 1, c.expr.coeff(k));
+    out.add_constraint(Constraint{std::move(e), c.is_equality});
+    if (out.trivially_empty()) break;
+  }
+  return out;
+}
+
+// Drop dim 0 keeping only constraints that do not mention it (the
+// separable case: the dropped constraints are pure dim-0 bounds already
+// summarized by the range).
+IntegerSet drop_dim0(const IntegerSet& s) {
+  IntegerSet out(s.dims() - 1);
+  for (const Constraint& c : s.constraints()) {
+    if (c.expr.coeff(0) != 0) continue;
+    AffineExpr e(s.dims() - 1, c.expr.const_term());
+    for (std::size_t k = 1; k < s.dims(); ++k)
+      e.set_coeff(k - 1, c.expr.coeff(k));
+    out.add_constraint(Constraint{std::move(e), c.is_equality});
+  }
+  return out;
+}
+
+Count count_set_prefix(const IntegerSet& s, std::size_t prefix, Ctx& ctx);
+
+Count count_set_prefix_uncached(const IntegerSet& s, std::size_t prefix,
+                                Ctx& ctx) {
+  const lp::IlpOptions& ilp = ctx.opts.ilp;
+  const Dim0Range r = dim0_range(s, ilp);
+  switch (r.kind) {
+    case Dim0Range::kEmpty:
+      return Count::exact(0);
+    case Dim0Range::kUnknown:
+      return Count::unknown();
+    case Dim0Range::kUnbounded:
+      return Count::unbounded();
+    case Dim0Range::kRange:
+      break;
+  }
+  const i128 range = static_cast<i128>(r.hi) - r.lo + 1;
+  if (s.dims() == 1) {
+    // All 1-D constraints normalize to unit coefficients, so the set is
+    // the gap-free integer interval [lo, hi].
+    return in_i64(range) ? Count::exact(static_cast<i64>(range))
+                         : Count::unknown();
+  }
+  if (dim0_separable(s)) {
+    const Count rest = count_set_prefix(drop_dim0(s), prefix - 1, ctx);
+    if (rest.kind != Count::kExact) return rest;
+    const i128 total = range * rest.value;
+    return in_i64(total) ? Count::exact(static_cast<i64>(total))
+                         : Count::unknown();
+  }
+  if (range > ctx.opts.max_steps - ctx.steps) return Count::unknown();
+  i128 total = 0;
+  for (i64 v = r.lo;; ++v) {
+    if (!step(ctx)) return Count::unknown();
+    const auto fixed = fix_dim0(s, v);
+    if (!fixed) return Count::unknown();
+    const Count sub = count_set_prefix(*fixed, prefix - 1, ctx);
+    if (sub.kind != Count::kExact) return sub;
+    total += sub.value;
+    if (v == r.hi) break;
+  }
+  return in_i64(total) ? Count::exact(static_cast<i64>(total))
+                       : Count::unknown();
+}
+
+// Count the assignments to dims [0, prefix) of `s` extendable to a full
+// integer point. Invariant: prefix <= s.dims().
+Count count_set_prefix(const IntegerSet& s, std::size_t prefix, Ctx& ctx) {
+  if (s.trivially_empty()) return Count::exact(0);
+  if (prefix == 0) return probe_nonempty(s, ctx.opts.ilp);
+  if (!step(ctx)) return Count::unknown();
+  CountKey key;
+  if (ctx.use_cache) {
+    key = make_count_key(s, prefix, ctx.opts.ilp.node_cap);
+    Count cached;
+    if (count_cache_lookup(key, &cached)) {
+      support::count(support::Counter::kCountCacheHits);
+      return cached;
+    }
+    support::count(support::Counter::kCountCacheMisses);
+  }
+  const Count result = count_set_prefix_uncached(s, prefix, ctx);
+  if (ctx.use_cache && result.kind != Count::kUnknown)
+    count_cache_store(key, result);
+  return result;
+}
+
+// Union prefix counting: enumerate the leading dim over the union of the
+// disjunct ranges, recursing on the fixed slices. Cells covered by
+// several disjuncts are counted once (membership, not summation).
+Count count_union_prefix(const std::vector<IntegerSet>& disjuncts,
+                         std::size_t prefix, Ctx& ctx) {
+  std::vector<IntegerSet> live;
+  live.reserve(disjuncts.size());
+  for (const IntegerSet& d : disjuncts)
+    if (!d.trivially_empty()) live.push_back(d);
+  if (live.empty()) return Count::exact(0);
+  if (live.size() == 1) return count_set_prefix(live[0], prefix, ctx);
+  if (prefix == 0) {
+    bool unknown = false;
+    for (const IntegerSet& d : live) {
+      const Count probe = probe_nonempty(d, ctx.opts.ilp);
+      if (probe.is_exact() && probe.value == 1) return Count::exact(1);
+      if (!probe.is_exact()) unknown = true;
+    }
+    return unknown ? Count::unknown() : Count::exact(0);
+  }
+  if (!step(ctx)) return Count::unknown();
+  // Joint range of dim 0 across the live disjuncts.
+  bool have_range = false;
+  i64 lo = 0;
+  i64 hi = 0;
+  std::vector<const IntegerSet*> present;
+  for (const IntegerSet& d : live) {
+    const Dim0Range r = dim0_range(d, ctx.opts.ilp);
+    switch (r.kind) {
+      case Dim0Range::kEmpty:
+        continue;
+      case Dim0Range::kUnknown:
+        return Count::unknown();
+      case Dim0Range::kUnbounded:
+        return Count::unbounded();
+      case Dim0Range::kRange:
+        break;
+    }
+    lo = have_range ? std::min(lo, r.lo) : r.lo;
+    hi = have_range ? std::max(hi, r.hi) : r.hi;
+    have_range = true;
+    present.push_back(&d);
+  }
+  if (!have_range) return Count::exact(0);
+  const i128 range = static_cast<i128>(hi) - lo + 1;
+  if (range > ctx.opts.max_steps - ctx.steps) return Count::unknown();
+  i128 total = 0;
+  for (i64 v = lo;; ++v) {
+    if (!step(ctx)) return Count::unknown();
+    std::vector<IntegerSet> fixed;
+    fixed.reserve(present.size());
+    for (const IntegerSet* d : present) {
+      auto f = fix_dim0(*d, v);
+      if (!f) return Count::unknown();
+      if (!f->trivially_empty()) fixed.push_back(std::move(*f));
+    }
+    const Count sub = count_union_prefix(fixed, prefix - 1, ctx);
+    if (sub.kind != Count::kExact) return sub;
+    total += sub.value;
+    if (v == hi) break;
+  }
+  return in_i64(total) ? Count::exact(static_cast<i64>(total))
+                       : Count::unknown();
+}
+
+// Top-level wrapper: counters, the steps histogram, the wall-clock
+// histogram, and the BudgetExceeded -> kUnknown recovery boundary.
+template <typename Fn>
+Count count_top_level(const CountOptions& options, Fn&& fn) {
+  support::count(support::Counter::kCountSolves);
+  const auto t0 = std::chrono::steady_clock::now();
+  Ctx ctx{options, 0,
+          solve_cache_enabled() && !support::budget_limited()};
+  Count result = Count::unknown();
+  try {
+    result = fn(ctx);
+  } catch (const support::BudgetExceeded&) {
+    result = Count::unknown();
+  }
+  support::count(support::Counter::kCountSteps, ctx.steps);
+  support::observe(support::Hist::kCountStepsPerSolve, ctx.steps);
+  if (result.kind == Count::kUnknown)
+    support::count(support::Counter::kCountUnknowns);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  support::observe(support::Hist::kCountSolveMicros, static_cast<i64>(us));
+  return result;
+}
+
+}  // namespace
+
+std::string Count::to_string() const {
+  switch (kind) {
+    case kExact:
+      return std::to_string(value);
+    case kUnbounded:
+      return "unbounded";
+    case kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+Count count_points(const IntegerSet& s, const CountOptions& options) {
+  return count_top_level(options, [&](Ctx& ctx) {
+    return count_set_prefix(s, s.dims(), ctx);
+  });
+}
+
+Count count_projection(const IntegerSet& s, std::size_t prefix,
+                       const CountOptions& options) {
+  PF_CHECK(prefix <= s.dims());
+  return count_top_level(options, [&](Ctx& ctx) {
+    return count_set_prefix(s, prefix, ctx);
+  });
+}
+
+Count count_projection(const SetUnion& u, std::size_t prefix,
+                       const CountOptions& options) {
+  PF_CHECK(prefix <= u.dims());
+  return count_top_level(options, [&](Ctx& ctx) {
+    return count_union_prefix(u.disjuncts(), prefix, ctx);
+  });
+}
+
+Count count_points(const SetUnion& u, const CountOptions& options) {
+  const std::vector<IntegerSet>& ds = u.disjuncts();
+  if (ds.empty()) return Count::exact(0);
+  if (ds.size() == 1) return count_points(ds[0], options);
+  if (ds.size() <= options.max_inclusion_exclusion_disjuncts) {
+    // Inclusion-exclusion: |union A_i| = sum over non-empty subsets S of
+    // (-1)^(|S|+1) |intersection of S|.
+    i128 total = 0;
+    const std::size_t n = ds.size();
+    for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+      IntegerSet inter(u.dims());
+      int picked = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i & 1U) == 0) continue;
+        ++picked;
+        if (picked == 1)
+          inter = ds[i];
+        else
+          inter.intersect(ds[i]);
+        if (inter.trivially_empty()) break;
+      }
+      if (inter.trivially_empty()) continue;
+      const Count c = count_points(inter, options);
+      if (c.kind == Count::kUnknown) return Count::unknown();
+      // An unbounded intersection is contained in the union.
+      if (c.kind == Count::kUnbounded) return Count::unbounded();
+      total += (picked % 2 == 1) ? static_cast<i128>(c.value)
+                                 : -static_cast<i128>(c.value);
+    }
+    return in_i64(total) ? Count::exact(static_cast<i64>(total))
+                         : Count::unknown();
+  }
+  // Too many disjuncts for 2^n - 1 intersections: joint prefix
+  // enumeration instead. Exact (membership semantics never double
+  // counts), and -- unlike subtracting disjuncts from each other, whose
+  // piece count multiplies with every subtraction -- its total work is
+  // bounded by the single shared step guard.
+  return count_top_level(options, [&](Ctx& ctx) {
+    return count_union_prefix(ds, u.dims(), ctx);
+  });
+}
+
+void clear_count_cache() {
+  for (CountShard& shard : count_shards()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace pf::poly

@@ -9,6 +9,7 @@
 
 #include "lp/fastlane.h"
 #include "lp/simplex.h"
+#include "poly/count.h"
 #include "support/budget.h"
 #include "support/stats.h"
 
@@ -125,6 +126,7 @@ void clear_solve_cache() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
+  clear_count_cache();
 }
 
 bool IntegerSet::normalize(Constraint& c) const {

@@ -31,6 +31,8 @@ Counter fuel_counter(BudgetSite site) {
       return Counter::kBudgetFuelFusionModel;
     case BudgetSite::kJitCc:
       return Counter::kBudgetFuelJitCc;
+    case BudgetSite::kCountSet:
+      return Counter::kBudgetFuelCountSet;
     case BudgetSite::kLpFastlane:  // fast-lane attempts never charge fuel
     case BudgetSite::kNumSites:
       break;
@@ -72,6 +74,8 @@ const char* to_string(BudgetSite site) {
       return "fusion_model";
     case BudgetSite::kJitCc:
       return "jit_cc";
+    case BudgetSite::kCountSet:
+      return "count_set";
     case BudgetSite::kLpFastlane:
       return "lp.fastlane";
     case BudgetSite::kNumSites:
@@ -117,7 +121,7 @@ std::optional<Injection> parse_injection(const std::string& text,
   if (!site)
     return fail("unknown injection site '" + site_name +
                 "' (expected lp_solve, fme_project, dep_pair, pluto_level, "
-                "fusion_model, jit_cc, or lp.fastlane)");
+                "fusion_model, jit_cc, count_set, or lp.fastlane)");
   const std::string rest = text.substr(colon + 1);
   const std::string soft_key = "fail-after=";
   const std::string hard_key = "abort-after=";

@@ -56,6 +56,7 @@ enum class BudgetSite : std::size_t {
   kPlutoLevel,   // one Pluto scheduling level
   kFusionModel,  // fusion-policy work (pre-fusion order computation)
   kJitCc,        // one external JIT compiler invocation
+  kCountSet,     // one point-counting recursion step (--analyze)
   kLpFastlane,   // one int64 fast-lane attempt (injection forces fallback)
   kNumSites,
 };

@@ -53,6 +53,8 @@ const char* to_string(Counter c) {
       return "budget_fuel_fusion_model";
     case Counter::kBudgetFuelJitCc:
       return "budget_fuel_jit_cc";
+    case Counter::kBudgetFuelCountSet:
+      return "budget_fuel_count_set";
     case Counter::kBudgetExhaustions:
       return "budget_exhaustions";
     case Counter::kBudgetInjectedFaults:
@@ -77,6 +79,16 @@ const char* to_string(Counter c) {
       return "fastlane_arena_bytes";
     case Counter::kTraceEventsDropped:
       return "trace_events_dropped";
+    case Counter::kCountSolves:
+      return "count_solves";
+    case Counter::kCountSteps:
+      return "count_steps";
+    case Counter::kCountCacheHits:
+      return "count_cache_hits";
+    case Counter::kCountCacheMisses:
+      return "count_cache_misses";
+    case Counter::kCountUnknowns:
+      return "count_unknowns";
     case Counter::kNumCounters:
       break;
   }
@@ -120,6 +132,10 @@ const char* to_string(Hist h) {
       return "ilp_solve_us";
     case Hist::kDepPairMicros:
       return "dep_pair_us";
+    case Hist::kCountStepsPerSolve:
+      return "count_steps_per_solve";
+    case Hist::kCountSolveMicros:
+      return "count_solve_us";
     case Hist::kNumHists:
       break;
   }
@@ -136,6 +152,7 @@ bool hist_is_runtime(Hist h) {
     case Hist::kSimplexSolveMicros:
     case Hist::kIlpSolveMicros:
     case Hist::kDepPairMicros:
+    case Hist::kCountSolveMicros:
       return true;
     default:
       return false;

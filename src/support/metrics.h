@@ -74,6 +74,7 @@ enum class Counter : std::size_t {
   kBudgetFuelPlutoLevel,  // fuel charged at Pluto scheduling levels
   kBudgetFuelFusionModel,  // fuel charged in fusion-policy work
   kBudgetFuelJitCc,      // fuel charged at JIT compiler invocations
+  kBudgetFuelCountSet,   // fuel charged at point-counting recursion steps
   kBudgetExhaustions,    // fuel/deadline faults raised (BudgetExceeded)
   kBudgetInjectedFaults,  // faults raised by --inject
   kBudgetDowngrades,     // graceful-degradation steps taken, any layer
@@ -86,6 +87,11 @@ enum class Counter : std::size_t {
   kFastlaneWarmMisses,   // scheduler warm-start points rejected
   kFastlaneArenaBytes,   // bytes of arena chunk storage reserved
   kTraceEventsDropped,   // spans/remarks dropped at the tracer buffer cap
+  kCountSolves,          // top-level point-count requests (--analyze)
+  kCountSteps,           // point-counting recursion steps, all solves
+  kCountCacheHits,       // memoized count subproblems served from cache
+  kCountCacheMisses,     // count subproblems computed fresh
+  kCountUnknowns,        // counts degraded to "unknown" (budget/overflow)
   kNumCounters,
 };
 
@@ -118,6 +124,8 @@ enum class Hist : std::size_t {
   kSimplexSolveMicros,         // wall microseconds per simplex solve
   kIlpSolveMicros,             // wall microseconds per ILP solve
   kDepPairMicros,              // wall microseconds per dependence pair
+  kCountStepsPerSolve,         // recursion steps per top-level point count
+  kCountSolveMicros,           // wall microseconds per top-level point count
   kNumHists,
 };
 

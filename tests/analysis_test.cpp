@@ -7,11 +7,19 @@
 // CLI acceptance bar.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/dataflow.h"
 #include "analysis/lint.h"
+#include "analysis/locality.h"
+#include "codegen/codegen.h"
 #include "ddg/dependences.h"
+#include "exec/interp.h"
 #include "frontend/parser.h"
+#include "sched/analysis.h"
+#include "suite/suite.h"
 #include "suite/synthetic.h"
+#include "support/budget.h"
 
 namespace pf::analysis {
 namespace {
@@ -316,6 +324,205 @@ TEST(Lint, SyntheticProgramsLintClean) {
         << "seed " << seed << ":\n"
         << l.report.to_string(&l.scop) << "\n"
         << suite::synthetic_program(seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locality analysis (--analyze): exact counts vs hand computation and vs
+// a brute-force ground truth from actually running the program -- the
+// interpreter's per-statement execution counts and the set of distinct
+// cells its trace hook touches per array.
+// ---------------------------------------------------------------------------
+
+struct GroundTruth {
+  std::vector<std::size_t> instances;  // per statement
+  std::vector<i64> footprint;          // per array: distinct cells touched
+  std::vector<i64> accesses;           // per array: dynamic accesses
+};
+
+GroundTruth interpret_ground_truth(const ir::Scop& scop,
+                                   const ddg::DependenceGraph& dg,
+                                   const IntVector& params) {
+  sched::Schedule ident = sched::identity_schedule(scop);
+  sched::annotate_dependences(ident, dg);
+  const codegen::AstPtr ast = codegen::generate_ast(scop, ident);
+  exec::ArrayStore store(scop, params);
+  std::vector<std::set<i64>> cells(scop.arrays().size());
+  GroundTruth gt;
+  gt.footprint.assign(scop.arrays().size(), 0);
+  gt.accesses.assign(scop.arrays().size(), 0);
+  const exec::TraceHook hook = [&](std::size_t array, i64 idx, bool) {
+    cells[array].insert(idx);
+    ++gt.accesses[array];
+  };
+  const exec::InterpStats stats = exec::interpret(*ast, store, hook);
+  gt.instances = stats.per_statement;
+  for (std::size_t a = 0; a < cells.size(); ++a)
+    gt.footprint[a] = static_cast<i64>(cells[a].size());
+  return gt;
+}
+
+void expect_matches_ground_truth(const ir::Scop& scop,
+                                 const ddg::DependenceGraph& dg,
+                                 const IntVector& params,
+                                 const std::string& label) {
+  const LocalityReport rep = analyze_locality(scop, dg, params);
+  const GroundTruth gt = interpret_ground_truth(scop, dg, params);
+  ASSERT_TRUE(rep.context_satisfied) << label;
+  ASSERT_EQ(rep.statements.size(), gt.instances.size()) << label;
+  for (const StatementVolume& sv : rep.statements) {
+    ASSERT_TRUE(sv.instances.is_exact())
+        << label << " S" << sv.stmt + 1 << " -> " << sv.instances.to_string();
+    EXPECT_EQ(sv.instances.value, static_cast<i64>(gt.instances[sv.stmt]))
+        << label << " S" << sv.stmt + 1;
+  }
+  ASSERT_EQ(rep.arrays.size(), scop.arrays().size()) << label;
+  for (const ArrayLocality& al : rep.arrays) {
+    const std::string& name = scop.arrays()[al.array].name;
+    ASSERT_TRUE(al.footprint.is_exact())
+        << label << " " << name << " -> " << al.footprint.to_string();
+    ASSERT_TRUE(al.accesses.is_exact()) << label << " " << name;
+    ASSERT_TRUE(al.reuse.is_exact()) << label << " " << name;
+    EXPECT_EQ(al.footprint.value, gt.footprint[al.array])
+        << label << " footprint of " << name;
+    EXPECT_EQ(al.accesses.value, gt.accesses[al.array])
+        << label << " accesses of " << name;
+    EXPECT_EQ(al.reuse.value, al.accesses.value - al.footprint.value)
+        << label << " reuse of " << name;
+  }
+}
+
+TEST(Locality, PipelineExactCounts) {
+  Linted l(R"(scop pipeline(N) {
+    context N >= 4;
+    array a[N]; array b[N]; array c[N];
+    for (i = 0 .. N-1) { S1: a[i] = i * 0.5; }
+    for (i = 0 .. N-1) { S2: b[i] = a[i] * 2.0; }
+    for (i = 0 .. N-1) { S3: c[i] = a[i] + b[i]; }
+  })");
+  const IntVector params{8};
+  const LocalityReport rep = analyze_locality(l.scop, l.dg, params);
+
+  ASSERT_EQ(rep.statements.size(), 3u);
+  for (const StatementVolume& sv : rep.statements) {
+    ASSERT_TRUE(sv.instances.is_exact());
+    EXPECT_EQ(sv.instances.value, 8);
+  }
+  // a: written by S1, read by S2 and S3 -> 8 cells, 24 accesses.
+  ASSERT_EQ(rep.arrays.size(), 3u);
+  EXPECT_EQ(rep.arrays[0].footprint.value, 8);
+  EXPECT_EQ(rep.arrays[0].accesses.value, 24);
+  EXPECT_EQ(rep.arrays[0].reuse.value, 16);
+  EXPECT_EQ(rep.arrays[1].accesses.value, 16);
+  EXPECT_EQ(rep.arrays[2].reuse.value, 0);
+  EXPECT_TRUE(rep.findings.empty());
+
+  // Pairs: S1/S2 share a (8), S1/S3 share a (8), S2/S3 share a and b (16).
+  ASSERT_EQ(rep.pairs.size(), 3u);
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 1), 8);
+  EXPECT_EQ(rep.shared_cells_or_negative(2, 0), 8);  // order-insensitive
+  EXPECT_EQ(rep.shared_cells_or_negative(1, 2), 16);
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 0), -1);  // no self pair
+
+  // And the whole report agrees with actually running the program.
+  expect_matches_ground_truth(l.scop, l.dg, params, "pipeline");
+}
+
+TEST(Locality, CountedFindingVolumes) {
+  // Two injected defects with different volumes: every t-write is dead
+  // (local array, never read -> volume N) and S3 reads u[0..3] before
+  // any write (uninit volume 4).
+  Linted l(R"(scop buggy(N) {
+    context N >= 8;
+    local array t[N]; local array u[N]; array b[N];
+    for (i = 0 .. N-1) { S1: t[i] = i * 1.0; }
+    for (i = 4 .. N-1) { S2: u[i] = i * 2.0; }
+    for (i = 0 .. N-1) { S3: b[i] = u[i]; }
+  })");
+  const LocalityReport rep = analyze_locality(l.scop, l.dg, {8});
+  // Expect a dead-write volume of 8 (S1 on t, plus S2's u-writes that
+  // are consumed -- only t's are dead) and an uninit-read volume of 4
+  // (S3 reads u[0..3]).
+  const VolumeFinding* dead = nullptr;
+  const VolumeFinding* uninit = nullptr;
+  for (const VolumeFinding& f : rep.findings) {
+    if (f.kind == VolumeFinding::kDeadWrite && f.stmt == 0) dead = &f;
+    if (f.kind == VolumeFinding::kUninitRead) uninit = &f;
+  }
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->array, array_id(l.scop, "t"));
+  ASSERT_TRUE(dead->volume.is_exact());
+  EXPECT_EQ(dead->volume.value, 8);
+  ASSERT_NE(uninit, nullptr);
+  EXPECT_EQ(uninit->stmt, 2u);
+  EXPECT_EQ(uninit->array, array_id(l.scop, "u"));
+  ASSERT_TRUE(uninit->volume.is_exact());
+  EXPECT_EQ(uninit->volume.value, 4);
+  // Findings rank by volume, descending.
+  for (std::size_t i = 1; i < rep.findings.size(); ++i)
+    if (rep.findings[i - 1].volume.is_exact() &&
+        rep.findings[i].volume.is_exact())
+      EXPECT_GE(rep.findings[i - 1].volume.value,
+                rep.findings[i].volume.value);
+}
+
+TEST(Locality, StridedFootprintIsExactNotRationalShadow) {
+  // a[2*i]: 8 iterations touch 8 distinct cells; the FM rational shadow
+  // of the access relation would span 15.
+  Linted l(R"(scop strided(N) {
+    context N >= 8;
+    array a[2*N]; array b[N];
+    for (i = 0 .. N-1) { S1: a[2*i] = i * 1.0; }
+    for (i = 0 .. N-1) { S2: b[i] = a[2*i]; }
+  })");
+  const LocalityReport rep = analyze_locality(l.scop, l.dg, {8});
+  EXPECT_EQ(rep.arrays[array_id(l.scop, "a")].footprint.value, 8);
+  EXPECT_EQ(rep.arrays[array_id(l.scop, "a")].accesses.value, 16);
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 1), 8);
+  expect_matches_ground_truth(l.scop, l.dg, {8}, "strided");
+}
+
+TEST(Locality, BudgetDegradesToUnknownNeverWrong) {
+  Linted l(R"(scop small(N) {
+    context N >= 4;
+    array a[N];
+    for (i = 0 .. N-1) { S1: a[i] = i * 1.0; }
+  })");
+  support::BudgetSpec spec;
+  spec.fuel = 0;
+  support::Budget budget(spec);
+  support::BudgetScope scope(&budget);
+  const LocalityReport rep = analyze_locality(l.scop, l.dg, {8});
+  ASSERT_EQ(rep.statements.size(), 1u);
+  EXPECT_EQ(rep.statements[0].instances.kind, poly::Count::kUnknown);
+  for (const ArrayLocality& al : rep.arrays) {
+    EXPECT_NE(al.footprint.kind, poly::Count::kUnbounded);
+    EXPECT_EQ(al.footprint.to_string(), "unknown");
+  }
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 0), -1);
+}
+
+TEST(Locality, BenchmarksMatchInterpretedGroundTruth) {
+  // The acceptance differential: gemver, advect and swim at their test
+  // parameters -- every count the analyzer reports must equal what an
+  // actual run observes.
+  for (const char* name : {"gemver", "advect", "swim"}) {
+    const suite::Benchmark& b = suite::benchmark(name);
+    const ir::Scop scop = suite::parse(b);
+    const ddg::DependenceGraph dg = ddg::DependenceGraph::analyze(scop);
+    expect_matches_ground_truth(scop, dg, b.test_params, b.name);
+  }
+}
+
+TEST(Locality, SyntheticProgramsMatchInterpretedGroundTruth) {
+  for (unsigned seed = 0; seed < 6; ++seed) {
+    const ir::Scop scop = frontend::parse_scop(suite::synthetic_program(seed));
+    const ddg::DependenceGraph dg = ddg::DependenceGraph::analyze(scop);
+    IntVector params(scop.num_params(), 6);
+    if (!scop.context().contains(params))
+      params.assign(scop.num_params(), 16);
+    expect_matches_ground_truth(scop, dg, params,
+                                "synthetic seed " + std::to_string(seed));
   }
 }
 

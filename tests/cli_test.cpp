@@ -447,6 +447,137 @@ TEST(Cli, LintCountsLandInStatsJson) {
   EXPECT_TRUE(pf::testjson::valid(r.err.substr(brace))) << r.err;
 }
 
+TEST(Cli, AnalyzeReportsExactCounts) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const SplitResult r =
+      run_cli_split("--analyze --params=8 --emit=sched " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  for (const char* line :
+       {"analyze: params N=8", "analyze: statement S1: 8 instance(s)",
+        "analyze: array a: footprint 8, accesses 24, reuse 16",
+        "analyze: array c: footprint 8, accesses 8, reuse 0",
+        "analyze: pair S1/S2: 8 shared cell(s)",
+        "analyze: pair S2/S3: 16 shared cell(s)",
+        "analyze: 3 statement(s), 3 array(s), 0 finding(s), 3 pair(s)"})
+    EXPECT_NE(r.err.find(line), std::string::npos) << line << "\n" << r.err;
+}
+
+TEST(Cli, AnalyzeJsonIsValidAndByteIdenticalAcrossJobs) {
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string base = "--analyze=json --params=8 --emit=source " + path;
+  const SplitResult serial = run_cli_split("--jobs=1 " + base);
+  const SplitResult parallel = run_cli_split("--jobs=8 " + base);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(serial.err, parallel.err);
+  EXPECT_TRUE(pf::testjson::valid(serial.err)) << serial.err;
+  for (const char* want :
+       {"\"analyze\"", "\"params\": {\"N\": 8}",
+        "{\"name\": \"a\", \"footprint\": 8, \"accesses\": 24, \"reuse\": 16}",
+        "{\"s\": \"S2\", \"t\": \"S3\", \"shared_cells\": 16}"})
+    EXPECT_NE(serial.err.find(want), std::string::npos)
+        << want << "\n" << serial.err;
+}
+
+TEST(Cli, AnalyzeWorksWithEveryEmitMode) {
+  // Like --lint, --analyze inspects the *input* program and composes
+  // with every emit mode, including the pre-schedule ones.
+  const std::string path = write_program("p.pf", kPipeline);
+  for (const char* emit :
+       {"--emit=source", "--emit=deps", "--emit=sched", "--emit=c"}) {
+    const SplitResult r =
+        run_cli_split(std::string("--analyze ") + emit + " " + path);
+    EXPECT_EQ(r.exit_code, 0) << emit << ":\n" << r.err;
+    EXPECT_NE(
+        r.err.find("analyze: 3 statement(s), 3 array(s), 0 finding(s)"),
+        std::string::npos)
+        << emit << ":\n" << r.err;
+  }
+}
+
+TEST(Cli, AnalyzeCountsLandInDeterministicStats) {
+  // The count_* counters and the steps histogram live in the
+  // deterministic part of --stats=json (everything before "runtime"):
+  // byte-identical at every --jobs.
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string base =
+      "--analyze --stats=json --no-solve-cache --emit=sched " + path;
+  const SplitResult serial = run_cli_split("--jobs=1 " + base);
+  const SplitResult parallel = run_cli_split("--jobs=8 " + base);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  const auto deterministic_part = [](const std::string& err) {
+    const std::size_t runtime = err.find("\"runtime\"");
+    EXPECT_NE(runtime, std::string::npos) << err;
+    return err.substr(0, runtime);
+  };
+  const std::string det = deterministic_part(serial.err);
+  EXPECT_EQ(det, deterministic_part(parallel.err));
+  for (const char* c :
+       {"\"count_solves\"", "\"count_steps\"", "\"count_cache_hits\"",
+        "\"count_cache_misses\"", "\"count_unknowns\": 0",
+        "\"count_steps_per_solve\""})
+    EXPECT_NE(det.find(c), std::string::npos) << c << "\n" << det;
+  // The wall-clock histogram is runtime-only.
+  EXPECT_EQ(det.find("\"count_solve_us\""), std::string::npos);
+  EXPECT_NE(serial.err.find("\"count_solve_us\""), std::string::npos);
+}
+
+TEST(Cli, AnalyzeFuelDegradesToStructuredUnknown) {
+  // Out of fuel the counts must degrade to the structured "unknown" --
+  // never a number -- and the run still succeeds end to end.
+  const std::string path = write_program("p.pf", kPipeline);
+  const SplitResult r =
+      run_cli_split("--analyze=json --fuel=5 --emit=source " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_TRUE(pf::testjson::valid(r.err)) << r.err;
+  EXPECT_NE(r.err.find("\"instances\": \"unknown\""), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("\"shared_cells\": \"unknown\""), std::string::npos)
+      << r.err;
+}
+
+TEST(Cli, AnalyzeFeedsExplainAndMachineReport) {
+  const std::string path = write_program("p.pf", kPipeline);
+  // The profitability oracle enriches wisefuse's candidate remarks with
+  // exact shared-cell counts (S3 vs the fused {S1, S2}: 16 + 32 cells
+  // at the default N=16).
+  const SplitResult e =
+      run_cli_split("--analyze --explain --emit=sched " + path);
+  EXPECT_EQ(e.exit_code, 0) << e.err;
+  EXPECT_NE(e.err.find("verdict=fused, shared_cells=48"), std::string::npos)
+      << e.err;
+  // Without --analyze no oracle is installed: remarks stay unchanged.
+  const SplitResult plain = run_cli_split("--explain --emit=sched " + path);
+  EXPECT_EQ(plain.err.find("shared_cells"), std::string::npos) << plain.err;
+  // The machine report gains the counted compulsory-traffic floor:
+  // 3 arrays x 16 cells x 8 bytes.
+  const SplitResult m =
+      run_cli_split("--analyze --machine-report --params=16 --emit=c " + path);
+  EXPECT_EQ(m.exit_code, 0) << m.err;
+  EXPECT_NE(m.err.find("counted footprint:    384 bytes"), std::string::npos)
+      << m.err;
+  const SplitResult m0 =
+      run_cli_split("--machine-report --params=16 --emit=c " + path);
+  EXPECT_EQ(m0.err.find("counted footprint"), std::string::npos) << m0.err;
+}
+
+TEST(Cli, AnalyzeCountsSurviveFastlaneFallback) {
+  // Counting differential under the fast-lane fault injection and with
+  // the lane disabled outright: the exact Rational lane must produce the
+  // byte-identical report.
+  const std::string path = write_program("p.pf", kPipeline);
+  const std::string base = "--analyze=json --params=8 --emit=source " + path;
+  const SplitResult lane_on = run_cli_split(base);
+  const SplitResult lane_off = run_cli_split("--no-fastlane " + base);
+  const SplitResult inj =
+      run_cli_split("--inject=lp.fastlane:fail-after=0 " + base);
+  EXPECT_EQ(lane_on.exit_code, 0) << lane_on.err;
+  EXPECT_EQ(lane_off.exit_code, 0) << lane_off.err;
+  EXPECT_EQ(inj.exit_code, 0) << inj.err;
+  EXPECT_EQ(lane_on.err, lane_off.err);
+  EXPECT_EQ(lane_on.err, inj.err);
+}
+
 TEST(Cli, MalformedProgramsProduceLocatedDiagnostics) {
   struct Case {
     const char* name;

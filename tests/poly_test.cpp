@@ -6,7 +6,9 @@
 #include <random>
 
 #include "poly/affine.h"
+#include "poly/count.h"
 #include "poly/set.h"
+#include "support/budget.h"
 #include "support/stats.h"
 
 namespace pf::poly {
@@ -451,6 +453,171 @@ TEST(IntegerSet, TriviallyEmptySurvivesShapeOps) {
   EXPECT_EQ(ins.dims(), 4u);
   EXPECT_TRUE(ins.trivially_empty());
   EXPECT_FALSE(ins.contains({0, 0, 0, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Exact point counting (poly/count.h): degenerate shapes, exact shapes,
+// the structured unbounded/unknown outcomes, and projection counting.
+// ---------------------------------------------------------------------------
+
+IntegerSet interval1(i64 lo, i64 hi) {
+  IntegerSet s(1);
+  const auto x = AffineExpr::var(1, 0);
+  s.add_constraint(Constraint::ge(x, AffineExpr::constant(1, lo)));
+  s.add_constraint(Constraint::le(x, AffineExpr::constant(1, hi)));
+  return s;
+}
+
+TEST(Count, DegenerateSets) {
+  // Zero-dim universe: exactly one (empty-tuple) point.
+  const Count zero_dim = count_points(IntegerSet::universe(0));
+  EXPECT_TRUE(zero_dim.is_exact());
+  EXPECT_EQ(zero_dim.value, 1);
+
+  // Zero-dim contradiction: constant-only constraints fold at add time.
+  IntegerSet contra(0);
+  contra.add_constraint(Constraint::ge0(AffineExpr::constant(0, -1)));
+  EXPECT_TRUE(contra.trivially_empty());
+  const Count zero = count_points(contra);
+  EXPECT_TRUE(zero.is_exact());
+  EXPECT_EQ(zero.value, 0);
+
+  // Trivially-empty 1-D set, and an ILP-empty (lo > hi) interval.
+  IntegerSet contra1(1);
+  contra1.add_constraint(Constraint::ge0(AffineExpr::constant(1, -1)));
+  EXPECT_EQ(count_points(contra1).to_string(), "0");
+  EXPECT_EQ(count_points(interval1(5, 4)).to_string(), "0");
+
+  // Integer-empty via gcd gaps: 2x == 1 has rational but no int points.
+  IntegerSet gap(1);
+  gap.add_constraint(
+      Constraint::eq(AffineExpr::var(1, 0) * 2, AffineExpr::constant(1, 1)));
+  EXPECT_EQ(count_points(gap).to_string(), "0");
+
+  // Empty union, and a union of only trivially-empty disjuncts.
+  EXPECT_EQ(count_points(SetUnion::empty(2)).to_string(), "0");
+  EXPECT_EQ(count_points(SetUnion::wrap(contra1)).to_string(), "0");
+}
+
+TEST(Count, ExactShapes) {
+  // Interval, rectangle (separable fast path), triangle, diagonal.
+  EXPECT_EQ(count_points(interval1(3, 7)).value, 5);
+  EXPECT_EQ(count_points(interval1(-2, 2)).value, 5);
+
+  IntegerSet rect(2);
+  rect.intersect(interval1(0, 9).insert_dims(1, 1));
+  {
+    const auto y = AffineExpr::var(2, 1);
+    rect.add_constraint(Constraint::ge(y, AffineExpr::constant(2, 0)));
+    rect.add_constraint(Constraint::le(y, AffineExpr::constant(2, 3)));
+  }
+  EXPECT_EQ(count_points(rect).value, 40);
+
+  // 0 <= x <= y <= 9: 55 points (coupled, exercises the enumeration).
+  IntegerSet tri(2);
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  tri.add_constraint(Constraint::ge(x, AffineExpr::constant(2, 0)));
+  tri.add_constraint(Constraint::le(x, y));
+  tri.add_constraint(Constraint::le(y, AffineExpr::constant(2, 9)));
+  EXPECT_EQ(count_points(tri).value, 55);
+
+  // Diagonal of a 10x10 box: equality collapses one dim.
+  IntegerSet diag(2);
+  diag.add_constraint(Constraint::ge(x, AffineExpr::constant(2, 0)));
+  diag.add_constraint(Constraint::le(x, AffineExpr::constant(2, 9)));
+  diag.add_constraint(Constraint::eq(x, y));
+  EXPECT_EQ(count_points(diag).value, 10);
+
+  // Even points of [0, 9]: x == 2t has no explicit t here, but 2y == x
+  // inside a box counts the stride-2 sublattice exactly.
+  IntegerSet even(2);
+  even.add_constraint(Constraint::ge(x, AffineExpr::constant(2, 0)));
+  even.add_constraint(Constraint::le(x, AffineExpr::constant(2, 9)));
+  even.add_constraint(Constraint::eq(x, y * 2));
+  EXPECT_EQ(count_points(even).value, 5);
+}
+
+TEST(Count, UnboundedAndUnknown) {
+  // Universe and half-line are genuinely infinite, not unknown.
+  EXPECT_EQ(count_points(IntegerSet::universe(1)).kind, Count::kUnbounded);
+  IntegerSet half(1);
+  half.add_constraint(
+      Constraint::ge(AffineExpr::var(1, 0), AffineExpr::constant(1, 3)));
+  EXPECT_EQ(count_points(half).kind, Count::kUnbounded);
+  EXPECT_EQ(count_points(half).to_string(), "unbounded");
+
+  // A separable product that overflows int64 degrades to unknown.
+  const i64 kHuge = i64{1} << 40;
+  IntegerSet big(2);
+  big.intersect(interval1(0, kHuge).insert_dims(1, 1));
+  big.add_constraint(
+      Constraint::ge(AffineExpr::var(2, 1), AffineExpr::constant(2, 0)));
+  big.add_constraint(Constraint::le(AffineExpr::var(2, 1),
+                                    AffineExpr::constant(2, kHuge)));
+  EXPECT_EQ(count_points(big).kind, Count::kUnknown);
+  EXPECT_EQ(count_points(big).to_string(), "unknown");
+
+  // A coupled set whose leading range exceeds the step guard: unknown,
+  // never a wrong number.
+  IntegerSet tri(2);
+  const auto x = AffineExpr::var(2, 0);
+  const auto y = AffineExpr::var(2, 1);
+  tri.add_constraint(Constraint::ge(x, AffineExpr::constant(2, 0)));
+  tri.add_constraint(Constraint::le(x, y));
+  tri.add_constraint(Constraint::le(y, AffineExpr::constant(2, 99)));
+  CountOptions tight;
+  tight.max_steps = 4;
+  EXPECT_EQ(count_points(tri, tight).kind, Count::kUnknown);
+}
+
+TEST(Count, FuelBudgetDegradesToUnknown) {
+  // With zero count_set fuel every count degrades to the structured
+  // unknown -- the BudgetExceeded never escapes count_points.
+  support::BudgetSpec spec;
+  spec.fuel = 0;
+  support::Budget budget(spec);
+  support::BudgetScope scope(&budget);
+  EXPECT_EQ(count_points(interval1(0, 9)).kind, Count::kUnknown);
+  // Trivial emptiness needs no fuel: still an exact 0.
+  IntegerSet contra(1);
+  contra.add_constraint(Constraint::ge0(AffineExpr::constant(1, -1)));
+  EXPECT_EQ(count_points(contra).to_string(), "0");
+}
+
+TEST(Count, ProjectionCountsDistinctPrefixes) {
+  // {(c, i) : c == 2i, 0 <= i <= 9}: 10 distinct cells -- the exact
+  // projection, where Fourier-Motzkin's rational shadow would admit 19.
+  IntegerSet acc(2);
+  const auto c = AffineExpr::var(2, 0);
+  const auto i = AffineExpr::var(2, 1);
+  acc.add_constraint(Constraint::eq(c, i * 2));
+  acc.add_constraint(Constraint::ge(i, AffineExpr::constant(2, 0)));
+  acc.add_constraint(Constraint::le(i, AffineExpr::constant(2, 9)));
+  const Count cells = count_projection(acc, 1);
+  EXPECT_TRUE(cells.is_exact());
+  EXPECT_EQ(cells.value, 10);
+
+  // Full-prefix projection is just the point count; empty prefix is the
+  // 0/1 emptiness probe.
+  EXPECT_EQ(count_projection(acc, 2).value, 10);
+  EXPECT_EQ(count_projection(acc, 0).value, 1);
+
+  // Union projection: two strided access relations writing interleaved
+  // cells; distinct union cells counted without double counting.
+  IntegerSet odd(2);
+  odd.add_constraint(
+      Constraint::eq(c, i * 2 + AffineExpr::constant(2, 1)));
+  odd.add_constraint(Constraint::ge(i, AffineExpr::constant(2, 0)));
+  odd.add_constraint(Constraint::le(i, AffineExpr::constant(2, 9)));
+  auto u = SetUnion::wrap(acc);
+  u.unite(SetUnion::wrap(odd));
+  EXPECT_EQ(count_projection(u, 1).value, 20);
+  // Overlapping disjuncts collapse: the same set twice is counted once.
+  auto twice = SetUnion::wrap(acc);
+  twice.add_disjunct(acc);
+  EXPECT_EQ(count_projection(twice, 1).value, 10);
+  EXPECT_EQ(count_points(twice).value, 10);
 }
 
 }  // namespace

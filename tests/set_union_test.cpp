@@ -7,6 +7,8 @@
 
 #include <random>
 
+#include "lp/fastlane.h"
+#include "poly/count.h"
 #include "poly/set.h"
 #include "poly/set_union.h"
 
@@ -218,6 +220,81 @@ TEST_P(SetUnionVsEnumeration, AlgebraMatchesPoints) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomCases, SetUnionVsEnumeration,
+                         ::testing::Range(0u, 25u));
+
+// ---------------------------------------------------------------------------
+// Property test: exact point counting vs enumeration. Every random case
+// builds bounded sets inside the 32x32 box and checks count_points /
+// count_projection against literally counting `contains` hits --
+// covering the single-set recursion, the inclusion-exclusion union path,
+// the many-disjunct progressive-subtraction path, and the projection
+// count. A differential leg re-counts with the int64 fast lane disabled
+// (and is re-run under --inject=lp.fastlane by ci.sh): the exact
+// Rational lane must produce the identical numbers.
+// ---------------------------------------------------------------------------
+
+class CountVsEnumeration : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CountVsEnumeration, CountMatchesEnumeration) {
+  std::mt19937 rng(GetParam());
+  const i64 kLo = -16, kHi = 15;  // 32 x 32 = 1024 points
+
+  const IntegerSet box = box2(kLo, kHi, kLo, kHi);
+  IntegerSet a = box, b = box;
+  a.intersect(random_conjunction(rng));
+  b.intersect(random_conjunction(rng));
+  const IntegerSet c = random_conjunction(rng);
+
+  auto u = SetUnion::wrap(a);
+  u.unite(SetUnion::wrap(b));
+  // Subtraction fans one box disjunct into several pieces, so `diff`
+  // exercises the multi-disjunct union paths.
+  const SetUnion diff = u.subtract(c);
+
+  // Ground truth by enumeration.
+  i64 na = 0, nu = 0, ndiff = 0, nproj = 0;
+  for (i64 x = kLo; x <= kHi; ++x) {
+    bool col = false;
+    for (i64 y = kLo; y <= kHi; ++y) {
+      const IntVector p{x, y};
+      na += a.contains(p);
+      const bool in_u = a.contains(p) || b.contains(p);
+      nu += in_u;
+      ndiff += in_u && !c.contains(p);
+      col = col || in_u;
+    }
+    nproj += col;
+  }
+
+  auto expect_exact = [&](const Count& got, i64 want, const char* what) {
+    ASSERT_TRUE(got.is_exact()) << "seed " << GetParam() << " " << what
+                                << " -> " << got.to_string();
+    EXPECT_EQ(got.value, want) << "seed " << GetParam() << " " << what;
+  };
+  expect_exact(count_points(a), na, "single set");
+  expect_exact(count_points(u), nu, "two-disjunct union");
+  expect_exact(count_points(diff), ndiff, "subtraction result");
+  expect_exact(count_projection(u, 1), nproj, "prefix projection");
+
+  // Force the joint-enumeration fallback on the same union: with the
+  // inclusion-exclusion budget at 1 the count must not change.
+  CountOptions joint;
+  joint.max_inclusion_exclusion_disjuncts = 1;
+  expect_exact(count_points(diff, joint), ndiff, "joint enumeration");
+
+  // Differential: the Rational-only lane counts the same points.
+  if (lp::fastlane_enabled()) {
+    lp::set_fastlane_enabled(false);
+    clear_count_cache();
+    expect_exact(count_points(a), na, "single set (no fastlane)");
+    expect_exact(count_points(u), nu, "union (no fastlane)");
+    expect_exact(count_projection(u, 1), nproj, "projection (no fastlane)");
+    lp::set_fastlane_enabled(true);
+    clear_count_cache();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, CountVsEnumeration,
                          ::testing::Range(0u, 25u));
 
 }  // namespace

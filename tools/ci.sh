@@ -2,8 +2,9 @@
 # Local CI: the exact gauntlet a change must survive before review.
 #
 #   1. Plain release-ish build + full ctest.
-#   2. clang-tidy over src/ against that build's compile_commands.json
-#      (.clang-tidy: bugprone-*, performance-*, modernize-use-*);
+#   2. clang-tidy over src/, tools/ and bench/ against that build's
+#      compile_commands.json (.clang-tidy: bugprone-*, performance-*,
+#      modernize-use-*; bugprone-*/performance-* findings are errors);
 #      skipped with a notice when clang-tidy is not installed.
 #   3. Robustness sweep on the plain build: the pipeline under tight
 #      compute-fuel budgets, a wall-clock budget, and one injected fault
@@ -79,11 +80,13 @@ run_robustness() {
   echo "==== [$name] robustness: fault injection ===="
   # lp.fastlane is injection-only: it forces int64 fast-lane fallbacks
   # onto the exact Rational lane, which must be output-invisible.
+  # count_set faults the --analyze counting engine, which must degrade
+  # its counts to the structured "unknown" without failing the run.
   for site in lp_solve fme_project dep_pair pluto_level fusion_model \
-              lp.fastlane; do
+              count_set lp.fastlane; do
     echo "-- --inject=$site:fail-after=0"
-    "$cli" --model=wisefuse --inject="$site:fail-after=0" --explain \
-      $checks "$input" >/dev/null 2>&1 ||
+    "$cli" --model=wisefuse --inject="$site:fail-after=0" --analyze \
+      --explain $checks "$input" >/dev/null 2>&1 ||
       { echo "injection at $site broke the pipeline"; exit 1; }
   done
 }
@@ -147,11 +150,13 @@ run_robustness "plain" "$PREFIX"
 run_perf_smoke "plain" "$PREFIX"
 run_bench_gate "plain" "$PREFIX"
 
-echo "==== [clang-tidy] src/ ===="
+echo "==== [clang-tidy] src/ tools/ bench/ ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   # CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally, so the plain
-  # stage's build dir always has the compilation database.
-  find src -name '*.cpp' -print0 |
+  # stage's build dir always has the compilation database. .clang-tidy
+  # promotes every bugprone-*/performance-* finding to an error, so any
+  # such warning fails this stage (xargs propagates the nonzero exit).
+  find src tools bench -name '*.cpp' -print0 |
     xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet
 else
   echo "clang-tidy not installed; skipping static-analysis stage"

@@ -32,6 +32,15 @@ inline constexpr OptionDoc kOptionDocs[] = {
      "reads, dead writes, fusion/locality diagnostics\n"
      "(strict: exit 1 on any correctness finding); see\n"
      "docs/analysis.md"},
+    {"--analyze[=json]",
+     "exact-count locality report of the input program at\n"
+     "the --params values: statement instance counts, array\n"
+     "footprint/reuse volumes, counted dead-write and\n"
+     "uninitialized-read findings, per-pair shared cells;\n"
+     "feeds the --explain fusion profitability remarks and\n"
+     "the --machine-report compulsory-traffic floor; counts\n"
+     "degrade to a structured \"unknown\" under --fuel; see\n"
+     "docs/analysis.md"},
     {"--machine-report", "modeled cache/parallelism report"},
     {"--report", "fusion & parallelism summary"},
     {"--jobs=N", "worker threads for dependence analysis"},
@@ -61,7 +70,8 @@ inline constexpr OptionDoc kOptionDocs[] = {
     {"--inject=S:fail-after=K",
      "deterministically fail the K-th operation at site S\n"
      "(lp_solve, fme_project, dep_pair, pluto_level,\n"
-     "fusion_model, jit_cc, lp.fastlane); repeatable, for\n"
+     "fusion_model, jit_cc, count_set, lp.fastlane);\n"
+     "repeatable, for\n"
      "testing the degradation chain (POLYFUSE_INJECT);\n"
      "lp.fastlane forces a fast-lane fallback instead of a\n"
      "fault; S:abort-after=K instead aborts the process\n"

@@ -20,6 +20,16 @@
 //                     (value-based dataflow), fusion/locality perf
 //                     diagnostics (docs/analysis.md). strict: exit 1 on
 //                     any correctness finding
+//   --analyze[=json]  exact-count locality report of the *input* program
+//                     at the --params values (or the --validate guess):
+//                     per-statement instance counts, per-array footprint
+//                     and reuse volumes, counted dead-write and
+//                     uninitialized-read findings, per-pair shared cells
+//                     (docs/analysis.md). Feeds the fusion profitability
+//                     remarks (--explain) and the machine report's
+//                     compulsory-traffic floor. Counts degrade to a
+//                     structured "unknown" under --fuel, never a wrong
+//                     number; output is identical at every --jobs
 //   --machine-report  modeled cache/parallelism report (needs --params)
 //   --report          fusion & parallelism summary
 //   --jobs=N          worker threads for dependence analysis (default:
@@ -49,7 +59,8 @@
 //   --inject=SITE:fail-after=K
 //                     deterministically fail the K-th operation at SITE
 //                     (lp_solve, fme_project, dep_pair, pluto_level,
-//                     fusion_model, jit_cc, lp.fastlane); repeatable
+//                     fusion_model, jit_cc, count_set, lp.fastlane);
+//                     repeatable
 //                     (POLYFUSE_INJECT). SITE:abort-after=K aborts the
 //                     process instead (tests the crash-diagnostic path)
 //
@@ -64,6 +75,7 @@
 #include <sstream>
 
 #include "analysis/lint.h"
+#include "analysis/locality.h"
 #include "cli_modes.h"
 #include "codegen/cemit.h"
 #include "codegen/codegen.h"
@@ -101,6 +113,8 @@ struct Options {
   bool verify_strict = false;
   bool lint = false;
   bool lint_strict = false;
+  bool analyze = false;
+  bool analyze_json = false;
   bool machine_report = false;
   bool report = false;
   std::size_t jobs = 0;  // 0 = default (POLYFUSE_JOBS / hardware)
@@ -220,6 +234,11 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--lint=strict") {
       o.lint = true;
       o.lint_strict = true;
+    }
+    else if (arg == "--analyze") o.analyze = true;
+    else if (arg == "--analyze=json") {
+      o.analyze = true;
+      o.analyze_json = true;
     }
     else if (arg == "--machine-report") o.machine_report = true;
     else if (arg == "--report") o.report = true;
@@ -412,6 +431,44 @@ int run_lint_mode(const Options& o, const ir::Scop& scop,
   return 0;
 }
 
+// Exact-count locality analysis of the input program (src/analysis):
+// prints the counted report to stderr. The report outlives this call so
+// the fusion remark channel and the machine report can consume it.
+analysis::LocalityReport run_analyze_mode(const Options& o,
+                                          const ir::Scop& scop,
+                                          const ddg::DependenceGraph& dg) {
+  support::PhaseTimer timer("analyze");
+  IntVector params = o.params;
+  default_params(scop, &params);
+  analysis::LocalityReport report =
+      analysis::analyze_locality(scop, dg, params);
+  if (o.analyze_json)
+    std::cerr << report.to_json(scop) << "\n";
+  else
+    std::cerr << report.to_string(scop);
+  return report;
+}
+
+// Adapts the --analyze report into the fusion profitability oracle and
+// installs it for the current scope, restoring the previous oracle (so
+// nested pipelines -- tests run several in one process -- stay isolated).
+class OracleScope final : public fusion::ProfitabilityOracle {
+ public:
+  explicit OracleScope(const analysis::LocalityReport& report)
+      : report_(report), prev_(fusion::set_profitability_oracle(this)) {}
+  ~OracleScope() override { fusion::set_profitability_oracle(prev_); }
+  OracleScope(const OracleScope&) = delete;
+  OracleScope& operator=(const OracleScope&) = delete;
+
+  i64 shared_cells(std::size_t s, std::size_t t) const override {
+    return report_.shared_cells_or_negative(s, t);
+  }
+
+ private:
+  const analysis::LocalityReport& report_;
+  const fusion::ProfitabilityOracle* prev_;
+};
+
 int run_pipeline(const Options& o) {
   std::optional<ir::Scop> parsed;
   {
@@ -420,7 +477,7 @@ int run_pipeline(const Options& o) {
   }
   const ir::Scop& scop = *parsed;
 
-  if (o.emit == "source" && !o.lint) {
+  if (o.emit == "source" && !o.lint && !o.analyze) {
     std::cout << scop.to_string();
     finish_outputs(o);
     return 0;
@@ -437,6 +494,17 @@ int run_pipeline(const Options& o) {
 
   // Lint the *input* program (pre-transformation), any --emit mode.
   const int lint_rc = o.lint ? run_lint_mode(o, scop, dg) : 0;
+
+  // Counted locality analysis of the input program, any --emit mode.
+  // While the report is alive it also serves as the fusion profitability
+  // oracle, so the schedule phase's decision remarks carry exact
+  // shared-cell counts.
+  std::optional<analysis::LocalityReport> locality;
+  std::optional<OracleScope> oracle;
+  if (o.analyze) {
+    locality = run_analyze_mode(o, scop, dg);
+    oracle.emplace(*locality);
+  }
 
   if (o.emit == "source") {
     std::cout << scop.to_string();
@@ -546,7 +614,18 @@ int run_pipeline(const Options& o) {
     if (o.machine_report) {
       support::PhaseTimer timer("machine-report");
       exec::ArrayStore store(scop, params);
-      const machine::ModelReport r = machine::evaluate(*ast, store);
+      // With --analyze, feed the exact per-array footprints in so the
+      // report includes the counted compulsory-traffic floor.
+      machine::FootprintHints hints;
+      const machine::FootprintHints* hints_ptr = nullptr;
+      if (locality) {
+        hints.cells.assign(scop.arrays().size(), -1);
+        for (const analysis::ArrayLocality& al : locality->arrays)
+          if (al.footprint.is_exact()) hints.cells[al.array] = al.footprint.value;
+        hints_ptr = &hints;
+      }
+      const machine::ModelReport r =
+          machine::evaluate(*ast, store, {}, hints_ptr);
       std::cerr << r.to_string();
     }
   }
