@@ -364,11 +364,18 @@ LocalityReport analyze_locality(const ir::Scop& scop,
 
   // Shared cells per statement pair with at least one common array: the
   // size of the footprint intersection, counted exactly on the joint
-  // access-pair graph [rank, s iters, t iters].
+  // access-pair graph [rank, s iters, t iters]. The self pair (t == s)
+  // counts cells touched by at least two *distinct* instances -- the
+  // accumulator cell of a reduction is self-reuse the fusion oracle
+  // must see, while a[i] = f(a[i]) has none (and a 0-dim statement,
+  // with its single instance, always counts 0). Distinctness is a
+  // union over dimension and sign: some d has i_d - i'_d >= 1 (or
+  // <= -1).
   for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t t = s + 1; t < n; ++t) {
+    for (std::size_t t = s; t < n; ++t) {
       const ir::Statement& ss = scop.statement(s);
       const ir::Statement& st = scop.statement(t);
+      const bool self = t == s;
       std::vector<Count> parts;
       bool any_common = false;
       for (std::size_t a = 0; a < scop.arrays().size(); ++a) {
@@ -381,18 +388,33 @@ LocalityReport analyze_locality(const ir::Scop& scop,
         if (!in_s || !in_t) continue;
         any_common = true;
         const std::size_t rank = scop.array(a).rank();
-        SetUnion graph(rank + ss.dim() + st.dim());
+        const std::size_t dims = rank + ss.dim() + st.dim();
+        SetUnion graph(dims);
         bool bind_ok = true;
         for (const ir::Access& sa : ss.accesses()) {
           if (sa.array_id != a) continue;
           for (const ir::Access& ta : st.accesses()) {
             if (ta.array_id != a) continue;
-            IntegerSet disjunct(rank + ss.dim() + st.dim());
+            IntegerSet disjunct(dims);
             bind_ok &= add_access_disjunct(&disjunct, ss, sa, rank, rank,
                                            params);
             bind_ok &= add_access_disjunct(&disjunct, st, ta, rank,
                                            rank + ss.dim(), params);
-            graph.add_disjunct(std::move(disjunct));
+            if (!self) {
+              graph.add_disjunct(std::move(disjunct));
+              continue;
+            }
+            for (std::size_t d = 0; d < ss.dim(); ++d) {
+              const AffineExpr delta =
+                  AffineExpr::var(dims, rank + d) -
+                  AffineExpr::var(dims, rank + ss.dim() + d);
+              IntegerSet fwd = disjunct;
+              fwd.add_constraint(Constraint::ge0(delta.plus_const(-1)));
+              graph.add_disjunct(std::move(fwd));
+              IntegerSet bwd = disjunct;
+              bwd.add_constraint(Constraint::ge0((-delta).plus_const(-1)));
+              graph.add_disjunct(std::move(bwd));
+            }
           }
         }
         parts.push_back(bind_ok

@@ -64,7 +64,13 @@ void emit(const AstNode& n, const ir::Scop& scop,
       break;
     case AstNode::Kind::kLoop: {
       const std::string t = "t" + std::to_string(n.t_index);
-      if (n.mark_parallel) os << indent(depth) << "#pragma omp parallel for\n";
+      if (n.mark_parallel) {
+        os << indent(depth) << "#pragma omp parallel for";
+        for (const ReductionClause& rc : n.reductions)
+          os << " reduction(" << ir::to_string(rc.op) << ":"
+             << scop.array(rc.array_id).name << ")";
+        os << "\n";
+      }
       os << indent(depth) << "for (" << t << " = "
          << bound_str(n.lower, true, names) << "; " << t << " <= "
          << bound_str(n.upper, false, names) << "; " << t << "++) {";

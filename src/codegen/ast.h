@@ -12,10 +12,22 @@
 #include <string>
 #include <vector>
 
+#include "ir/reduction.h"
 #include "ir/scop.h"
 #include "poly/affine.h"
 
 namespace pf::codegen {
+
+/// One OpenMP reduction clause attached to a loop that is sequential only
+/// modulo relaxed reduction self-dependences (sched::Schedule::relaxed_deps).
+struct ReductionClause {
+  ir::ReductionOp op = ir::ReductionOp::kSum;
+  std::size_t array_id = 0;
+
+  bool operator==(const ReductionClause& o) const {
+    return op == o.op && array_id == o.array_id;
+  }
+};
 
 /// One bound alternative: value = ceil(expr / denom) for lower bounds,
 /// floor(expr / denom) for upper bounds. denom >= 1.
@@ -63,6 +75,13 @@ class AstNode {
   /// Emitter hint: this is the outermost parallel loop of its nest (gets
   /// the `#pragma omp parallel for`).
   bool mark_parallel = false;
+  /// Non-empty iff `parallel` is false but every dependence carried by
+  /// this loop is a relaxed reduction self-dependence and no other
+  /// statement under the loop touches an accumulator array: the loop may
+  /// be parallelized with these clauses (sorted by array then op). The
+  /// clause privatizes the accumulator, so the isolation condition is
+  /// what keeps stray readers from observing a private partial value.
+  std::vector<ReductionClause> reductions;
   AstPtr body;
 
   // kStmt -------------------------------------------------------------------

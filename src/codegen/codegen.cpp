@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/budget.h"
+#include "support/metrics.h"
 
 namespace pf::codegen {
 
@@ -253,8 +254,62 @@ class Generator {
       dedupe_alternatives(&loop->upper);
     }
     loop->parallel = sch_.is_parallel_for(stmts, level);
+    if (!loop->parallel) attach_reductions(loop.get(), stmts, level);
     loop->body = gen(level + 1, stmts);
     return loop;
+  }
+
+  // Upgrade a sequential loop to a reduction-parallel loop when every
+  // dependence it carries within `stmts` is a relaxed reduction
+  // self-dependence. The OpenMP clause privatizes the accumulator array,
+  // so additionally no statement other than the matched accumulators may
+  // touch that array under the loop (a stray reader would observe a
+  // private partial value), and two accumulators into the same array must
+  // agree on the operator. When any condition fails the loop simply stays
+  // sequential -- correct either way.
+  void attach_reductions(AstNode* loop, const std::vector<std::size_t>& stmts,
+                         std::size_t level) {
+    if (sch_.relaxed_deps.empty()) return;
+    std::vector<bool> in(scop_.num_statements(), false);
+    for (const std::size_t s : stmts) in[s] = true;
+    std::vector<ReductionClause> clauses;
+    // array_id -> statements allowed to touch it (the accumulators).
+    std::map<std::size_t, std::vector<std::size_t>> owners;
+    for (const std::size_t dep : sch_.carried_at[level]) {
+      const auto& [src, dst] = sch_.dep_endpoints[dep];
+      if (!in[src] || !in[dst]) continue;
+      const auto it = std::lower_bound(
+          sch_.relaxed_deps.begin(), sch_.relaxed_deps.end(), dep,
+          [](const ir::ReductionDep& rd, std::size_t id) {
+            return rd.dep_id < id;
+          });
+      if (it == sch_.relaxed_deps.end() || it->dep_id != dep)
+        return;  // a genuinely carried dependence: the loop is sequential
+      const ReductionClause clause{it->op, it->array_id};
+      bool fresh = true;
+      for (const ReductionClause& c : clauses) {
+        if (c.array_id != clause.array_id) continue;
+        if (c.op != clause.op) return;  // operator conflict on one array
+        fresh = false;
+      }
+      if (fresh) clauses.push_back(clause);
+      owners[it->array_id].push_back(it->stmt);
+    }
+    if (clauses.empty()) return;
+    for (const auto& [array_id, accs] : owners)
+      for (const std::size_t s : stmts) {
+        if (std::find(accs.begin(), accs.end(), s) != accs.end()) continue;
+        for (const ir::Access& a : scop_.statement(s).accesses())
+          if (a.array_id == array_id) return;  // accumulator not isolated
+      }
+    std::sort(clauses.begin(), clauses.end(),
+              [](const ReductionClause& a, const ReductionClause& b) {
+                return a.array_id != b.array_id ? a.array_id < b.array_id
+                                                : a.op < b.op;
+              });
+    support::count(support::Counter::kReductionClauses,
+                   static_cast<i64>(clauses.size()));
+    loop->reductions = std::move(clauses);
   }
 
   static void dedupe_alternatives(LoopBound* b) {
@@ -275,7 +330,7 @@ class Generator {
     switch (n.kind) {
       case AstNode::Kind::kLoop: {
         bool inner = *enclosing;
-        if (n.parallel && !inner) {
+        if ((n.parallel || !n.reductions.empty()) && !inner) {
           n.mark_parallel = true;
           inner = true;
         }

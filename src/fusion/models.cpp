@@ -171,19 +171,23 @@ std::vector<std::size_t> wisefuse_prefusion_order(
             {"verdict", v}};
         // With a profitability oracle installed (--analyze), quantify the
         // candidate: exact distinct cells shared between the fusable set
-        // and SCC_t -- the data fusion would keep hot.
+        // and SCC_t, plus the candidate's own self-reuse (cells two
+        // distinct instances of one statement revisit -- the accumulator
+        // of a reduction) -- the data fusion would keep hot.
         if (const ProfitabilityOracle* oracle = profitability_oracle()) {
           i64 shared = 0;
           bool unknown = false;
-          for (const std::size_t i : fusable) {
-            for (const std::size_t j : sccs.members[scc_t]) {
-              const i64 cells = oracle->shared_cells(i, j);
-              if (cells < 0)
-                unknown = true;
-              else
-                shared += cells;
-            }
-          }
+          const auto add = [&](i64 cells) {
+            if (cells < 0)
+              unknown = true;
+            else
+              shared += cells;
+          };
+          for (const std::size_t i : fusable)
+            for (const std::size_t j : sccs.members[scc_t])
+              add(oracle->shared_cells(i, j));
+          for (const std::size_t j : sccs.members[scc_t])
+            add(oracle->shared_cells(j, j));
           attrs.emplace_back("shared_cells",
                              unknown ? "unknown" : std::to_string(shared));
         }

@@ -1,0 +1,51 @@
+// Shared vocabulary for reduction handling: the associative/commutative
+// operators the pipeline recognizes and the record a relaxed reduction
+// self-dependence carries through the schedule.
+//
+// This lives in ir/ (not analysis/) on purpose: the detection pass
+// (analysis/reductions.*), the scheduler (sched/pluto.*), codegen
+// (codegen/*) and the verifier (verify/*) all exchange these records,
+// and ir/ is the one layer below all of them. The verifier deliberately
+// re-derives reduction-ness with its own matcher (verify/reductions.cpp)
+// instead of trusting these records -- they are claims, not proofs.
+#pragma once
+
+#include <cstddef>
+
+namespace pf::ir {
+
+/// The operator of a recognized reduction `x = x op e` (or
+/// `x = fmin(x, e)` / `x = fmax(x, e)`). All four are associative and
+/// commutative over doubles modulo rounding; relaxing the self-carried
+/// dependence reorders the accumulation chain, which is exact for
+/// integer-valued data and a rounding-order change otherwise.
+enum class ReductionOp { kSum, kProd, kMin, kMax };
+
+/// Display name ("+", "*", "min", "max"). The min/max names double as
+/// the OpenMP reduction-identifier spelling, so this is also what
+/// cemit prints inside `reduction(op:var)` clauses.
+inline const char* to_string(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::kSum:
+      return "+";
+    case ReductionOp::kProd:
+      return "*";
+    case ReductionOp::kMin:
+      return "min";
+    case ReductionOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+/// One reduction self-dependence the scheduler was allowed to ignore.
+/// Recorded on the Schedule so codegen can attach the matching OpenMP
+/// clause and the verifier can re-prove (or reject) the relaxation.
+struct ReductionDep {
+  std::size_t dep_id = 0;    // index into DependenceGraph::deps()
+  std::size_t stmt = 0;      // the accumulation statement (src == dst)
+  std::size_t array_id = 0;  // the accumulator array
+  ReductionOp op = ReductionOp::kSum;
+};
+
+}  // namespace pf::ir

@@ -46,6 +46,28 @@ class Scheduler {
     satisfied_at_.assign(dg_.deps().size(), SIZE_MAX);
     dep_constraints_.resize(dg_.deps().size());
 
+    // Reduction relaxation (docs/reductions.md): a relaxed self-dep is
+    // marked satisfied up front, so it never enters active_deps() -- no
+    // Farkas legality row, no cut pressure, and the Algorithm-2
+    // recurrence-isolation extension cannot fire on it. satisfied_at_
+    // stays SIZE_MAX: the dep was *ignored*, not satisfied; run() adds
+    // it to carried_at with race semantics instead.
+    for (const ir::ReductionDep& rd : opts_.relaxed_deps) {
+      PF_CHECK_MSG(rd.dep_id < dg_.deps().size() &&
+                       dg_.deps()[rd.dep_id].src == rd.stmt &&
+                       dg_.deps()[rd.dep_id].dst == rd.stmt,
+                   "relaxed reduction dependence does not match the graph");
+      support::budget_charge(support::BudgetSite::kAnalysisReductions);
+      if (satisfied_[rd.dep_id]) continue;
+      satisfied_[rd.dep_id] = true;
+      if (support::Tracer::remarks_on())
+        support::remark("reduction", "self-dependence relaxed for scheduling",
+                        {{"dep", std::to_string(dg_.deps()[rd.dep_id].id)},
+                         {"stmt", scop_.statement(rd.stmt).name()},
+                         {"op", ir::to_string(rd.op)},
+                         {"array", scop_.array(rd.array_id).name}});
+    }
+
     // The policy's pre-fusion schedule, over the ORIGINAL SCCs of the DDG.
     orig_sccs_ = dg_.sccs();
     orig_order_ = policy_.prefusion_order(scop_, dg_, orig_sccs_);
@@ -177,7 +199,47 @@ class Scheduler {
       out.dep_endpoints.emplace_back(d.src, d.dst);
     out.scc_of_stmt = orig_sccs_.scc_of;
     out.prefusion_order = orig_order_;
+    record_relaxed_carried(out);
     return out;
+  }
+
+  // A relaxed reduction dep was invisible to the level loop, so its
+  // carried levels were never recorded. Recover them here with *race*
+  // semantics -- at each linear level, tied at every earlier linear
+  // level and distance != 0 in either sign (relaxation permits negative
+  // distances, which ordinary satisfaction bookkeeping cannot
+  // represent). This keeps is_parallel_for sound: a loop sequential only
+  // modulo relaxed deps reads as non-parallel, and codegen is the one
+  // layer that may upgrade it to reduction-parallel with a clause.
+  void record_relaxed_carried(Schedule& out) {
+    if (opts_.relaxed_deps.empty()) return;
+    support::BudgetSuspend suspend;  // bookkeeping must complete
+    out.relaxed_deps = opts_.relaxed_deps;
+    std::sort(out.relaxed_deps.begin(), out.relaxed_deps.end(),
+              [](const ir::ReductionDep& a, const ir::ReductionDep& b) {
+                return a.dep_id < b.dep_id;
+              });
+    for (const ir::ReductionDep& rd : out.relaxed_deps) {
+      const ddg::Dependence& d = dg_.deps()[rd.dep_id];
+      poly::IntegerSet tied = d.poly;
+      for (std::size_t l = 0; l < out.num_levels(); ++l) {
+        if (!out.level_linear[l]) continue;  // src == dst: scalar delta is 0
+        const poly::AffineExpr diff = d.lift_dst(out.rows[d.dst][l]) -
+                                      d.lift_src(out.rows[d.src][l]);
+        poly::IntegerSet fwd = tied;
+        fwd.add_constraint(poly::Constraint::ge0(diff.plus_const(-1)));
+        bool carried = !fwd.is_empty(opts_.ilp);
+        if (!carried) {
+          poly::IntegerSet bwd = tied;
+          bwd.add_constraint(poly::Constraint::ge0((-diff).plus_const(-1)));
+          carried = !bwd.is_empty(opts_.ilp);
+        }
+        if (carried) out.carried_at[l].push_back(rd.dep_id);
+        tied.add_constraint(poly::Constraint::eq0(diff));
+      }
+    }
+    for (std::vector<std::size_t>& level : out.carried_at)
+      std::sort(level.begin(), level.end());
   }
 
  private:

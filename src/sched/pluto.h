@@ -39,6 +39,14 @@ struct SchedulerOptions {
   std::size_t max_levels = 64;
   /// Print per-level decisions (found hyperplane / cut) to stderr.
   bool trace = false;
+  /// Reduction self-dependences the scheduler may ignore during the
+  /// hyperplane search (from analysis::analyze_reductions; see
+  /// docs/reductions.md). Each is marked satisfied before the first
+  /// level, so it contributes no legality constraint and triggers no
+  /// cut; the resulting Schedule records it in relaxed_deps and enters
+  /// it into carried_at with race semantics. Empty (the default) keeps
+  /// the classic behavior, as does `--no-reductions`.
+  std::vector<ir::ReductionDep> relaxed_deps;
 };
 
 /// Run the scheduler. Throws pf::Error if no legal schedule exists within

@@ -69,6 +69,13 @@ bool Schedule::is_parallel_for(const std::vector<std::size_t>& stmts,
                       });
 }
 
+bool Schedule::is_relaxed_dep(std::size_t dep) const {
+  const auto it = std::lower_bound(
+      relaxed_deps.begin(), relaxed_deps.end(), dep,
+      [](const ir::ReductionDep& rd, std::size_t id) { return rd.dep_id < id; });
+  return it != relaxed_deps.end() && it->dep_id == dep;
+}
+
 std::string Schedule::statement_to_string(std::size_t stmt) const {
   PF_CHECK(scop != nullptr && stmt < num_statements());
   const ir::Statement& s = scop->statement(stmt);

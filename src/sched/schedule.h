@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ddg/dependences.h"
+#include "ir/reduction.h"
 #include "ir/scop.h"
 
 namespace pf::sched {
@@ -42,6 +43,20 @@ struct Schedule {
   /// scc id) chosen by the fusion policy.
   std::vector<int> scc_of_stmt;
   std::vector<std::size_t> prefusion_order;
+
+  /// Reduction self-dependences the scheduler was allowed to ignore
+  /// (SchedulerOptions::relaxed_deps), sorted by dep_id. A relaxed dep
+  /// keeps satisfied_at == SIZE_MAX but IS entered into carried_at with
+  /// race semantics (tied prefix, distance != 0 either sign), so
+  /// is_parallel_for stays sound: a loop that is sequential only because
+  /// of relaxed deps reads as non-parallel here, and codegen upgrades it
+  /// to a reduction-parallel loop with the matching OpenMP clause. The
+  /// verifier re-proves every entry (verify/reductions.cpp) -- these are
+  /// the analysis pass's claims, not trusted facts.
+  std::vector<ir::ReductionDep> relaxed_deps;
+
+  /// True iff `dep` is one of relaxed_deps (binary search by dep_id).
+  bool is_relaxed_dep(std::size_t dep) const;
 
   std::size_t num_levels() const { return level_linear.size(); }
   std::size_t num_statements() const { return rows.size(); }

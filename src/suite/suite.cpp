@@ -32,12 +32,14 @@ scop gemver(N) {
 
 // Figure 4 / Figure 6. S4's forward reads of wk4 make unshifted full
 // fusion illegal: maxfuse must shift S4 (losing outer parallelism),
-// wisefuse's Algorithm 2 distributes S4 instead.
+// wisefuse's Algorithm 2 distributes S4 instead. S5 is the advection
+// diagnostic: a global sum of the updated field -- an associative
+// reduction whose self-dependence serializes it unless relaxed.
 constexpr const char* kAdvect = R"(
 scop advect(N) {
   context N >= 4;
   array wk1[N+2][N+2]; array wk2[N+2][N+2]; array wk4[N+2][N+2];
-  array u[N+2][N+2]; array v[N+2][N+2];
+  array u[N+2][N+2]; array v[N+2][N+2]; array usum[1];
   for (i = 1 .. N) { for (j = 1 .. N) {
     S1: wk1[i][j] = u[i][j] + u[i][j+1]; } }
   for (i = 1 .. N) { for (j = 1 .. N) {
@@ -46,6 +48,8 @@ scop advect(N) {
     S3: wk4[i][j] = wk1[i][j] + wk2[i][j]; } }
   for (i = 1 .. N) { for (j = 1 .. N) {
     S4: u[i][j] = wk4[i][j] - wk4[i][j+1] + wk4[i+1][j]; } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S5: usum[0] = usum[0] + u[i][j]; } }
 }
 )";
 
@@ -98,7 +102,10 @@ scop tce(N) {
 // copy-back, where S13/S14/S16/S17 run over the full range including the
 // boundary (hence depend on S4-S12) while S15/S18 touch only pnew-related
 // data and can legally join the first nest -- the paper's Figure 5(b)
-// 5-statement fusion.
+// 5-statement fusion. S19 is the CHECK-style diagnostic sum of the real
+// swim (an associative reduction over the filtered fields): it reads
+// S13/S14/S15 output, so it trails the time filter and -- unless the
+// reduction pass relaxes its self-dependence -- runs fully serial.
 constexpr const char* kSwim = R"(
 scop swim(N) {
   context N >= 4;
@@ -106,6 +113,7 @@ scop swim(N) {
   array unew[N+2][N+2]; array vnew[N+2][N+2]; array pnew[N+2][N+2];
   array uold[N+2][N+2]; array vold[N+2][N+2]; array pold[N+2][N+2];
   array cu[N+2][N+2]; array cv[N+2][N+2]; array z[N+2][N+2]; array h[N+2][N+2];
+  array pcheck[1];
   for (i = 1 .. N) { for (j = 1 .. N) {
     S1: unew[i][j] = uold[i][j] + 0.7*(z[i][j+1] + z[i][j])*(cv[i][j+1] + cv[i][j]) - 0.6*(h[i+1][j] - h[i][j]);
   } }
@@ -141,6 +149,9 @@ scop swim(N) {
   } }
   for (i = 1 .. N) { for (j = 1 .. N) {
     S18: p[i][j] = pnew[i][j];
+  } }
+  for (i = 1 .. N) { for (j = 1 .. N) {
+    S19: pcheck[0] = pcheck[0] + uold[i][j] + vold[i][j] + pold[i][j];
   } }
 }
 )";

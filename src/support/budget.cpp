@@ -33,6 +33,8 @@ Counter fuel_counter(BudgetSite site) {
       return Counter::kBudgetFuelJitCc;
     case BudgetSite::kCountSet:
       return Counter::kBudgetFuelCountSet;
+    case BudgetSite::kAnalysisReductions:
+      return Counter::kBudgetFuelReductions;
     case BudgetSite::kLpFastlane:  // fast-lane attempts never charge fuel
     case BudgetSite::kNumSites:
       break;
@@ -78,6 +80,8 @@ const char* to_string(BudgetSite site) {
       return "count_set";
     case BudgetSite::kLpFastlane:
       return "lp.fastlane";
+    case BudgetSite::kAnalysisReductions:
+      return "analysis.reductions";
     case BudgetSite::kNumSites:
       break;
   }

@@ -58,6 +58,7 @@ enum class BudgetSite : std::size_t {
   kJitCc,        // one external JIT compiler invocation
   kCountSet,     // one point-counting recursion step (--analyze)
   kLpFastlane,   // one int64 fast-lane attempt (injection forces fallback)
+  kAnalysisReductions,  // reduction/privatization classification pass
   kNumSites,
 };
 

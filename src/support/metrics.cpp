@@ -33,6 +33,10 @@ const char* to_string(Counter c) {
       return "verify_violations";
     case Counter::kVerifyRaceChecks:
       return "verify_race_checks";
+    case Counter::kVerifyReductionChecks:
+      return "verify_reduction_checks";
+    case Counter::kVerifyReductionWaivers:
+      return "verify_reduction_waivers";
     case Counter::kLintCheckedAccesses:
       return "lint_checked_accesses";
     case Counter::kLintValueFlows:
@@ -89,6 +93,16 @@ const char* to_string(Counter c) {
       return "count_cache_misses";
     case Counter::kCountUnknowns:
       return "count_unknowns";
+    case Counter::kReductionStatements:
+      return "reduction_statements";
+    case Counter::kReductionRelaxedDeps:
+      return "reduction_relaxed_deps";
+    case Counter::kReductionPrivArrays:
+      return "reduction_priv_arrays";
+    case Counter::kReductionClauses:
+      return "reduction_clauses";
+    case Counter::kBudgetFuelReductions:
+      return "budget_fuel_reductions";
     case Counter::kNumCounters:
       break;
   }

@@ -64,6 +64,8 @@ enum class Counter : std::size_t {
   kVerifyCheckedDeps,    // dependences legality-checked by the verifier
   kVerifyViolations,     // verifier findings (all kinds)
   kVerifyRaceChecks,     // (parallel loop, dependence) race checks
+  kVerifyReductionChecks,   // relaxed-reduction claims + clauses re-proven
+  kVerifyReductionWaivers,  // dependences waived as confirmed reductions
   kLintCheckedAccesses,  // accesses bounds/coverage-checked by --lint
   kLintValueFlows,       // value-based (last-writer) flows computed
   kLintFindings,         // lint findings, every severity
@@ -92,6 +94,11 @@ enum class Counter : std::size_t {
   kCountCacheHits,       // memoized count subproblems served from cache
   kCountCacheMisses,     // count subproblems computed fresh
   kCountUnknowns,        // counts degraded to "unknown" (budget/overflow)
+  kReductionStatements,  // statements classified as associative reductions
+  kReductionRelaxedDeps,  // reduction self-dependences relaxed for scheduling
+  kReductionPrivArrays,  // arrays proven privatizable by value-based dataflow
+  kReductionClauses,     // OpenMP reduction clauses attached during codegen
+  kBudgetFuelReductions,  // fuel charged in the reduction analysis pass
   kNumCounters,
 };
 

@@ -34,4 +34,13 @@ std::string structure_problem(const ddg::DependenceGraph& dg,
 /// one bad dependence should yield one finding.
 void add_finding(Report* report, Finding f);
 
+/// Independent re-proof of one relaxed-reduction claim: true iff the
+/// claimed dependence is a real self-dependence of `rd.stmt` on its
+/// accumulator array `rd.array_id` and the statement body is a genuine
+/// `acc = acc <op> ...` commutative accumulation for `rd.op`. On failure
+/// `*why` (if non-null) gets a one-line reason. Implemented in
+/// verify/reductions.cpp with the verifier's own expression matcher.
+bool reduction_confirmed(const ddg::DependenceGraph& dg,
+                         const ir::ReductionDep& rd, std::string* why);
+
 }  // namespace pf::verify::detail

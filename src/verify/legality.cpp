@@ -17,6 +17,8 @@
 // unconstrained (loop reversal below a satisfied level is legal -- this
 // is weaker, and more precise, than the scheduler's constructive
 // per-level non-negativity).
+#include <algorithm>
+
 #include "support/trace.h"
 #include "verify/internal.h"
 
@@ -44,8 +46,28 @@ Report check_legality(const ddg::DependenceGraph& dg,
     return report;
   }
 
-  for (const ddg::Dependence& d : dg.deps()) {
+  for (std::size_t dep_index = 0; dep_index < dg.deps().size(); ++dep_index) {
+    const ddg::Dependence& d = dg.deps()[dep_index];
     ++report.checked_deps;
+    // A relaxed reduction self-dependence that the verifier's own matcher
+    // re-proves (check_reductions / detail::reduction_confirmed) is
+    // waived entirely: the accumulation commutes, so instances may run in
+    // any order -- including tied at every level. An UNCONFIRMED relaxed
+    // dependence gets no waiver and is judged like any other (and
+    // check_reductions reports it besides). ReductionDep::dep_id is the
+    // positional index into dg.deps(), not the display Dependence::id.
+    if (sch.is_relaxed_dep(dep_index)) {
+      const auto it = std::lower_bound(
+          sch.relaxed_deps.begin(), sch.relaxed_deps.end(), dep_index,
+          [](const ir::ReductionDep& rd, std::size_t id) {
+            return rd.dep_id < id;
+          });
+      if (it != sch.relaxed_deps.end() && it->dep_id == dep_index &&
+          detail::reduction_confirmed(dg, *it, nullptr)) {
+        ++report.reduction_waivers;
+        continue;
+      }
+    }
     poly::IntegerSet residual = d.poly;  // instances tied so far
     bool settled = false;
     for (std::size_t l = 0; l < sch.num_levels(); ++l) {

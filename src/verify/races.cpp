@@ -22,6 +22,19 @@
 // dependence kind, endpoints and level. Tiled ASTs verify unchanged:
 // tile loops inherit the point loop's level and claim, and duplicate
 // findings collapse in add_finding.
+//
+// Reduction-parallel loops (AstNode::reductions non-empty): a carried
+// dependence is downgraded -- counted as a waiver, not a race -- iff it
+// is a relaxed reduction self-dependence that the verifier's own matcher
+// re-proves (detail::reduction_confirmed) AND the loop carries a clause
+// with the matching (operator, array). Everything else still diagnoses:
+// a non-commutative read-modify-write is never relaxed, so its carried
+// self-dependence surfaces as a kRace finding here. Each clause is also
+// checked for soundness of the privatization it implies: it must be
+// backed by a confirmed accumulation under the loop, and no other
+// statement under the loop may touch the privatized array (a stray
+// reader would observe a thread-private partial value).
+#include <algorithm>
 #include <vector>
 
 #include "support/trace.h"
@@ -80,8 +93,11 @@ class RaceWalker {
     }
     std::vector<bool> under(sch_.num_statements(), false);
     collect_stmts(loop, &under);
+    if (!loop.reductions.empty()) check_clauses(loop, under);
 
-    for (const ddg::Dependence& d : dg_.deps()) {
+    for (std::size_t dep_index = 0; dep_index < dg_.deps().size();
+         ++dep_index) {
+      const ddg::Dependence& d = dg_.deps()[dep_index];
       if (!under[d.src] || !under[d.dst]) continue;
       ++report_->race_checks;
       // Same iteration of every enclosing level...
@@ -99,6 +115,10 @@ class RaceWalker {
       const bool fwd = !forward.is_empty(options_.ilp);
       const bool bwd = !backward.is_empty(options_.ilp);
       if (!fwd && !bwd) continue;
+      if (clause_covered(loop, dep_index)) {
+        ++report_->reduction_waivers;
+        continue;
+      }
       Finding f;
       f.kind = CheckKind::kRace;
       f.dep_kind = d.kind;
@@ -112,6 +132,67 @@ class RaceWalker {
                                     : "behind the source")) +
                  " touch the same location";
       detail::add_finding(report_, std::move(f));
+    }
+  }
+
+  // Is the carried dependence `d` excused by a clause on `loop`? Only
+  // when it is a relaxed reduction self-dependence, the verifier's own
+  // matcher confirms the accumulation, and the clause agrees on
+  // (operator, array).
+  bool clause_covered(const codegen::AstNode& loop, std::size_t dep_index) {
+    const auto it = std::lower_bound(
+        sch_.relaxed_deps.begin(), sch_.relaxed_deps.end(), dep_index,
+        [](const ir::ReductionDep& rd, std::size_t id) {
+          return rd.dep_id < id;
+        });
+    if (it == sch_.relaxed_deps.end() || it->dep_id != dep_index) return false;
+    for (const codegen::ReductionClause& rc : loop.reductions)
+      if (rc.array_id == it->array_id && rc.op == it->op)
+        return detail::reduction_confirmed(dg_, *it, nullptr);
+    return false;
+  }
+
+  // Soundness of the privatization each clause implies: a confirmed
+  // accumulation into the clause array must exist under the loop, and no
+  // other statement under the loop may touch that array.
+  void check_clauses(const codegen::AstNode& loop,
+                     const std::vector<bool>& under) {
+    const ir::Scop& scop = dg_.scop();
+    for (const codegen::ReductionClause& rc : loop.reductions) {
+      ++report_->reduction_checks;
+      std::vector<bool> owner(sch_.num_statements(), false);
+      bool any_owner = false;
+      for (const ir::ReductionDep& rd : sch_.relaxed_deps) {
+        if (rd.array_id != rc.array_id || rd.op != rc.op) continue;
+        if (rd.stmt >= owner.size() || !under[rd.stmt]) continue;
+        if (!detail::reduction_confirmed(dg_, rd, nullptr)) continue;
+        owner[rd.stmt] = true;
+        any_owner = true;
+      }
+      if (!any_owner) {
+        Finding f;
+        f.kind = CheckKind::kReduction;
+        f.level = loop.level;
+        f.detail = "reduction clause on array '" +
+                   scop.array(rc.array_id).name +
+                   "' is backed by no confirmed accumulation under the loop";
+        detail::add_finding(report_, std::move(f));
+        continue;
+      }
+      for (std::size_t s = 0; s < sch_.num_statements(); ++s) {
+        if (!under[s] || owner[s]) continue;
+        for (const ir::Access& a : scop.statement(s).accesses()) {
+          if (a.array_id != rc.array_id) continue;
+          Finding f;
+          f.kind = CheckKind::kReduction;
+          f.src = f.dst = s;
+          f.level = loop.level;
+          f.detail = "statement touches reduction-privatized array '" +
+                     scop.array(rc.array_id).name + "'";
+          detail::add_finding(report_, std::move(f));
+          break;
+        }
+      }
     }
   }
 

@@ -19,6 +19,8 @@ const char* to_string(CheckKind k) {
       return "race";
     case CheckKind::kPartition:
       return "partition";
+    case CheckKind::kReduction:
+      return "reduction";
     case CheckKind::kMalformed:
       return "malformed";
   }
@@ -95,6 +97,9 @@ std::string Finding::to_string(const ir::Scop* scop) const {
       break;
     case CheckKind::kPartition:
       break;  // detail carries the full story
+    case CheckKind::kReduction:
+      os << "relaxed as a reduction but not re-proven";
+      break;
     case CheckKind::kMalformed:
       break;
   }
@@ -111,12 +116,20 @@ void Report::merge(Report other) {
   checked_deps += other.checked_deps;
   race_checks += other.race_checks;
   partition_checks += other.partition_checks;
+  reduction_checks += other.reduction_checks;
+  reduction_waivers += other.reduction_waivers;
 }
 
 std::string Report::summary() const {
   std::ostringstream os;
   os << "checked " << checked_deps << " dependence(s), " << race_checks
-     << " race check(s), " << partition_checks << " partition check(s): ";
+     << " race check(s), " << partition_checks << " partition check(s)";
+  // Mentioned only when reductions are in play, so classic runs keep
+  // their exact summary line.
+  if (reduction_checks != 0 || reduction_waivers != 0)
+    os << ", " << reduction_checks << " reduction check(s), "
+       << reduction_waivers << " waiver(s)";
+  os << ": ";
   if (ok())
     os << "ok";
   else
@@ -150,6 +163,8 @@ Report run_all(const ir::Scop& scop, const ddg::DependenceGraph& dg,
     f.detail = problem;
     detail::add_finding(&report, std::move(f));
   } else {
+    if (options.reductions && !sch.relaxed_deps.empty())
+      report.merge(check_reductions(dg, sch, options));
     if (options.legality) report.merge(check_legality(dg, sch, options));
     if (options.races && ast != nullptr)
       report.merge(check_races(dg, sch, *ast, options));
@@ -160,11 +175,17 @@ Report run_all(const ir::Scop& scop, const ddg::DependenceGraph& dg,
                  static_cast<i64>(report.checked_deps));
   support::count(support::Counter::kVerifyRaceChecks,
                  static_cast<i64>(report.race_checks));
+  support::count(support::Counter::kVerifyReductionChecks,
+                 static_cast<i64>(report.reduction_checks));
+  support::count(support::Counter::kVerifyReductionWaivers,
+                 static_cast<i64>(report.reduction_waivers));
   support::count(support::Counter::kVerifyViolations,
                  static_cast<i64>(report.findings.size()));
   if (span.active()) {
     span.attr("checked_deps", static_cast<i64>(report.checked_deps));
     span.attr("race_checks", static_cast<i64>(report.race_checks));
+    span.attr("reduction_waivers",
+              static_cast<i64>(report.reduction_waivers));
     span.attr("violations", static_cast<i64>(report.findings.size()));
   }
   if (support::Tracer::remarks_on()) {

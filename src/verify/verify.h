@@ -60,6 +60,8 @@ enum class CheckKind {
   kUnsatisfied,  // dependence instances never strongly separated
   kRace,         // parallel-marked loop carries a dependence
   kPartition,    // fusion partition breaks the SCC condensation order
+  kReduction,    // relaxed dependence is not a proven commutative
+                 // accumulation, or a reduction clause is unsound
   kMalformed,    // schedule/AST structurally unusable for verification
 };
 
@@ -85,6 +87,9 @@ struct Report {
   std::size_t checked_deps = 0;      // dependences legality-checked
   std::size_t race_checks = 0;       // (parallel loop, dependence) pairs
   std::size_t partition_checks = 0;  // SCCs + condensation edges checked
+  std::size_t reduction_checks = 0;  // relaxed deps independently re-proven
+  std::size_t reduction_waivers = 0; // legality/race checks waived because
+                                     // the relaxed dep was re-proven
 
   bool ok() const { return findings.empty(); }
   std::size_t num_violations() const { return findings.size(); }
@@ -100,6 +105,7 @@ struct Options {
   bool legality = true;
   bool races = true;
   bool partition = true;
+  bool reductions = true;
 };
 
 /// Check (a): lexicographic positivity of every real dependence under the
@@ -118,6 +124,20 @@ Report check_races(const ddg::DependenceGraph& dg, const sched::Schedule& sch,
 Report check_partition(const ddg::DependenceGraph& dg,
                        const sched::Schedule& sch,
                        const Options& options = {});
+
+/// Check (d): every relaxed reduction self-dependence recorded in
+/// sch.relaxed_deps is re-proven to be a genuine commutative accumulation
+/// with the verifier's own matcher (verify/reductions.cpp -- deliberately
+/// NOT analysis::match_reduction): the dependence must be a real
+/// self-dependence of the claimed statement on its accumulator array, and
+/// the statement body must be a chain of the claimed associative operator
+/// whose only accumulator reference is the self-read of the written cell.
+/// A relaxed dependence that fails the re-proof yields a kReduction
+/// finding, and check_legality / check_races then judge it with no
+/// waiver, so `--verify=strict` rejects bogus relaxations twice over.
+Report check_reductions(const ddg::DependenceGraph& dg,
+                        const sched::Schedule& sch,
+                        const Options& options = {});
 
 /// Run every enabled check. `ast` may be null (race check skipped --
 /// e.g. when only the schedule exists). Emits one remark per finding and

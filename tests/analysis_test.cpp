@@ -417,15 +417,50 @@ TEST(Locality, PipelineExactCounts) {
   EXPECT_EQ(rep.arrays[2].reuse.value, 0);
   EXPECT_TRUE(rep.findings.empty());
 
-  // Pairs: S1/S2 share a (8), S1/S3 share a (8), S2/S3 share a and b (16).
-  ASSERT_EQ(rep.pairs.size(), 3u);
+  // Pairs: S1/S2 share a (8), S1/S3 share a (8), S2/S3 share a and b
+  // (16), plus one self pair per statement (no cell is revisited by a
+  // second instance here, so all three count 0).
+  ASSERT_EQ(rep.pairs.size(), 6u);
   EXPECT_EQ(rep.shared_cells_or_negative(0, 1), 8);
   EXPECT_EQ(rep.shared_cells_or_negative(2, 0), 8);  // order-insensitive
   EXPECT_EQ(rep.shared_cells_or_negative(1, 2), 16);
-  EXPECT_EQ(rep.shared_cells_or_negative(0, 0), -1);  // no self pair
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 0), 0);  // no self-reuse
+  EXPECT_EQ(rep.shared_cells_or_negative(2, 2), 0);
 
   // And the whole report agrees with actually running the program.
   expect_matches_ground_truth(l.scop, l.dg, params, "pipeline");
+}
+
+TEST(Locality, SelfPairCountsReductionReuse) {
+  // The self pair counts cells touched by two *distinct* instances of
+  // the same statement: the accumulator cell of a reduction is
+  // self-reuse (the reason fusing a reduction with its producer pays),
+  // while streaming statements like the pipeline above count 0.
+  Linted l(R"(scop dot(N) {
+    context N >= 8;
+    array x[N]; array s[1];
+    S1: s[0] = 0.0;
+    for (i = 0 .. N-1) { S2: s[0] = s[0] + x[i]; }
+  })");
+  const LocalityReport rep = analyze_locality(l.scop, l.dg, {8});
+  // S2 revisits exactly the accumulator cell; x[i] is touched once per
+  // instance. S1 has a single instance, so no pair of distinct ones.
+  EXPECT_EQ(rep.shared_cells_or_negative(1, 1), 1);
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 0), 0);
+  EXPECT_EQ(rep.shared_cells_or_negative(0, 1), 1);
+
+  // 2-d anti-diagonal binning: hist[i+j] at N=8 has 15 bins, of which
+  // the two corner bins (0 and 14) are touched by a single (i, j) --
+  // 13 cells see at least two distinct instances.
+  Linted h(R"(scop histo(N) {
+    context N >= 8;
+    array A[N][N]; array hist[2*N - 1];
+    for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+      S1: hist[i + j] = hist[i + j] + A[i][j];
+    } }
+  })");
+  const LocalityReport hrep = analyze_locality(h.scop, h.dg, {8});
+  EXPECT_EQ(hrep.shared_cells_or_negative(0, 0), 13);
 }
 
 TEST(Locality, CountedFindingVolumes) {

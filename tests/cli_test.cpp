@@ -456,9 +456,10 @@ TEST(Cli, AnalyzeReportsExactCounts) {
        {"analyze: params N=8", "analyze: statement S1: 8 instance(s)",
         "analyze: array a: footprint 8, accesses 24, reuse 16",
         "analyze: array c: footprint 8, accesses 8, reuse 0",
+        "analyze: pair S1/S1: 0 shared cell(s)",
         "analyze: pair S1/S2: 8 shared cell(s)",
         "analyze: pair S2/S3: 16 shared cell(s)",
-        "analyze: 3 statement(s), 3 array(s), 0 finding(s), 3 pair(s)"})
+        "analyze: 3 statement(s), 3 array(s), 0 finding(s), 6 pair(s)"})
     EXPECT_NE(r.err.find(line), std::string::npos) << line << "\n" << r.err;
 }
 
@@ -576,6 +577,110 @@ TEST(Cli, AnalyzeCountsSurviveFastlaneFallback) {
   EXPECT_EQ(inj.exit_code, 0) << inj.err;
   EXPECT_EQ(lane_on.err, lane_off.err);
   EXPECT_EQ(lane_on.err, inj.err);
+}
+
+// ---------------------------------------------------------------------------
+// --reductions / --no-reductions (docs/reductions.md).
+// ---------------------------------------------------------------------------
+
+std::string example_path(const char* name) {
+  return std::string(POLYFUSE_EXAMPLES_DIR) + "/" + name;
+}
+
+TEST(Cli, ReductionsReportByteIdenticalAcrossJobs) {
+  const std::string base =
+      "--reductions=json --emit=sched " + example_path("dotprod.pf");
+  const SplitResult serial = run_cli_split("--jobs=1 " + base);
+  const SplitResult parallel = run_cli_split("--jobs=8 " + base);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(serial.err, parallel.err);
+  EXPECT_TRUE(pf::testjson::valid(serial.err)) << serial.err;
+  for (const char* want :
+       {"\"reductions\"", "\"scop\": \"dotprod\"", "\"degraded\": false",
+        "\"stmt\": \"S2\"", "\"op\": \"+\"", "\"array\": \"s\"",
+        "\"relaxable_dep_ids\""})
+    EXPECT_NE(serial.err.find(want), std::string::npos)
+        << want << "\n" << serial.err;
+
+  // Text mode names the accumulator and the relaxable count.
+  const SplitResult text = run_cli_split("--reductions --emit=sched " +
+                                         example_path("dotprod.pf"));
+  EXPECT_EQ(text.exit_code, 0) << text.err;
+  EXPECT_NE(text.err.find("reductions: dotprod"), std::string::npos)
+      << text.err;
+  EXPECT_NE(text.err.find("relaxable dependences:"), std::string::npos)
+      << text.err;
+}
+
+TEST(Cli, ReductionExamplesSurviveFullCliMatrix) {
+  // The two reduction examples compose with every inspection mode.
+  for (const char* example : {"dotprod.pf", "histogram.pf"}) {
+    for (const char* mode :
+         {"--analyze", "--lint", "--verify=strict --validate", "--explain",
+          "--reductions"}) {
+      const SplitResult r = run_cli_split(std::string(mode) + " --emit=c " +
+                                          example_path(example));
+      EXPECT_EQ(r.exit_code, 0) << example << " " << mode << ":\n" << r.err;
+      EXPECT_NE(r.out.find("void pf_kernel"), std::string::npos)
+          << example << " " << mode;
+    }
+  }
+}
+
+TEST(Cli, NoReductionsKeepsAccumulationSerial) {
+  // The dot-product accumulation parallelizes only via the relaxed
+  // self-dependence: with the pass on, the emitted C carries an OpenMP
+  // reduction clause; --no-reductions falls back to the classic serial
+  // loop (and still verifies).
+  const SplitResult on = run_cli_split("--verify=strict --emit=c " +
+                                       example_path("dotprod.pf"));
+  EXPECT_EQ(on.exit_code, 0) << on.err;
+  EXPECT_NE(on.out.find("reduction(+:"), std::string::npos) << on.out;
+
+  const SplitResult off = run_cli_split(
+      "--no-reductions --verify=strict --emit=c " + example_path("dotprod.pf"));
+  EXPECT_EQ(off.exit_code, 0) << off.err;
+  EXPECT_EQ(off.out.find("reduction("), std::string::npos) << off.out;
+}
+
+TEST(Cli, ReductionInjectionDegradesGracefully) {
+  // An injected fault at analysis.reductions empties the analysis --
+  // nothing relaxed, no clause -- but the pipeline still emits a correct
+  // serial kernel, verifies strictly, and reports the degradation.
+  const SplitResult r = run_cli_split(
+      "--inject=analysis.reductions:fail-after=0 --reductions --explain "
+      "--verify=strict --emit=c " +
+      example_path("dotprod.pf"));
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("void pf_kernel"), std::string::npos);
+  EXPECT_EQ(r.out.find("reduction("), std::string::npos) << r.out;
+  EXPECT_NE(r.err.find("(degraded: budget exhausted; nothing claimed)"),
+            std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("reduction analysis degraded"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("fault-injected"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ReductionCountersLandInDeterministicStats) {
+  const std::string base = "--verify --stats=json --no-solve-cache --emit=c " +
+                           example_path("dotprod.pf");
+  const SplitResult serial = run_cli_split("--jobs=1 " + base);
+  const SplitResult parallel = run_cli_split("--jobs=8 " + base);
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  const auto deterministic_part = [](const std::string& err) {
+    const std::size_t runtime = err.find("\"runtime\"");
+    EXPECT_NE(runtime, std::string::npos) << err;
+    return err.substr(0, runtime);
+  };
+  const std::string det = deterministic_part(serial.err);
+  EXPECT_EQ(det, deterministic_part(parallel.err));
+  for (const char* c :
+       {"\"reduction_statements\": 1", "\"reduction_relaxed_deps\": 3",
+        "\"reduction_priv_arrays\": 0", "\"reduction_clauses\": 1",
+        "\"verify_reduction_checks\"", "\"verify_reduction_waivers\""})
+    EXPECT_NE(det.find(c), std::string::npos) << c << "\n" << det;
 }
 
 TEST(Cli, MalformedProgramsProduceLocatedDiagnostics) {

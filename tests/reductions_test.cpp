@@ -1,0 +1,400 @@
+// Reduction analysis end to end: the matcher (positives and negatives),
+// the relaxed scheduler + OpenMP clause emission on the acceptance
+// benchmarks, a randomized differential proof that relaxed schedules are
+// interpreter-identical on integer data, the verifier's rejection of
+// bogus relaxations, and a JIT round-trip of an emitted reduction(...)
+// kernel (TSan-instrumented when the test binary itself runs under TSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/reductions.h"
+#include "codegen/cemit.h"
+#include "codegen/codegen.h"
+#include "ddg/dependences.h"
+#include "exec/interp.h"
+#include "exec/jit.h"
+#include "exec/storage.h"
+#include "frontend/parser.h"
+#include "fusion/models.h"
+#include "sched/analysis.h"
+#include "sched/pluto.h"
+#include "suite/suite.h"
+#include "verify/verify.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PF_TEST_TSAN 1
+#endif
+#endif
+#if !defined(PF_TEST_TSAN) && defined(__SANITIZE_THREAD__)
+#define PF_TEST_TSAN 1
+#endif
+
+namespace pf {
+namespace {
+
+using ir::ReductionOp;
+
+ir::Scop parse(const std::string& src) { return frontend::parse_scop(src); }
+
+// Wrap a single-statement body in a minimal scop and return whether the
+// analysis matcher recognizes it (and as which operator).
+bool matches(const std::string& scop_src, std::size_t stmt, ReductionOp* op) {
+  const ir::Scop scop = parse(scop_src);
+  return analysis::match_reduction(scop.statement(stmt), op);
+}
+
+// ---------------------------------------------------------------------------
+// Matcher: all four operators are recognized...
+// ---------------------------------------------------------------------------
+
+TEST(ReductionMatcher, RecognizesSum) {
+  ReductionOp op;
+  ASSERT_TRUE(matches(R"(scop t(N) { context N >= 4;
+    array a[N]; array s[1];
+    for (i = 0 .. N-1) { S1: s[0] = s[0] + a[i]; } })",
+                      0, &op));
+  EXPECT_EQ(op, ReductionOp::kSum);
+}
+
+TEST(ReductionMatcher, RecognizesProduct) {
+  ReductionOp op;
+  ASSERT_TRUE(matches(R"(scop t(N) { context N >= 4;
+    array a[N]; array s[1];
+    for (i = 0 .. N-1) { S1: s[0] = s[0] * a[i]; } })",
+                      0, &op));
+  EXPECT_EQ(op, ReductionOp::kProd);
+}
+
+TEST(ReductionMatcher, RecognizesMin) {
+  ReductionOp op;
+  ASSERT_TRUE(matches(R"(scop t(N) { context N >= 4;
+    array a[N]; array s[1];
+    for (i = 0 .. N-1) { S1: s[0] = fmin(s[0], a[i]); } })",
+                      0, &op));
+  EXPECT_EQ(op, ReductionOp::kMin);
+}
+
+TEST(ReductionMatcher, RecognizesMax) {
+  ReductionOp op;
+  ASSERT_TRUE(matches(R"(scop t(N) { context N >= 4;
+    array a[N]; array s[1];
+    for (i = 0 .. N-1) { S1: s[0] = fmax(s[0], a[i]); } })",
+                      0, &op));
+  EXPECT_EQ(op, ReductionOp::kMax);
+}
+
+TEST(ReductionMatcher, RecognizesLongChainAndVectorAccumulator) {
+  ReductionOp op;
+  // Chain of three operands into a per-row accumulator cell.
+  ASSERT_TRUE(matches(R"(scop t(N) { context N >= 4;
+    array A[N][N]; array B[N][N]; array r[N];
+    for (i = 0 .. N-1) { for (j = 0 .. N-1) {
+      S1: r[i] = r[i] + A[i][j] + B[i][j];
+    } } })",
+                      0, &op));
+  EXPECT_EQ(op, ReductionOp::kSum);
+}
+
+// ---------------------------------------------------------------------------
+// ... and none of the near-misses.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionMatcher, RejectsScan) {
+  // The extra a[i-1] operand touches the accumulator array: a prefix
+  // scan, not a reduction -- reordering changes the result.
+  ReductionOp op;
+  EXPECT_FALSE(matches(R"(scop t(N) { context N >= 4;
+    array a[N];
+    for (i = 1 .. N-1) { S1: a[i] = a[i] + a[i-1]; } })",
+                       0, &op));
+}
+
+TEST(ReductionMatcher, RejectsTwoSelfReads) {
+  ReductionOp op;
+  EXPECT_FALSE(matches(R"(scop t(N) { context N >= 4;
+    array s[1]; array a[N];
+    for (i = 0 .. N-1) { S1: s[0] = s[0] + s[0]; } })",
+                       0, &op));
+}
+
+TEST(ReductionMatcher, RejectsNonCommutativeUpdate) {
+  // Subtraction is not a chain of any recognized operator, so the body
+  // flattens to a single leaf and fails the >= 2 operand requirement.
+  ReductionOp op;
+  EXPECT_FALSE(matches(R"(scop t(N) { context N >= 4;
+    array s[1]; array a[N];
+    for (i = 0 .. N-1) { S1: s[0] = s[0] - a[i]; } })",
+                       0, &op));
+}
+
+TEST(ReductionMatcher, RejectsPlainCopyAndInit) {
+  ReductionOp op;
+  const ir::Scop scop = parse(R"(scop t(N) { context N >= 4;
+    array a[N]; array b[N];
+    for (i = 0 .. N-1) { S1: b[i] = a[i]; }
+    S2: a[0] = 0.0; })");
+  EXPECT_FALSE(analysis::match_reduction(scop.statement(0), &op));
+  EXPECT_FALSE(analysis::match_reduction(scop.statement(1), &op));
+}
+
+TEST(ReductionMatcher, RejectsMixedOperatorChain) {
+  // + over * is a sum whose non-self leaf is a product -- fine. But the
+  // self-read buried inside the product means the *sum* chain has no
+  // self-read leaf.
+  ReductionOp op;
+  EXPECT_FALSE(matches(R"(scop t(N) { context N >= 4;
+    array s[1]; array a[N];
+    for (i = 0 .. N-1) { S1: s[0] = s[0] * 2.0 + a[i]; } })",
+                       0, &op));
+}
+
+// ---------------------------------------------------------------------------
+// Analysis: non-commutative updates are never relaxed.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionAnalysis, NonCommutativeUpdateNotRelaxed) {
+  const ir::Scop scop = parse(R"(scop t(N) { context N >= 4;
+    array s[1]; array a[N];
+    for (i = 0 .. N-1) { S1: s[0] = s[0] - a[i]; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const analysis::ReductionInfo info = analysis::analyze_reductions(scop, dg);
+  EXPECT_TRUE(info.statements.empty());
+  EXPECT_TRUE(info.relaxable.empty());
+  EXPECT_FALSE(info.degraded);
+}
+
+TEST(ReductionAnalysis, DotprodRelaxableTargetsTheSelfDependence) {
+  const ir::Scop scop = parse(R"(scop dot(N) { context N >= 4;
+    array x[N]; array y[N]; array s[1];
+    S1: s[0] = 0.0;
+    for (i = 0 .. N-1) { S2: s[0] = s[0] + x[i] * y[i]; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const analysis::ReductionInfo info = analysis::analyze_reductions(scop, dg);
+  ASSERT_EQ(info.statements.size(), 1u);
+  EXPECT_EQ(info.statements[0].stmt, 1u);
+  EXPECT_EQ(info.statements[0].op, ReductionOp::kSum);
+  ASSERT_FALSE(info.relaxable.empty());
+  for (const ir::ReductionDep& rd : info.relaxable) {
+    // dep_id is positional into dg.deps(); every relaxable dep is a real
+    // self-dependence of the accumulation statement on its accumulator.
+    ASSERT_LT(rd.dep_id, dg.deps().size());
+    const ddg::Dependence& d = dg.deps()[rd.dep_id];
+    EXPECT_TRUE(d.is_real());
+    EXPECT_EQ(d.src, rd.stmt);
+    EXPECT_EQ(d.dst, rd.stmt);
+    EXPECT_EQ(rd.stmt, 1u);
+    EXPECT_EQ(rd.array_id, scop.statement(1).write().array_id);
+  }
+}
+
+TEST(ReductionAnalysis, ReportsAreDeterministic) {
+  const ir::Scop scop = suite::parse(suite::benchmark("gemver"));
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const analysis::ReductionInfo a = analysis::analyze_reductions(scop, dg);
+  const analysis::ReductionInfo b = analysis::analyze_reductions(scop, dg);
+  EXPECT_EQ(analysis::render_reductions_text(scop, dg, a),
+            analysis::render_reductions_text(scop, dg, b));
+  EXPECT_EQ(analysis::render_reductions_json(scop, dg, a),
+            analysis::render_reductions_json(scop, dg, b));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler + emitter acceptance: gemver, swim and advect each gain at
+// least one parallel reduction loop, and the schedule verifies strictly.
+// ---------------------------------------------------------------------------
+
+sched::Schedule relaxed_schedule(const ir::Scop& scop,
+                                 const ddg::DependenceGraph& dg) {
+  const analysis::ReductionInfo info = analysis::analyze_reductions(scop, dg);
+  auto policy = fusion::make_policy(fusion::FusionModel::kWisefuse);
+  sched::SchedulerOptions opts;
+  opts.relaxed_deps = info.relaxable;
+  return sched::compute_schedule(scop, dg, *policy, opts);
+}
+
+int count_reduction_loops(const codegen::AstNode& n) {
+  int c = 0;
+  switch (n.kind) {
+    case codegen::AstNode::Kind::kLoop:
+      c += n.reductions.empty() ? 0 : 1;
+      c += count_reduction_loops(*n.body);
+      break;
+    case codegen::AstNode::Kind::kBlock:
+      for (const codegen::AstPtr& ch : n.children)
+        c += count_reduction_loops(*ch);
+      break;
+    case codegen::AstNode::Kind::kStmt:
+      break;
+  }
+  return c;
+}
+
+class ReductionAcceptance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReductionAcceptance, GainsClauseAndVerifiesStrict) {
+  const suite::Benchmark& b = suite::benchmark(GetParam());
+  const ir::Scop scop = suite::parse(b);
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const sched::Schedule sch = relaxed_schedule(scop, dg);
+  ASSERT_FALSE(sch.relaxed_deps.empty()) << b.name;
+
+  const codegen::AstPtr ast = codegen::generate_ast(scop, sch);
+  EXPECT_GE(count_reduction_loops(*ast), 1) << b.name;
+  const std::string c = codegen::emit_c(*ast, scop);
+  EXPECT_NE(c.find("reduction("), std::string::npos) << b.name;
+
+  const verify::Report rep = verify::run_all(scop, dg, sch, ast.get());
+  EXPECT_TRUE(rep.ok()) << b.name << ": " << rep.summary();
+  EXPECT_GT(rep.reduction_waivers, 0u) << b.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AcceptanceBenchmarks, ReductionAcceptance,
+                         ::testing::Values("gemver", "swim", "advect"));
+
+// ---------------------------------------------------------------------------
+// Randomized differential: on integer-valued data a relaxed schedule is
+// bit-identical to the untransformed program -- reassociating an integer
+// sum/min/max is exact in doubles at these magnitudes.
+// ---------------------------------------------------------------------------
+
+// Pure function of (seed, array, index): both stores see identical data
+// without sharing a generator, and every seed is a fresh data set.
+double integer_cell(std::uint64_t seed, std::size_t array,
+                    const IntVector& idx) {
+  std::uint64_t h = (seed + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= (array + 1) * 0x100000001B3ull;
+  for (const i64 v : idx) h = (h ^ static_cast<std::uint64_t>(v + 7)) *
+                              0x100000001B3ull;
+  h ^= h >> 33;
+  return static_cast<double>(static_cast<i64>(h % 17) - 8);
+}
+
+void fill_integer(exec::ArrayStore& store, const ir::Scop& scop,
+                  std::uint64_t seed) {
+  for (std::size_t a = 0; a < scop.arrays().size(); ++a)
+    store.fill(a, [&](const IntVector& idx) {
+      return integer_cell(seed, a, idx);
+    });
+}
+
+class ReductionDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReductionDifferential, RelaxedMatchesOriginalOnIntegerData) {
+  const suite::Benchmark& b = suite::benchmark(GetParam());
+  const ir::Scop scop = suite::parse(b);
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+
+  sched::Schedule ident = sched::identity_schedule(scop);
+  sched::annotate_dependences(ident, dg);
+  const codegen::AstPtr ref_ast = codegen::generate_ast(scop, ident);
+
+  const sched::Schedule sch = relaxed_schedule(scop, dg);
+  ASSERT_FALSE(sch.relaxed_deps.empty()) << b.name;
+  const codegen::AstPtr got_ast = codegen::generate_ast(scop, sch);
+
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    exec::ArrayStore ref(scop, b.test_params), got(scop, b.test_params);
+    fill_integer(ref, scop, seed);
+    fill_integer(got, scop, seed);
+    ASSERT_EQ(exec::ArrayStore::max_abs_diff(ref, got), 0.0);
+    exec::interpret(*ref_ast, ref);
+    exec::interpret(*got_ast, got);
+    EXPECT_EQ(exec::ArrayStore::max_abs_diff(ref, got), 0.0)
+        << b.name << " diverges under relaxation at seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AcceptanceBenchmarks, ReductionDifferential,
+                         ::testing::Values("gemver", "swim", "advect"));
+
+// ---------------------------------------------------------------------------
+// The verifier rejects bogus relaxations with its own matcher.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionVerify, InjectedBogusRelaxationIsCaught) {
+  // Pipeline has only cross-statement flow dependences: none is a
+  // legitimate reduction. Claim the first one is and watch all three
+  // verifier layers refuse.
+  const ir::Scop scop = parse(R"(scop pipe(N) { context N >= 4;
+    array a[N]; array b[N];
+    for (i = 0 .. N-1) { S1: a[i] = i * 0.5; }
+    for (i = 0 .. N-1) { S2: b[i] = a[i] * 2.0; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  ASSERT_FALSE(dg.deps().empty());
+
+  sched::Schedule sch = sched::identity_schedule(scop);
+  sched::annotate_dependences(sch, dg);
+  ir::ReductionDep bogus;
+  bogus.dep_id = 0;  // positional: first real dependence
+  bogus.stmt = dg.deps()[0].src;
+  bogus.array_id = scop.statement(dg.deps()[0].src).write().array_id;
+  bogus.op = ReductionOp::kSum;
+  sch.relaxed_deps.push_back(bogus);
+
+  const verify::Report rep = verify::check_reductions(dg, sch);
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].kind, verify::CheckKind::kReduction);
+
+  // And the unconfirmed claim earns no legality waiver.
+  const verify::Report legal = verify::check_legality(dg, sch);
+  EXPECT_EQ(legal.reduction_waivers, 0u);
+}
+
+TEST(ReductionVerify, GenuineRelaxationIsWaivedNotViolated) {
+  const ir::Scop scop = parse(R"(scop dot(N) { context N >= 4;
+    array x[N]; array s[1];
+    S1: s[0] = 0.0;
+    for (i = 0 .. N-1) { S2: s[0] = s[0] + x[i]; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const sched::Schedule sch = relaxed_schedule(scop, dg);
+  ASSERT_FALSE(sch.relaxed_deps.empty());
+  const codegen::AstPtr ast = codegen::generate_ast(scop, sch);
+  const verify::Report rep = verify::run_all(scop, dg, sch, ast.get());
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.reduction_waivers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JIT round-trip: the emitted OpenMP reduction kernel computes the same
+// integer result as the interpreter. When this test binary is built with
+// -fsanitize=thread the kernel is compiled with TSan too, so the ci.sh
+// TSan stage races the actual emitted pragma across real threads.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionJit, OpenMPReductionKernelMatchesInterpreter) {
+  exec::JitOptions jopts;
+#if defined(PF_TEST_TSAN)
+  jopts.opt_flags = "-O1 -fsanitize=thread";
+#endif
+  if (!exec::jit_available(jopts)) GTEST_SKIP() << "no usable C compiler";
+
+  const ir::Scop scop = parse(R"(scop dot(N) { context N >= 4;
+    array x[N]; array y[N]; array s[1];
+    S1: s[0] = 0.0;
+    for (i = 0 .. N-1) { S2: s[0] = s[0] + x[i] * y[i]; } })");
+  const auto dg = ddg::DependenceGraph::analyze(scop);
+  const sched::Schedule sch = relaxed_schedule(scop, dg);
+  ASSERT_FALSE(sch.relaxed_deps.empty());
+  const codegen::AstPtr ast = codegen::generate_ast(scop, sch);
+  const std::string c = codegen::emit_c(*ast, scop);
+  ASSERT_NE(c.find("reduction("), std::string::npos) << c;
+
+  std::string error;
+  auto kernel = exec::JitKernel::compile(c, "pf_kernel", jopts, &error);
+  ASSERT_TRUE(kernel.has_value()) << error << "\n" << c;
+
+  const IntVector params = {64};
+  exec::ArrayStore ref(scop, params), got(scop, params);
+  fill_integer(ref, scop, 9);
+  fill_integer(got, scop, 9);
+  exec::interpret(*ast, ref);
+  kernel->run(got);
+  EXPECT_EQ(exec::ArrayStore::max_abs_diff(ref, got), 0.0);
+}
+
+}  // namespace
+}  // namespace pf

@@ -51,9 +51,9 @@ TEST(Suite, AllBenchmarksParse) {
   }
 }
 
-TEST(Suite, SwimHasEighteenStatements) {
+TEST(Suite, SwimHasNineteenStatements) {
   const ir::Scop scop = parse(benchmark("swim"));
-  EXPECT_EQ(scop.num_statements(), 18u);
+  EXPECT_EQ(scop.num_statements(), 19u);
 }
 
 TEST(Suite, InitStoreIsDeterministicAndNonZero) {

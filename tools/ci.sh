@@ -14,10 +14,15 @@
 #      the int64 fast lane serving >= 90% of simplex solves
 #      (docs/performance.md).
 #   5. Bench regression gate: the same --smoke record must pass
-#      tools/bench_diff against the committed baseline (BENCH_pr7.json)
+#      tools/bench_diff against the committed baseline (BENCH_pr9.json)
 #      under smoke-generous thresholds (docs/observability.md).
 #   6. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
 #      then the same robustness sweep under the sanitizers.
+#   7. ThreadSanitizer build (POLYFUSE_SANITIZE=thread) running the
+#      reduction tests: the JIT differential test compiles the emitted
+#      OpenMP reduction(...) kernels with -fsanitize=thread too, so the
+#      actual pragmas race across real threads under the tool
+#      (docs/reductions.md).
 #
 # Any failing ctest stage sweeps crash diagnostics (polyfuse-diag.*.json,
 # written by the flight recorder when a test run dies) from the build
@@ -82,13 +87,22 @@ run_robustness() {
   # onto the exact Rational lane, which must be output-invisible.
   # count_set faults the --analyze counting engine, which must degrade
   # its counts to the structured "unknown" without failing the run.
+  # analysis.reductions faults the reduction pass, which must degrade to
+  # the empty (nothing-relaxed) analysis and still emit verified code.
   for site in lp_solve fme_project dep_pair pluto_level fusion_model \
-              count_set lp.fastlane; do
+              count_set analysis.reductions lp.fastlane; do
     echo "-- --inject=$site:fail-after=0"
     "$cli" --model=wisefuse --inject="$site:fail-after=0" --analyze \
       --explain $checks "$input" >/dev/null 2>&1 ||
       { echo "injection at $site broke the pipeline"; exit 1; }
   done
+  echo "==== [$name] robustness: reduction injection on a reduction input ===="
+  # pipeline.pf has no reductions; dotprod.pf actually loses its relaxed
+  # dependence under this fault, so the degraded (serial) kernel must
+  # still pass strict verification and the interpreter differential.
+  "$cli" --inject=analysis.reductions:fail-after=0 --reductions --explain \
+    $checks examples/dotprod.pf >/dev/null 2>&1 ||
+    { echo "reduction injection broke dotprod"; exit 1; }
 }
 
 # Perf smoke: the int64 fast lane must actually serve the solver work.
@@ -132,7 +146,7 @@ run_perf_smoke() {
 # numbers. A genuine blowup (a solver regression, the fast lane dying)
 # still trips it.
 run_bench_gate() {
-  local name="$1" dir="$2" baseline="BENCH_pr7.json"
+  local name="$1" dir="$2" baseline="BENCH_pr9.json"
   local record="$dir/bench_gate_smoke.json"
   echo "==== [$name] bench regression gate (vs $baseline) ===="
   "$dir/bench/compile_scaling" --smoke 2>/dev/null > "$record"
@@ -167,5 +181,23 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 run_stage "asan+ubsan" "$PREFIX-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DPOLYFUSE_SANITIZE=address,undefined"
 run_robustness "asan+ubsan" "$PREFIX-san"
+
+# Reduction kernels under ThreadSanitizer: the one place polyfuse output
+# runs genuinely concurrent updates. reductions_test detects its own TSan
+# build and adds -fsanitize=thread to the JIT compile, so the emitted
+# `#pragma omp parallel for reduction(...)` is exercised instrumented.
+# ignore_noninstrumented_modules silences false positives from the
+# (uninstrumented) libgomp runtime itself.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:ignore_noninstrumented_modules=1}"
+echo "==== [tsan] configure ($PREFIX-tsan) ===="
+cmake -S . -B "$PREFIX-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DPOLYFUSE_SANITIZE=thread"
+echo "==== [tsan] build ===="
+cmake --build "$PREFIX-tsan" -j "$JOBS"
+echo "==== [tsan] ctest -R Reduction ===="
+# shellcheck disable=SC2086
+ctest --test-dir "$PREFIX-tsan" -j "$JOBS" --output-on-failure \
+  -R Reduction $CTEST_ARGS ||
+  { collect_diagnostics "tsan" "$PREFIX-tsan"; exit 1; }
 
 echo "==== ci.sh: all stages passed ===="

@@ -41,6 +41,14 @@ inline constexpr OptionDoc kOptionDocs[] = {
      "the --machine-report compulsory-traffic floor; counts\n"
      "degrade to a structured \"unknown\" under --fuel; see\n"
      "docs/analysis.md"},
+    {"--reductions[=json]",
+     "reduction/privatization report of the input program:\n"
+     "associative reduction statements (+, *, min, max),\n"
+     "relaxable self-dependences, privatizable arrays;\n"
+     "deterministic at every --jobs; see docs/reductions.md"},
+    {"--no-reductions",
+     "do not relax reduction self-dependences during\n"
+     "scheduling (classic behavior); see docs/reductions.md"},
     {"--machine-report", "modeled cache/parallelism report"},
     {"--report", "fusion & parallelism summary"},
     {"--jobs=N", "worker threads for dependence analysis"},
@@ -70,7 +78,8 @@ inline constexpr OptionDoc kOptionDocs[] = {
     {"--inject=S:fail-after=K",
      "deterministically fail the K-th operation at site S\n"
      "(lp_solve, fme_project, dep_pair, pluto_level,\n"
-     "fusion_model, jit_cc, count_set, lp.fastlane);\n"
+     "fusion_model, jit_cc, count_set, lp.fastlane,\n"
+     "analysis.reductions);\n"
      "repeatable, for\n"
      "testing the degradation chain (POLYFUSE_INJECT);\n"
      "lp.fastlane forces a fast-lane fallback instead of a\n"
