@@ -33,6 +33,10 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "common.h"
 #include "ddg/dependences.h"
 #include "frontend/parser.h"
@@ -41,6 +45,8 @@
 #include "sched/pluto.h"
 #include "suite/synthetic.h"
 #include "support/budget.h"
+#include "support/diskcache.h"
+#include "support/metrics.h"
 #include "support/rational.h"
 #include "support/stats.h"
 
@@ -194,6 +200,61 @@ int main(int argc, char** argv) {
   std::cout << "  \"end_to_end_compile_seconds\": " << (t1 + schedule_seconds)
             << ",\n"
             << std::flush;
+
+  // Persistent-cache warm-vs-cold leg (src/support/diskcache.h): the
+  // same analyze+schedule pipeline against an empty disk cache, then
+  // again with the cache warm (a renewed run id simulates the process
+  // restart that makes the first leg's writes visible). The in-memory
+  // solve cache is cleared between legs so the reduction measured is the
+  // disk cache's alone. BENCH_*.json records compare
+  // warm_solve_reduction_percent; the acceptance bar is >= 50.
+  std::cerr << "... diskcache warm/cold\n";
+  // A limited budget bypasses the solve caches (the PR-5 determinism
+  // contract), which would make this leg measure nothing in --smoke:
+  // drop the smoke budget before the cache legs run.
+  budget_scope.reset();
+  budget.reset();
+  {
+    namespace fs = std::filesystem;
+    namespace dc = pf::support::diskcache;
+    using pf::support::Counter;
+    const std::string cache_dir =
+        (fs::temp_directory_path() /
+         ("pf_bench_cache_" + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(cache_dir);
+    dc::configure(cache_dir, 64);
+    pf::i64 cold_solves = 0, warm_solves = 0, warm_hits = 0;
+    {
+      pf::support::MetricsScope m;
+      pf::poly::clear_solve_cache();
+      const auto g = pf::ddg::DependenceGraph::analyze(sched_scop);
+      pf::sched::compute_schedule(sched_scop, g, *policy);
+      cold_solves = m.registry().get(Counter::kIlpSolves);
+    }
+    dc::renew_run_id();
+    {
+      pf::support::MetricsScope m;
+      pf::poly::clear_solve_cache();
+      const auto g = pf::ddg::DependenceGraph::analyze(sched_scop);
+      pf::sched::compute_schedule(sched_scop, g, *policy);
+      warm_solves = m.registry().get(Counter::kIlpSolves);
+      warm_hits = m.registry().get(Counter::kDiskCacheHits);
+    }
+    dc::configure("", 0);
+    fs::remove_all(cache_dir);
+    const double reduction =
+        cold_solves > 0
+            ? 100.0 * static_cast<double>(cold_solves - warm_solves) /
+                  static_cast<double>(cold_solves)
+            : 0.0;
+    std::cout << "  \"diskcache\": {\"cold_ilp_solves\": " << cold_solves
+              << ", \"warm_ilp_solves\": " << warm_solves
+              << ", \"warm_disk_hits\": " << warm_hits
+              << ", \"warm_solve_reduction_percent\": " << reduction
+              << "},\n"
+              << std::flush;
+  }
 
   std::cerr << "... rational microbench\n";
   std::cout << "  \"rational_microbench\": " << rational_microbench_json()

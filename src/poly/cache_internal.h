@@ -1,0 +1,17 @@
+// Poly-internal plumbing for SolveCacheScope (see poly/set.h): the scope
+// object lives in set.cpp but must also swap the count cache (count.cpp)
+// onto a thread-private table. Not part of the public poly API.
+#pragma once
+
+namespace pf::poly::internal {
+
+/// Install a fresh thread-private count-cache table on the calling
+/// thread; returns the previously installed table (nullptr when the
+/// thread was using the process-wide sharded cache).
+void* push_private_count_cache();
+
+/// Tear down the calling thread's private count cache and restore
+/// `previous` (as returned by the matching push).
+void pop_private_count_cache(void* previous);
+
+}  // namespace pf::poly::internal

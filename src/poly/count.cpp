@@ -6,7 +6,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "poly/cache_internal.h"
 #include "support/budget.h"
+#include "support/diskcache.h"
 #include "support/error.h"
 #include "support/metrics.h"
 
@@ -78,7 +80,20 @@ CountKey make_count_key(const IntegerSet& s, std::size_t prefix,
   return key;
 }
 
+using CountMap = std::unordered_map<CountKey, Count, CountKeyHash>;
+
+// SolveCacheScope target (installed via internal::push_private_count_cache
+// from set.cpp): while set, this thread's count-cache traffic stays
+// private. Single-thread access, so no lock.
+thread_local CountMap* tl_private_count = nullptr;
+
 bool count_cache_lookup(const CountKey& key, Count* out) {
+  if (tl_private_count != nullptr) {
+    const auto it = tl_private_count->find(key);
+    if (it == tl_private_count->end()) return false;
+    *out = it->second;
+    return true;
+  }
   CountShard& shard = count_shards()[key.hash % kNumCountShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
@@ -88,9 +103,42 @@ bool count_cache_lookup(const CountKey& key, Count* out) {
 }
 
 void count_cache_store(const CountKey& key, const Count& value) {
+  if (tl_private_count != nullptr) {
+    tl_private_count->emplace(key, value);
+    return;
+  }
   CountShard& shard = count_shards()[key.hash % kNumCountShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.map.emplace(key, value);
+}
+
+// Persistent-store plumbing (support/diskcache, domain "count"). Only
+// exact and unbounded results cross process lifetimes; kUnknown is never
+// persisted for the same reason it is never memoized -- it can reflect
+// transient state (step guard, remaining fuel), not just the key.
+constexpr const char* kCountDomain = "count";
+
+bool disk_count_lookup(const CountKey& key, Count* out) {
+  std::vector<i64> raw;
+  if (!support::diskcache::lookup(kCountDomain, key.blob, &raw)) return false;
+  if (raw.size() != 2) return false;
+  if (raw[0] == Count::kExact) {
+    *out = Count::exact(raw[1]);
+    return true;
+  }
+  if (raw[0] == Count::kUnbounded && raw[1] == 0) {
+    *out = Count::unbounded();
+    return true;
+  }
+  return false;
+}
+
+void disk_count_store(const CountKey& key, const Count& value) {
+  if (value.kind == Count::kUnknown) return;
+  support::diskcache::store(
+      kCountDomain, key.blob,
+      {static_cast<i64>(value.kind),
+       value.kind == Count::kExact ? value.value : 0});
 }
 
 // ---------------------------------------------------------------------------
@@ -265,10 +313,16 @@ Count count_set_prefix(const IntegerSet& s, std::size_t prefix, Ctx& ctx) {
       return cached;
     }
     support::count(support::Counter::kCountCacheMisses);
+    if (disk_count_lookup(key, &cached)) {
+      count_cache_store(key, cached);
+      return cached;
+    }
   }
   const Count result = count_set_prefix_uncached(s, prefix, ctx);
-  if (ctx.use_cache && result.kind != Count::kUnknown)
+  if (ctx.use_cache && result.kind != Count::kUnknown) {
     count_cache_store(key, result);
+    disk_count_store(key, result);
+  }
   return result;
 }
 
@@ -441,10 +495,26 @@ Count count_points(const SetUnion& u, const CountOptions& options) {
 }
 
 void clear_count_cache() {
+  if (tl_private_count != nullptr) tl_private_count->clear();
   for (CountShard& shard : count_shards()) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
 }
+
+namespace internal {
+
+void* push_private_count_cache() {
+  CountMap* previous = tl_private_count;
+  tl_private_count = new CountMap();
+  return previous;
+}
+
+void pop_private_count_cache(void* previous) {
+  delete tl_private_count;
+  tl_private_count = static_cast<CountMap*>(previous);
+}
+
+}  // namespace internal
 
 }  // namespace pf::poly

@@ -9,8 +9,10 @@
 
 #include "lp/fastlane.h"
 #include "lp/simplex.h"
+#include "poly/cache_internal.h"
 #include "poly/count.h"
 #include "support/budget.h"
+#include "support/diskcache.h"
 #include "support/stats.h"
 
 namespace pf::poly {
@@ -58,7 +60,43 @@ std::array<CacheShard, kNumShards>& cache_shards() {
   return shards;
 }
 
+using SolveMap = std::unordered_map<SolveKey, SolveValue, SolveKeyHash>;
+
+// SolveCacheScope target: while installed, the thread's lookups and
+// stores go to this private table instead of the sharded process-wide
+// one (no lock needed -- it is touched by exactly one thread).
+thread_local SolveMap* tl_private_solve = nullptr;
+
 std::atomic<bool> g_solve_cache_enabled{true};
+
+// Persistent-store domain tags (entry namespaces in support/diskcache).
+constexpr const char* kSolveDomain = "solve";
+
+// On-disk value layouts. kIsEmpty: {empty}; kMin: {kind, value}. Kept
+// explicit and versionless -- the diskcache fingerprint already rebinds
+// entries on every rebuild of this binary.
+std::vector<i64> encode_empty(const SolveValue& v) {
+  return {v.empty ? i64{1} : i64{0}};
+}
+
+bool decode_empty(const std::vector<i64>& raw, SolveValue* v) {
+  if (raw.size() != 1 || (raw[0] != 0 && raw[0] != 1)) return false;
+  v->empty = raw[0] == 1;
+  return true;
+}
+
+std::vector<i64> encode_opt(const SolveValue& v) {
+  return {static_cast<i64>(v.opt.kind), v.opt.value};
+}
+
+bool decode_opt(const std::vector<i64>& raw, SolveValue* v) {
+  if (raw.size() != 2 || raw[0] < IntegerSet::Opt::kOk ||
+      raw[0] > IntegerSet::Opt::kUnknown)
+    return false;
+  v->opt.kind = static_cast<IntegerSet::Opt::Kind>(raw[0]);
+  v->opt.value = raw[0] == IntegerSet::Opt::kOk ? raw[1] : 0;
+  return true;
+}
 
 SolveKey make_solve_key(SolveOp op, std::size_t dims,
                         const std::vector<Constraint>& constraints,
@@ -97,6 +135,12 @@ SolveKey make_solve_key(SolveOp op, std::size_t dims,
 }
 
 bool cache_lookup(const SolveKey& key, SolveValue* out) {
+  if (tl_private_solve != nullptr) {
+    const auto it = tl_private_solve->find(key);
+    if (it == tl_private_solve->end()) return false;
+    *out = it->second;
+    return true;
+  }
   CacheShard& shard = cache_shards()[key.hash % kNumShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
@@ -106,6 +150,10 @@ bool cache_lookup(const SolveKey& key, SolveValue* out) {
 }
 
 void cache_store(SolveKey key, const SolveValue& value) {
+  if (tl_private_solve != nullptr) {
+    tl_private_solve->emplace(std::move(key), value);
+    return;
+  }
   CacheShard& shard = cache_shards()[key.hash % kNumShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.map.emplace(std::move(key), value);
@@ -122,11 +170,24 @@ bool solve_cache_enabled() {
 }
 
 void clear_solve_cache() {
+  if (tl_private_solve != nullptr) tl_private_solve->clear();
   for (CacheShard& shard : cache_shards()) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
   clear_count_cache();
+}
+
+SolveCacheScope::SolveCacheScope()
+    : previous_solve_(tl_private_solve),
+      previous_count_(internal::push_private_count_cache()) {
+  tl_private_solve = new SolveMap();
+}
+
+SolveCacheScope::~SolveCacheScope() {
+  delete tl_private_solve;
+  tl_private_solve = static_cast<SolveMap*>(previous_solve_);
+  internal::pop_private_count_cache(previous_count_);
 }
 
 bool IntegerSet::normalize(Constraint& c) const {
@@ -221,7 +282,16 @@ bool IntegerSet::is_empty(const lp::IlpOptions& options) const {
     return value.empty;
   }
   support::count(support::Counter::kSolveCacheMisses);
+  std::vector<i64> raw;
+  if (support::diskcache::lookup(kSolveDomain, key.blob, &raw) &&
+      decode_empty(raw, &value)) {
+    // Persisted by an earlier run: adopt into the in-memory layer so the
+    // rest of this run hits locally.
+    cache_store(std::move(key), value);
+    return value.empty;
+  }
   value.empty = to_ilp().proven_empty(options);
+  support::diskcache::store(kSolveDomain, key.blob, encode_empty(value));
   cache_store(std::move(key), value);
   return value.empty;
 }
@@ -272,7 +342,14 @@ IntegerSet::Opt IntegerSet::integer_min(const AffineExpr& e,
     return value.opt;
   }
   support::count(support::Counter::kSolveCacheMisses);
+  std::vector<i64> raw;
+  if (support::diskcache::lookup(kSolveDomain, key.blob, &raw) &&
+      decode_opt(raw, &value)) {
+    cache_store(std::move(key), value);
+    return value.opt;
+  }
   value.opt = integer_min_uncached(e, options);
+  support::diskcache::store(kSolveDomain, key.blob, encode_opt(value));
   cache_store(std::move(key), value);
   return value.opt;
 }

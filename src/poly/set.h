@@ -19,6 +19,12 @@
 // branch-and-bound search. Keys compare full canonical content (the hash
 // only picks the shard/bucket), so a hit is always exact -- results are
 // byte-identical with the cache on or off, and safe under concurrency.
+//
+// When support/diskcache is configured, an in-memory miss additionally
+// consults the persistent on-disk store (domain "solve"), and computed
+// results are committed there, so solve work survives process restarts.
+// Budget-limited solves bypass both layers (see is_empty below), and the
+// disk layer's run-id guard keeps its hits deterministic within one run.
 #pragma once
 
 #include <string>
@@ -33,7 +39,31 @@ namespace pf::poly {
 void set_solve_cache_enabled(bool enabled);
 bool solve_cache_enabled();
 /// Drop every cached solve result (e.g. between bench repetitions).
+/// Clears the calling thread's private scope cache too, if one is active.
 void clear_solve_cache();
+
+/// RAII: give the calling thread private in-memory solve and count
+/// caches, isolated from the process-wide sharded tables, until the scope
+/// dies. The batch driver wraps each compile request in one so (a) a
+/// request's cache metrics depend only on its own work -- never on what a
+/// concurrently running sibling happened to memoize first -- and (b) a
+/// long batch's memoization footprint is freed request by request instead
+/// of accumulating for the process lifetime. The persistent on-disk cache
+/// (support/diskcache) is still consulted on misses: its run-id guard
+/// makes disk hits a property of the directory state at startup, which
+/// keeps them deterministic at any --jobs. Scopes nest; the previous
+/// cache (private or process-wide) is restored on destruction.
+class SolveCacheScope {
+ public:
+  SolveCacheScope();
+  ~SolveCacheScope();
+  SolveCacheScope(const SolveCacheScope&) = delete;
+  SolveCacheScope& operator=(const SolveCacheScope&) = delete;
+
+ private:
+  void* previous_solve_;
+  void* previous_count_;
+};
 
 class IntegerSet {
  public:

@@ -36,6 +36,9 @@ Counter fuel_counter(BudgetSite site) {
     case BudgetSite::kAnalysisReductions:
       return Counter::kBudgetFuelReductions;
     case BudgetSite::kLpFastlane:  // fast-lane attempts never charge fuel
+    case BudgetSite::kDiskcacheRead:   // cache I/O sites never charge fuel
+    case BudgetSite::kDiskcacheWrite:  // (injection-only, see diskcache.h)
+    case BudgetSite::kBatchRequest:    // batch requests never charge fuel
     case BudgetSite::kNumSites:
       break;
   }
@@ -82,6 +85,12 @@ const char* to_string(BudgetSite site) {
       return "lp.fastlane";
     case BudgetSite::kAnalysisReductions:
       return "analysis.reductions";
+    case BudgetSite::kDiskcacheRead:
+      return "diskcache.read";
+    case BudgetSite::kDiskcacheWrite:
+      return "diskcache.write";
+    case BudgetSite::kBatchRequest:
+      return "batch.request";
     case BudgetSite::kNumSites:
       break;
   }
@@ -125,7 +134,9 @@ std::optional<Injection> parse_injection(const std::string& text,
   if (!site)
     return fail("unknown injection site '" + site_name +
                 "' (expected lp_solve, fme_project, dep_pair, pluto_level, "
-                "fusion_model, jit_cc, count_set, or lp.fastlane)");
+                "fusion_model, jit_cc, count_set, lp.fastlane, "
+                "analysis.reductions, diskcache.read, diskcache.write, or "
+                "batch.request)");
   const std::string rest = text.substr(colon + 1);
   const std::string soft_key = "fail-after=";
   const std::string hard_key = "abort-after=";

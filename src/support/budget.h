@@ -59,6 +59,11 @@ enum class BudgetSite : std::size_t {
   kCountSet,     // one point-counting recursion step (--analyze)
   kLpFastlane,   // one int64 fast-lane attempt (injection forces fallback)
   kAnalysisReductions,  // reduction/privatization classification pass
+  kDiskcacheRead,   // one persistent-cache entry read (injection-only;
+                    // handled inside support/diskcache, never charged here)
+  kDiskcacheWrite,  // one persistent-cache entry write (injection-only)
+  kBatchRequest,    // one batch-mode request (injection-only; the batch
+                    // driver interprets the ordinal as the request index)
   kNumSites,
 };
 

@@ -1,0 +1,92 @@
+// Crash-safe persistent solve-cache store: a content-addressed directory
+// of checksummed entries backing the in-memory polyhedral solve/count
+// caches across process lifetimes (docs/service.md).
+//
+// The contract is "never trust a byte you did not just verify":
+//
+//  * Writes are atomic: an entry is serialized to a unique temp file in
+//    the cache directory and rename(2)d into place, so a reader can only
+//    ever open a fully-committed entry or none at all -- a SIGKILLed or
+//    crashed writer leaves a temp file the next sweep removes, never a
+//    half-entry under a live name.
+//  * Reads verify everything: magic, format fingerprint, entry checksum
+//    (FNV-1a over header + payload) and the full key content (the file
+//    name is only a hash; the stored key must compare equal). A
+//    truncated, bit-flipped or torn entry is treated as a miss and
+//    quarantined into <dir>/quarantine/ so it is never consulted again;
+//    a key collision is just a miss.
+//  * Entries carry the run id of the writing process tree. Lookups skip
+//    entries written by the current run: warm-vs-cold behavior is then a
+//    property of the directory state *at startup*, which is what makes
+//    batch reports byte-identical at any --jobs (a request can never
+//    observe a racing sibling's write).
+//  * The store is multi-process safe without locks: rename is atomic,
+//    concurrent writers of one key commit identical content (values are
+//    deterministic functions of the key), and last-rename-wins.
+//  * A size-capped LRU sweep (mtime order; hits refresh mtime) runs
+//    every few writes and keeps the directory under the configured cap.
+//
+// Entries are invalidated by fingerprint: the file name and header bind
+// each entry to a format version + the build timestamp of this module +
+// an optional salt, so a rebuilt solver never consumes a stale answer.
+//
+// Fault injection: --inject=diskcache.read:fail-after=K and
+// diskcache.write:fail-after=K deterministically fail the K-th cache
+// read/write in this process (a failed read is a miss, a failed write is
+// skipped -- both invisible in emitted output); the abort-after flavor
+// dies by SIGABRT to exercise the crash path mid-I/O. These injections
+// are interpreted here, not by the thread-local Budget: an injection-only
+// budget bypasses the in-memory solve cache for determinism, which would
+// make a budget-routed diskcache site unreachable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/budget.h"
+#include "support/intmath.h"
+
+namespace pf::support::diskcache {
+
+/// Install the persistent cache rooted at `dir` (created if missing) with
+/// a total-size cap of `max_mb` megabytes. An empty `dir` disables the
+/// cache. Generates this process's run id eagerly, so forked batch
+/// workers inherit it and the whole process tree counts as one run.
+/// Returns false (cache left disabled) when the directory cannot be
+/// created or is not writable.
+bool configure(const std::string& dir, i64 max_mb);
+
+bool enabled();
+const std::string& directory();
+
+/// Look up the entry for (domain, key); on a verified hit, fills `value`
+/// and returns true. Misses, same-run entries, key collisions, injected
+/// read faults and quarantined corruption all return false.
+bool lookup(const std::string& domain, const std::vector<i64>& key,
+            std::vector<i64>* value);
+
+/// Commit (domain, key) -> value atomically. Failures (including injected
+/// write faults) are silent: the persistent cache is an accelerator, and
+/// a lost write only costs a future recompute.
+void store(const std::string& domain, const std::vector<i64>& key,
+           const std::vector<i64>& value);
+
+/// Install the diskcache.read / diskcache.write injection table (other
+/// sites are ignored). Ordinals count per process, per site.
+void set_injections(const std::vector<Injection>& injections);
+
+/// Force the size-cap LRU sweep now (normally runs every few writes).
+void sweep_now();
+
+/// The format/build fingerprint entries are bound to.
+std::string fingerprint();
+/// Extra fingerprint salt (tests use it to simulate a solver change).
+void set_fingerprint_salt(const std::string& salt);
+
+/// Adopt a fresh run id, as if the process had restarted: entries written
+/// so far become visible to subsequent lookups. For tests and the
+/// warm-vs-cold bench leg, which simulate cold/warm process pairs
+/// in-process.
+void renew_run_id();
+
+}  // namespace pf::support::diskcache

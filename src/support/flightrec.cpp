@@ -404,6 +404,10 @@ void install_crash_handler() {
 
 std::string default_diag_path() { return g_diag_path; }
 
+void set_diag_path(const std::string& path) {
+  copy_bounded(g_diag_path, sizeof g_diag_path, path.c_str());
+}
+
 bool dump(int fd, const char* cause) noexcept {
   SigsafeWriter w(fd);
   w.raw("{\"tool\": \"polyfuse\", \"diag_format\": 1, \"cause\": ");

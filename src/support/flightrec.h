@@ -104,6 +104,13 @@ void install_crash_handler();
 /// The path crash dumps go to (fixed at install_crash_handler() time).
 std::string default_diag_path();
 
+/// Re-point crash dumps at `path` (truncated to the internal buffer if
+/// over-long). Forked batch workers call this right after fork(): the
+/// child inherits the parent's handler and path, and without its own
+/// deterministic per-request path every worker's dying dump would race
+/// for one file named after the parent pid.
+void set_diag_path(const std::string& path);
+
 /// Async-signal-safe: write the full diagnostic JSON to an open fd.
 /// `cause` must be a NUL-terminated string with no characters needing
 /// JSON escaping. Returns false on a write error.

@@ -103,6 +103,24 @@ const char* to_string(Counter c) {
       return "reduction_clauses";
     case Counter::kBudgetFuelReductions:
       return "budget_fuel_reductions";
+    case Counter::kDiskCacheHits:
+      return "diskcache_hits";
+    case Counter::kDiskCacheMisses:
+      return "diskcache_misses";
+    case Counter::kDiskCacheWrites:
+      return "diskcache_writes";
+    case Counter::kDiskCacheCorrupt:
+      return "diskcache_corrupt_quarantined";
+    case Counter::kDiskCacheEvictions:
+      return "diskcache_evictions";
+    case Counter::kBatchRequestsOk:
+      return "batch_requests_ok";
+    case Counter::kBatchRequestsDegraded:
+      return "batch_requests_degraded";
+    case Counter::kBatchRequestsRetried:
+      return "batch_requests_retried";
+    case Counter::kBatchRequestsFailed:
+      return "batch_requests_failed";
     case Counter::kNumCounters:
       break;
   }
@@ -112,8 +130,11 @@ const char* to_string(Counter c) {
 bool counter_is_runtime(Counter c) {
   // Arena chunks are reserved per worker thread, so the byte total
   // scales with how many threads touched a solver -- an execution fact,
-  // not an input-program fact.
-  return c == Counter::kFastlaneArenaBytes;
+  // not an input-program fact. Persistent-cache counters depend on what
+  // an earlier process left on disk, which no --jobs contract covers.
+  return c == Counter::kFastlaneArenaBytes || c == Counter::kDiskCacheHits ||
+         c == Counter::kDiskCacheMisses || c == Counter::kDiskCacheWrites ||
+         c == Counter::kDiskCacheCorrupt || c == Counter::kDiskCacheEvictions;
 }
 
 const char* to_string(Gauge g) {

@@ -99,6 +99,15 @@ enum class Counter : std::size_t {
   kReductionPrivArrays,  // arrays proven privatizable by value-based dataflow
   kReductionClauses,     // OpenMP reduction clauses attached during codegen
   kBudgetFuelReductions,  // fuel charged in the reduction analysis pass
+  kDiskCacheHits,         // persistent-cache entries served from disk
+  kDiskCacheMisses,       // persistent-cache probes that found no entry
+  kDiskCacheWrites,       // entries committed to disk (temp-file + rename)
+  kDiskCacheCorrupt,      // corrupted entries quarantined on read
+  kDiskCacheEvictions,    // entries removed by the size-cap LRU sweep
+  kBatchRequestsOk,       // batch requests that completed clean
+  kBatchRequestsDegraded,  // batch requests that completed degraded
+  kBatchRequestsRetried,  // batch requests that needed a retry to complete
+  kBatchRequestsFailed,   // batch requests that failed every attempt
   kNumCounters,
 };
 

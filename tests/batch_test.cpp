@@ -1,0 +1,317 @@
+// Integration tests for the crash-safe batch driver and the persistent
+// disk cache, against the real binary (tools/batch.cpp, docs/service.md):
+// directory and manifest ingestion, jobs-invariant byte-identical
+// reports, warm-vs-cold cache identity, retry-with-backoff, fork-isolated
+// crash containment, cache-corruption immunity, and the env knobs.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef POLYFUSE_CLI_PATH
+#error "POLYFUSE_CLI_PATH must be defined by the build"
+#endif
+#ifndef POLYFUSE_EXAMPLES_DIR
+#error "POLYFUSE_EXAMPLES_DIR must be defined by the build"
+#endif
+
+struct CmdResult {
+  int exit_code;
+  std::string out, err;
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Every test gets its own scratch tree (ctest -j runs suites in
+// parallel against one TempDir).
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("batch_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "in");
+    for (const char* name : {"pipeline.pf", "matmul.pf", "dotprod.pf"})
+      fs::copy_file(fs::path(POLYFUSE_EXAMPLES_DIR) / name,
+                    root_ / "in" / name);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  CmdResult run(const std::string& args, const std::string& env = "") {
+    const fs::path out_file = root_ / "cmd.out";
+    const fs::path err_file = root_ / "cmd.err";
+    const std::string cmd = (env.empty() ? "" : env + " ") +
+                            std::string(POLYFUSE_CLI_PATH) + " " + args +
+                            " > " + out_file.string() + " 2> " +
+                            err_file.string();
+    const int rc = std::system(cmd.c_str());
+    return CmdResult{WEXITSTATUS(rc), slurp(out_file), slurp(err_file)};
+  }
+
+  std::string in() const { return (root_ / "in").string(); }
+  fs::path path(const std::string& rel) const { return root_ / rel; }
+
+  fs::path root_;
+};
+
+TEST_F(BatchTest, DirectoryBatchCompilesEverything) {
+  const CmdResult r = run("--batch=" + in() + " --batch-out=" +
+                          path("out").string() + " --batch-report=" +
+                          path("r.json").string());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string report = slurp(path("r.json"));
+  EXPECT_NE(report.find("\"schema\": \"polyfuse-batch-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"total\": 3, \"ok\": 3"), std::string::npos);
+  for (const char* stem : {"pipeline", "matmul", "dotprod"}) {
+    EXPECT_TRUE(fs::exists(path("out") / (std::string(stem) + ".out")));
+    // Each .out is the same program single mode emits.
+    const CmdResult single =
+        run((fs::path(in()) / (std::string(stem) + ".pf")).string());
+    EXPECT_EQ(single.exit_code, 0);
+    EXPECT_EQ(slurp(path("out") / (std::string(stem) + ".out")), single.out)
+        << stem;
+  }
+}
+
+TEST_F(BatchTest, ManifestBatchResolvesRelativePaths) {
+  {
+    std::ofstream m(path("list.txt"));
+    m << "# comment line\n\nin/matmul.pf\nin/pipeline.pf\n";
+  }
+  const CmdResult r = run("--batch=" + path("list.txt").string() +
+                          " --batch-out=" + path("out").string() +
+                          " --batch-report=" + path("r.json").string());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string report = slurp(path("r.json"));
+  // Manifest order is preserved.
+  EXPECT_LT(report.find("matmul"), report.find("pipeline"));
+  EXPECT_NE(report.find("\"total\": 2, \"ok\": 2"), std::string::npos);
+}
+
+TEST_F(BatchTest, ReportIsByteIdenticalAtAnyJobs) {
+  for (const char* jobs : {"1", "2", "7"}) {
+    const CmdResult r =
+        run("--batch=" + in() + " --batch-out=" + path("o" + std::string(jobs)).string() +
+            " --batch-report=" + path("r" + std::string(jobs) + ".json").string() +
+            " --jobs=" + jobs);
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+  }
+  const std::string r1 = slurp(path("r1.json"));
+  EXPECT_EQ(r1, slurp(path("r2.json")));
+  EXPECT_EQ(r1, slurp(path("r7.json")));
+  // The emitted programs match too.
+  EXPECT_EQ(slurp(path("o1") / "pipeline.out"),
+            slurp(path("o7") / "pipeline.out"));
+}
+
+TEST_F(BatchTest, WarmCacheRerunIsByteIdentical) {
+  const std::string common = "--batch=" + in() + " --cache-dir=" +
+                             path("cache").string() + " --batch-report=";
+  const CmdResult cold = run(common + path("rc.json").string() +
+                             " --batch-out=" + path("oc").string());
+  ASSERT_EQ(cold.exit_code, 0) << cold.err;
+  ASSERT_FALSE(fs::is_empty(path("cache")));
+  const CmdResult warm = run(common + path("rw.json").string() +
+                             " --batch-out=" + path("ow").string());
+  ASSERT_EQ(warm.exit_code, 0) << warm.err;
+  for (const char* stem : {"pipeline", "matmul", "dotprod"}) {
+    EXPECT_EQ(slurp(path("oc") / (std::string(stem) + ".out")),
+              slurp(path("ow") / (std::string(stem) + ".out")))
+        << stem;
+  }
+  EXPECT_EQ(slurp(path("rc.json")), slurp(path("rw.json")));
+}
+
+TEST_F(BatchTest, WarmRunServesSolvesFromDisk) {
+  // Single-request mode shares the cache plumbing; --stats exposes the
+  // counters. Cold run populates; warm run must serve from disk and cut
+  // the ILP solve count by at least half (the PR acceptance bar).
+  const std::string args = "--cache-dir=" + path("cache").string() +
+                           " --stats " +
+                           (fs::path(in()) / "matmul.pf").string();
+  const CmdResult cold = run(args);
+  ASSERT_EQ(cold.exit_code, 0);
+  const CmdResult warm = run(args);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(cold.out, warm.out);
+
+  using i64 = long long;
+  auto counter = [](const std::string& stats, const std::string& name) {
+    const std::size_t pos = stats.find(name + " = ");
+    EXPECT_NE(pos, std::string::npos) << name;
+    if (pos == std::string::npos) return i64{-1};
+    return static_cast<i64>(
+        std::strtoll(stats.c_str() + pos + name.size() + 3, nullptr, 10));
+  };
+  const i64 cold_solves = counter(cold.err, "ilp_solves");
+  const i64 warm_solves = counter(warm.err, "ilp_solves");
+  const i64 warm_hits = counter(warm.err, "diskcache_hits");
+  EXPECT_GT(cold_solves, 0);
+  EXPECT_GT(warm_hits, 0);
+  EXPECT_LE(warm_solves * 2, cold_solves)
+      << "warm run must eliminate >= 50% of ILP solves (cold="
+      << cold_solves << ", warm=" << warm_solves << ")";
+}
+
+TEST_F(BatchTest, CorruptedCacheNeverAltersOutput) {
+  const std::string cache = path("cache").string();
+  const std::string input = (fs::path(in()) / "pipeline.pf").string();
+  const CmdResult clean = run(input);
+  ASSERT_EQ(clean.exit_code, 0);
+
+  // Populate, then corrupt every entry: truncate half, bit-flip the rest.
+  ASSERT_EQ(run("--cache-dir=" + cache + " " + input).exit_code, 0);
+  bool flip = false;
+  for (const auto& e : fs::directory_iterator(cache)) {
+    if (!e.is_regular_file() || e.path().extension() != ".pfc") continue;
+    if ((flip = !flip)) {
+      std::string bytes = slurp(e.path());
+      ASSERT_FALSE(bytes.empty());
+      bytes[bytes.size() / 2] ^= 0x40;
+      std::ofstream out(e.path(), std::ios::binary | std::ios::trunc);
+      out << bytes;
+    } else {
+      fs::resize_file(e.path(), fs::file_size(e.path()) / 3);
+    }
+  }
+  const CmdResult poisoned = run("--cache-dir=" + cache + " " + input);
+  EXPECT_EQ(poisoned.exit_code, 0);
+  EXPECT_EQ(poisoned.out, clean.out)
+      << "corrupted cache entries must never alter emitted output";
+}
+
+TEST_F(BatchTest, TransientFaultIsRetried) {
+  const CmdResult r = run("--batch=" + in() + " --batch-out=" +
+                          path("out").string() + " --batch-report=" +
+                          path("r.json").string() +
+                          " --inject=batch.request:fail-after=1");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string report = slurp(path("r.json"));
+  EXPECT_NE(report.find("\"status\": \"retried\""), std::string::npos);
+  EXPECT_NE(report.find("\"attempts\": 2"), std::string::npos);
+  EXPECT_NE(report.find("\"retried\": 1"), std::string::npos);
+  EXPECT_NE(report.find("\"failed\": 0"), std::string::npos);
+}
+
+TEST_F(BatchTest, RetriesExhaustedReportsFailed) {
+  // --batch-retries=0: the injected transient fault is terminal.
+  const CmdResult r = run("--batch=" + in() + " --batch-out=" +
+                          path("out").string() + " --batch-report=" +
+                          path("r.json").string() +
+                          " --batch-retries=0"
+                          " --inject=batch.request:fail-after=1");
+  EXPECT_EQ(r.exit_code, 3);
+  const std::string report = slurp(path("r.json"));
+  EXPECT_NE(report.find("\"status\": \"failed\""), std::string::npos);
+  EXPECT_NE(report.find("injected transient fault"), std::string::npos);
+  EXPECT_NE(report.find("\"failed\": 1"), std::string::npos);
+  // The two healthy requests still completed.
+  EXPECT_NE(report.find("\"ok\": 2"), std::string::npos);
+}
+
+TEST_F(BatchTest, IsolatedCrashIsContained) {
+  // Hard abort in request #1; the other requests must complete, the
+  // crashed one gets a diagnostic, and the batch exits 3.
+  const CmdResult r = run("--batch=" + in() + " --batch-out=" +
+                          path("out").string() + " --batch-report=" +
+                          path("r.json").string() +
+                          " --batch-isolate --jobs=2"
+                          " --inject=batch.request:abort-after=1");
+  EXPECT_EQ(r.exit_code, 3) << r.err;
+  const std::string report = slurp(path("r.json"));
+  EXPECT_NE(report.find("crashed with signal"), std::string::npos);
+  EXPECT_NE(report.find("\"diag\": "), std::string::npos);
+  EXPECT_NE(report.find("\"ok\": 2"), std::string::npos);
+  EXPECT_NE(report.find("\"failed\": 1"), std::string::npos);
+  // The child's flight-recorder diagnostic landed next to the outputs.
+  bool has_diag = false;
+  for (const auto& e : fs::directory_iterator(path("out")))
+    if (e.path().string().find(".diag.json") != std::string::npos)
+      has_diag = true;
+  EXPECT_TRUE(has_diag);
+  // Two healthy outputs exist.
+  int outs = 0;
+  for (const auto& e : fs::directory_iterator(path("out")))
+    if (e.path().extension() == ".out") ++outs;
+  EXPECT_EQ(outs, 2);
+}
+
+TEST_F(BatchTest, BudgetExhaustionDegradesNotFails) {
+  const CmdResult r = run("--batch=" + in() + " --batch-out=" +
+                          path("out").string() + " --batch-report=" +
+                          path("r.json").string() + " --fuel=300");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string report = slurp(path("r.json"));
+  EXPECT_NE(report.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(report.find("\"failed\": 0"), std::string::npos);
+}
+
+TEST_F(BatchTest, EnvKnobsApplyAndValidate) {
+  // POLYFUSE_CACHE_DIR enables the cache without a flag.
+  const CmdResult r =
+      run("--batch=" + in() + " --batch-out=" + path("out").string() +
+              " --batch-report=" + path("r.json").string(),
+          "POLYFUSE_CACHE_DIR=" + path("envcache").string());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(slurp(path("r.json")).find("\"enabled\": true"),
+            std::string::npos);
+  EXPECT_FALSE(fs::is_empty(path("envcache")));
+
+  // Garbage numeric env values are a hard usage error, not silently 0.
+  const CmdResult bad1 =
+      run("--batch=" + in(), "POLYFUSE_BATCH_RETRIES=banana");
+  EXPECT_EQ(bad1.exit_code, 2);
+  const CmdResult bad2 = run((fs::path(in()) / "pipeline.pf").string(),
+                             "POLYFUSE_CACHE_MAX_MB=-5");
+  EXPECT_EQ(bad2.exit_code, 2);
+}
+
+TEST_F(BatchTest, FlagValidation) {
+  // --batch with a positional input is a contradiction.
+  EXPECT_EQ(run("--batch=" + in() + " " +
+                (fs::path(in()) / "pipeline.pf").string())
+                .exit_code,
+            2);
+  // Batch-only flags without --batch.
+  EXPECT_EQ(run("--batch-isolate " + (fs::path(in()) / "pipeline.pf").string())
+                .exit_code,
+            2);
+  // Per-process outputs are rejected in batch mode.
+  EXPECT_EQ(run("--batch=" + in() + " --stats").exit_code, 2);
+  // Missing batch source.
+  EXPECT_EQ(run("--batch=" + path("nope").string()).exit_code, 2);
+}
+
+TEST_F(BatchTest, StemCollisionsGetSuffixes) {
+  fs::create_directories(path("m"));
+  fs::copy_file(fs::path(in()) / "matmul.pf", path("m") / "matmul.pf");
+  {
+    std::ofstream m(path("list.txt"));
+    m << "in/matmul.pf\nm/matmul.pf\n";
+  }
+  const CmdResult r = run("--batch=" + path("list.txt").string() +
+                          " --batch-out=" + path("out").string() +
+                          " --batch-report=" + path("r.json").string());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_TRUE(fs::exists(path("out") / "matmul.out"));
+  EXPECT_TRUE(fs::exists(path("out") / "matmul-2.out"));
+}
+
+}  // namespace

@@ -1,0 +1,487 @@
+#include "batch.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/diskcache.h"
+#include "support/flightrec.h"
+#include "support/threadpool.h"
+
+namespace pf::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Request {
+  std::string input;  // as discovered (full path)
+  std::string stem;   // unique output stem under --batch-out
+};
+
+struct Outcome {
+  std::string status = "failed";  // ok | degraded | retried | failed
+  int rc = 1;
+  int attempts = 0;
+  bool crashed = false;
+  std::string error;        // one line; empty unless failed
+  bool wrote_output = false;
+};
+
+// ---------------------------------------------------------------------------
+// Request discovery. Deterministic by construction: a directory scan is
+// sorted by path, a manifest is taken line by line (blank lines and
+// #-comments skipped, relative paths resolved against the manifest's
+// directory). The report later lists requests in exactly this order,
+// which is one half of "byte-identical at any --jobs".
+// ---------------------------------------------------------------------------
+
+bool discover_inputs(const std::string& batch, std::vector<std::string>* out,
+                     std::string* error) {
+  std::error_code ec;
+  if (fs::is_directory(batch, ec)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(batch, ec)) {
+      if (!e.is_regular_file(ec)) continue;
+      if (e.path().extension() != ".pf") continue;
+      out->push_back(e.path().string());
+    }
+    if (ec) {
+      *error = "cannot scan batch directory '" + batch + "'";
+      return false;
+    }
+    std::sort(out->begin(), out->end());
+    if (out->empty()) {
+      *error = "no .pf files in batch directory '" + batch + "'";
+      return false;
+    }
+    return true;
+  }
+  std::ifstream in(batch);
+  if (!in) {
+    *error = "cannot open batch manifest '" + batch + "'";
+    return false;
+  }
+  const fs::path base = fs::path(batch).parent_path();
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing CR/whitespace, skip blanks and comments.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line[0] == '#') continue;
+    const fs::path p(line);
+    out->push_back(p.is_absolute() ? p.string() : (base / p).string());
+  }
+  if (out->empty()) {
+    *error = "batch manifest '" + batch + "' lists no inputs";
+    return false;
+  }
+  // Manifest order is the author's order; keep it (it is deterministic).
+  return true;
+}
+
+std::string sanitize_stem(const std::string& name) {
+  std::string s;
+  for (const char c : name)
+    s += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+          c == '_' || c == '-')
+             ? c
+             : '_';
+  return s.empty() ? std::string("request") : s;
+}
+
+std::vector<Request> assign_stems(const std::vector<std::string>& inputs) {
+  std::vector<Request> requests;
+  std::map<std::string, int> used;
+  for (const std::string& input : inputs) {
+    std::string stem = sanitize_stem(fs::path(input).stem().string());
+    const int n = ++used[stem];
+    if (n > 1) stem += "-" + std::to_string(n);
+    requests.push_back(Request{input, stem});
+  }
+  return requests;
+}
+
+// ---------------------------------------------------------------------------
+// One attempt of one request. Shared by the in-process worker task and
+// the forked child: run the request with captured streams, commit
+// <stem>.out (atomically -- a killed batch must never leave a torn
+// output under a live name) and <stem>.err.
+// ---------------------------------------------------------------------------
+
+bool write_file_atomic(const fs::path& path, const std::string& content) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+struct AttemptResult {
+  int rc = 0;
+  bool degraded = false;
+  std::string error;
+};
+
+AttemptResult run_attempt(const Options& base, const Request& req, i64 index,
+                          int attempt, const fs::path& outdir) {
+  // Bounded backoff before a retry; the first attempt starts at once.
+  if (attempt > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50 * attempt));
+
+  // The batch.request injection site, enforced here (not by the Budget:
+  // an injection-only budget would bypass the solve caches, see
+  // driver.h). The ordinal is the request *index*, so which request is
+  // hit never depends on scheduling. Soft = fail the first attempt only
+  // (a transient fault the retry path absorbs); hard = crash outright,
+  // every attempt, which --batch-isolate contains to the child.
+  for (const support::Injection& inj : base.injections) {
+    if (inj.site != support::BudgetSite::kBatchRequest ||
+        inj.fail_at != index)
+      continue;
+    support::flightrec::record(support::flightrec::EventKind::kFault,
+                               "batch.request",
+                               inj.hard ? "abort-injected" : "fault-injected",
+                               index);
+    if (inj.hard) std::abort();
+    if (attempt == 0)
+      return AttemptResult{
+          1, false,
+          "injected transient fault (batch.request op #" +
+              std::to_string(index) + ")"};
+  }
+
+  Options ro = base;
+  ro.input = req.input;
+  // One worker *per request*; parallelism lives across requests. Inner
+  // jobs=1 also makes each request's fuel spend and metrics exactly
+  // reproducible.
+  ro.jobs = 1;
+  ro.batch.clear();
+  ro.batch_out.clear();
+  ro.batch_report.clear();
+  ro.batch_isolate = false;
+
+  std::ostringstream out;
+  std::ostringstream err;
+  const RequestResult r = run_request(ro, out, err);
+  AttemptResult result{r.rc, r.degraded, r.error};
+  if (r.rc == 0 &&
+      !write_file_atomic(outdir / (req.stem + ".out"), out.str())) {
+    result.rc = 1;
+    result.error = "cannot write output file '" + req.stem + ".out'";
+  }
+  // The request's stderr (reports, validation summaries, error messages)
+  // always lands next to the output, success or not.
+  write_file_atomic(outdir / (req.stem + ".err"), err.str());
+  return result;
+}
+
+void finish_outcome(Outcome* oc, const AttemptResult& ar, int attempt) {
+  oc->rc = ar.rc;
+  oc->attempts = attempt + 1;
+  oc->error = ar.error;
+  if (ar.rc == 0) {
+    oc->status = attempt > 0 ? "retried" : (ar.degraded ? "degraded" : "ok");
+    oc->wrote_output = true;
+    oc->error.clear();
+  } else {
+    oc->status = "failed";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-process executor: the PR-1 thread pool fans requests out; each
+// worker task owns its request end to end (attempt loop included).
+// ---------------------------------------------------------------------------
+
+void run_in_process(const Options& o, const std::vector<Request>& requests,
+                    const fs::path& outdir, std::size_t jobs,
+                    std::vector<Outcome>* outcomes) {
+  support::ThreadPool pool(jobs);
+  pool.parallel_for(0, requests.size(), [&](std::size_t i) {
+    Outcome& oc = (*outcomes)[i];
+    for (int attempt = 0; attempt <= o.batch_retries; ++attempt) {
+      const AttemptResult ar =
+          run_attempt(o, requests[i], static_cast<i64>(i), attempt, outdir);
+      finish_outcome(&oc, ar, attempt);
+      if (ar.rc == 0) return;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fork-isolated executor. The scheduling loop runs on the main thread
+// only (fork() from a multithreaded parent is a hazard the in-process
+// pool never meets this code path); up to `jobs` children live at once.
+// The child re-points its crash diagnostic at <stem>.diag.json, runs one
+// attempt, leaves a tiny <stem>.res result file for the parent, and
+// _Exits without touching the parent's stdio buffers. A child death by
+// signal -- a real SIGSEGV or an injected SIGABRT -- is one failed entry
+// in the report, never a dead batch.
+// ---------------------------------------------------------------------------
+
+constexpr int kExitOk = 0;
+constexpr int kExitDegraded = 10;  // rc 0, but the budget chain engaged
+
+void write_child_result(const fs::path& outdir, const Request& req,
+                        const AttemptResult& ar) {
+  std::string flat = ar.error;
+  std::replace(flat.begin(), flat.end(), '\n', ' ');
+  write_file_atomic(outdir / (req.stem + ".res"),
+                    "rc=" + std::to_string(ar.rc) + "\nerror=" + flat + "\n");
+}
+
+std::string read_child_error(const fs::path& outdir, const Request& req,
+                             int rc) {
+  std::ifstream in(outdir / (req.stem + ".res"));
+  std::string line;
+  while (in && std::getline(in, line))
+    if (line.rfind("error=", 0) == 0 && line.size() > 6)
+      return line.substr(6);
+  return "request failed (rc " + std::to_string(rc) + ")";
+}
+
+void run_isolated(const Options& o, const std::vector<Request>& requests,
+                  const fs::path& outdir, std::size_t jobs,
+                  std::vector<Outcome>* outcomes) {
+  struct Child {
+    pid_t pid;
+    std::size_t index;
+    int attempt;
+  };
+  std::deque<std::pair<std::size_t, int>> queue;  // (request, attempt)
+  for (std::size_t i = 0; i < requests.size(); ++i) queue.emplace_back(i, 0);
+  std::vector<Child> live;
+
+  auto settle = [&](std::size_t i, int attempt, bool crashed, int rc,
+                    const std::string& error) {
+    Outcome& oc = (*outcomes)[i];
+    if (rc == kExitOk || rc == kExitDegraded) {
+      AttemptResult ar{0, rc == kExitDegraded, ""};
+      finish_outcome(&oc, ar, attempt);
+      return;
+    }
+    if (attempt < o.batch_retries) {
+      // A retry re-forks; hard-injected crashes crash again and
+      // eventually land here with attempts exhausted.
+      queue.emplace_back(i, attempt + 1);
+      return;
+    }
+    oc.rc = 1;
+    oc.attempts = attempt + 1;
+    oc.status = "failed";
+    oc.crashed = crashed;
+    oc.error = error;
+  };
+
+  while (!queue.empty() || !live.empty()) {
+    while (!queue.empty() && live.size() < jobs) {
+      const auto [i, attempt] = queue.front();
+      queue.pop_front();
+      const pid_t pid = fork();
+      if (pid == 0) {
+        // Child: own crash-diagnostic path (the inherited one is named
+        // after the parent pid and shared by every sibling), then one
+        // attempt. The diskcache run id was generated before the fork,
+        // so the whole process tree reads as one run.
+        support::flightrec::set_diag_path(
+            (outdir / (requests[i].stem + ".diag.json")).string());
+        const AttemptResult ar = run_attempt(o, requests[i],
+                                             static_cast<i64>(i), attempt,
+                                             outdir);
+        write_child_result(outdir, requests[i], ar);
+        std::_Exit(ar.rc == 0 ? (ar.degraded ? kExitDegraded : kExitOk) : 1);
+      }
+      if (pid < 0) {
+        // Out of processes: degrade to running the attempt inline rather
+        // than failing the request (isolation is lost for this attempt
+        // only).
+        const AttemptResult ar = run_attempt(o, requests[i],
+                                             static_cast<i64>(i), attempt,
+                                             outdir);
+        settle(i, attempt, false,
+               ar.rc == 0 ? (ar.degraded ? kExitDegraded : kExitOk) : 1,
+               ar.error);
+        continue;
+      }
+      live.push_back(Child{pid, i, attempt});
+    }
+    if (live.empty()) continue;
+    int status = 0;
+    const pid_t done = ::waitpid(-1, &status, 0);
+    if (done < 0) continue;
+    const auto it =
+        std::find_if(live.begin(), live.end(),
+                     [&](const Child& c) { return c.pid == done; });
+    if (it == live.end()) continue;
+    const Child child = *it;
+    live.erase(it);
+    const Request& req = requests[child.index];
+    if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      settle(child.index, child.attempt, /*crashed=*/true, /*rc=*/1,
+             "crashed with signal " + std::to_string(sig) +
+                 "; diagnostic: " + req.stem + ".diag.json");
+    } else {
+      const int rc = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+      settle(child.index, child.attempt, /*crashed=*/false, rc,
+             rc == kExitOk || rc == kExitDegraded
+                 ? ""
+                 : read_child_error(outdir, req, rc));
+    }
+  }
+  // The per-request .res handshake files are scaffolding, not output.
+  std::error_code ec;
+  for (const Request& req : requests)
+    fs::remove(outdir / (req.stem + ".res"), ec);
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic batch report. No timings, pids, attempt wall-clocks
+// or cache-hit counts: everything in here is a pure function of the
+// inputs, the flags and the per-request outcomes, which is what makes
+// byte-identity at any --jobs (and across warm/cold cache runs) hold.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_report(const Options& o,
+                          const std::vector<Request>& requests,
+                          const std::vector<Outcome>& outcomes) {
+  std::size_t ok = 0, degraded = 0, retried = 0, failed = 0;
+  for (const Outcome& oc : outcomes) {
+    if (oc.status == "ok") ++ok;
+    else if (oc.status == "degraded") ++degraded;
+    else if (oc.status == "retried") ++retried;
+    else ++failed;
+  }
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"polyfuse-batch-report-v1\",\n";
+  os << "  \"batch\": \"" << json_escape(o.batch) << "\",\n";
+  os << "  \"mode\": \"" << (o.batch_isolate ? "isolate" : "in-process")
+     << "\",\n";
+  os << "  \"cache\": {\"enabled\": "
+     << (support::diskcache::enabled() ? "true" : "false") << ", \"dir\": \""
+     << json_escape(o.cache_dir) << "\"},\n";
+  os << "  \"requests\": [\n";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    const Outcome& oc = outcomes[i];
+    os << "    {\"input\": \"" << json_escape(req.input) << "\", \"stem\": \""
+       << json_escape(req.stem) << "\", \"status\": \"" << oc.status
+       << "\", \"rc\": " << oc.rc << ", \"attempts\": " << oc.attempts;
+    if (oc.wrote_output) os << ", \"output\": \"" << req.stem << ".out\"";
+    if (!oc.error.empty())
+      os << ", \"error\": \"" << json_escape(oc.error) << "\"";
+    if (oc.crashed) os << ", \"diag\": \"" << req.stem << ".diag.json\"";
+    os << "}" << (i + 1 < requests.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"summary\": {\"total\": " << requests.size() << ", \"ok\": " << ok
+     << ", \"degraded\": " << degraded << ", \"retried\": " << retried
+     << ", \"failed\": " << failed << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int run_batch(const Options& o) {
+  std::vector<std::string> inputs;
+  std::string error;
+  if (!discover_inputs(o.batch, &inputs, &error)) {
+    std::cerr << "polyfuse: " << error << "\n";
+    return 2;
+  }
+  const std::vector<Request> requests = assign_stems(inputs);
+
+  fs::path outdir = o.batch_out;
+  if (outdir.empty())
+    outdir = o.batch_report.empty()
+                 ? fs::path(".")
+                 : fs::path(o.batch_report).parent_path();
+  if (outdir.empty()) outdir = ".";
+  std::error_code ec;
+  fs::create_directories(outdir, ec);
+  if (!fs::is_directory(outdir, ec)) {
+    std::cerr << "polyfuse: cannot create batch output directory '"
+              << outdir.string() << "'\n";
+    return 2;
+  }
+
+  const std::size_t jobs = o.jobs != 0 ? o.jobs : support::default_jobs();
+  std::vector<Outcome> outcomes(requests.size());
+  if (o.batch_isolate)
+    run_isolated(o, requests, outdir, jobs, &outcomes);
+  else
+    run_in_process(o, requests, outdir, jobs, &outcomes);
+
+  const std::string report = render_report(o, requests, outcomes);
+  if (!o.batch_report.empty()) {
+    if (!write_file_atomic(o.batch_report, report)) {
+      std::cerr << "polyfuse: cannot write batch report '" << o.batch_report
+                << "'\n";
+      return 2;
+    }
+  } else {
+    std::cout << report;
+  }
+
+  std::size_t failed = 0;
+  for (const Outcome& oc : outcomes)
+    if (oc.status == "failed") ++failed;
+  std::cerr << "polyfuse: batch " << requests.size() << " request(s): "
+            << (requests.size() - failed) << " succeeded, " << failed
+            << " failed (report: "
+            << (o.batch_report.empty() ? "stdout" : o.batch_report) << ")\n";
+  return failed == 0 ? 0 : 3;
+}
+
+}  // namespace pf::cli

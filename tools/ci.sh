@@ -9,13 +9,18 @@
 #   3. Robustness sweep on the plain build: the pipeline under tight
 #      compute-fuel budgets, a wall-clock budget, and one injected fault
 #      per solver site (incl. forced lp.fastlane fallbacks) must still
-#      emit verified, validated code (docs/robustness.md).
+#      emit verified, validated code (docs/robustness.md). The sweep also
+#      covers the persistent disk cache (injected cache-I/O faults and
+#      corrupted entries must be output-invisible), a fork-isolated batch
+#      with an injected hard crash, and recovery after a SIGKILL mid-batch
+#      (docs/service.md).
 #   4. Perf smoke on the plain build: compile_scaling --smoke must show
 #      the int64 fast lane serving >= 90% of simplex solves
 #      (docs/performance.md).
 #   5. Bench regression gate: the same --smoke record must pass
-#      tools/bench_diff against the committed baseline (BENCH_pr9.json)
-#      under smoke-generous thresholds (docs/observability.md).
+#      tools/bench_diff against the committed baseline (BENCH_pr10.json)
+#      under smoke-generous thresholds (docs/observability.md), including
+#      the persistent cache's warm-rerun solve-reduction floor.
 #   6. ASan+UBSan build + full ctest (POLYFUSE_SANITIZE=address,undefined),
 #      then the same robustness sweep under the sanitizers.
 #   7. ThreadSanitizer build (POLYFUSE_SANITIZE=thread) running the
@@ -103,6 +108,62 @@ run_robustness() {
   "$cli" --inject=analysis.reductions:fail-after=0 --reductions --explain \
     $checks examples/dotprod.pf >/dev/null 2>&1 ||
     { echo "reduction injection broke dotprod"; exit 1; }
+
+  echo "==== [$name] robustness: persistent-cache faults ===="
+  # The disk cache is an accelerator, never an oracle: injected cache
+  # I/O faults and corrupted entries must leave the emitted program
+  # byte-identical to a cache-less run (docs/service.md).
+  local cache="$dir/ci-cache" ref="$dir/ci-ref.c" got="$dir/ci-got.c"
+  rm -rf "$cache"
+  "$cli" --model=wisefuse "$input" > "$ref"
+  for site in diskcache.write diskcache.read; do
+    echo "-- --inject=$site:fail-after=0"
+    "$cli" --model=wisefuse --cache-dir="$cache" \
+      --inject="$site:fail-after=0" "$input" > "$got"
+    cmp -s "$ref" "$got" ||
+      { echo "injection at $site altered emitted output"; exit 1; }
+  done
+  # Corrupt every committed entry in place; the warm run must quarantine
+  # them all and still emit the same program.
+  for f in "$cache"/*.pfc; do
+    [ -e "$f" ] || continue
+    printf 'garbage' | dd of="$f" bs=1 seek=8 conv=notrunc status=none
+  done
+  "$cli" --model=wisefuse --cache-dir="$cache" "$input" > "$got"
+  cmp -s "$ref" "$got" ||
+    { echo "corrupted cache entries altered emitted output"; exit 1; }
+
+  echo "==== [$name] robustness: fork-isolated batch crash ===="
+  # A hard crash injected into one request must cost exactly that
+  # request: the batch completes the others and exits 3.
+  local bdir="$dir/ci-batch"
+  rm -rf "$bdir"
+  set +e
+  "$cli" --batch=examples --batch-out="$bdir" --batch-report="$bdir/r.json" \
+    --batch-isolate --inject=batch.request:abort-after=0 >/dev/null 2>&1
+  local rc=$?
+  set -e
+  [ "$rc" -eq 3 ] ||
+    { echo "isolated batch crash: expected exit 3, got $rc"; exit 1; }
+  grep -q '"failed": 1' "$bdir/r.json" ||
+    { echo "isolated batch crash: report missing the failed entry"; exit 1; }
+
+  echo "==== [$name] robustness: SIGKILL mid-batch recovery ===="
+  # Kill a batch while it is writing cache entries and outputs; the
+  # rerun against the same directories must succeed cleanly (atomic
+  # temp+rename means no torn entry is ever visible under a live name).
+  rm -rf "$bdir"
+  "$cli" --batch=examples --batch-out="$bdir" --batch-report="$bdir/r.json" \
+    --cache-dir="$cache" >/dev/null 2>&1 &
+  local bpid=$!
+  sleep 0.05
+  kill -9 "$bpid" 2>/dev/null || true
+  wait "$bpid" 2>/dev/null || true
+  "$cli" --batch=examples --batch-out="$bdir" --batch-report="$bdir/r.json" \
+    --cache-dir="$cache" >/dev/null ||
+    { echo "batch rerun after SIGKILL failed"; exit 1; }
+  grep -q '"failed": 0' "$bdir/r.json" ||
+    { echo "batch rerun after SIGKILL reported failures"; exit 1; }
 }
 
 # Perf smoke: the int64 fast lane must actually serve the solver work.
@@ -146,13 +207,18 @@ run_perf_smoke() {
 # numbers. A genuine blowup (a solver regression, the fast lane dying)
 # still trips it.
 run_bench_gate() {
-  local name="$1" dir="$2" baseline="BENCH_pr9.json"
+  local name="$1" dir="$2" baseline="BENCH_pr10.json"
   local record="$dir/bench_gate_smoke.json"
   echo "==== [$name] bench regression gate (vs $baseline) ===="
   "$dir/bench/compile_scaling" --smoke 2>/dev/null > "$record"
+  # diskcache.warm_solve_reduction_percent guards the persistent cache's
+  # reason to exist: a warm rerun must keep eliminating the bulk of the
+  # ILP solves (the PR acceptance bar is >= 50%; the drop threshold
+  # tolerates program-shape drift, not the cache silently dying).
   "$dir/tools/bench_diff" --no-defaults \
     --max-increase=end_to_end_compile_seconds:300 \
     --max-drop=fastlane.rate_percent:5 \
+    --max-drop=diskcache.warm_solve_reduction_percent:25 \
     --max-increase=stats.counters.simplex_pivots:100 \
     --max-increase=stats.counters.ilp_nodes:150 \
     --max-increase=stats.counters.fme_rows_generated:100 \

@@ -79,12 +79,47 @@ inline constexpr OptionDoc kOptionDocs[] = {
      "deterministically fail the K-th operation at site S\n"
      "(lp_solve, fme_project, dep_pair, pluto_level,\n"
      "fusion_model, jit_cc, count_set, lp.fastlane,\n"
-     "analysis.reductions);\n"
+     "analysis.reductions, diskcache.read, diskcache.write,\n"
+     "batch.request);\n"
      "repeatable, for\n"
      "testing the degradation chain (POLYFUSE_INJECT);\n"
      "lp.fastlane forces a fast-lane fallback instead of a\n"
-     "fault; S:abort-after=K instead aborts the process\n"
+     "fault; batch.request fails that request's first\n"
+     "attempt (exercises the retry path);\n"
+     "S:abort-after=K instead aborts the process\n"
      "(tests the crash-diagnostic path)"},
+    {"--batch=PATH",
+     "batch mode: compile every *.pf under directory PATH\n"
+     "(or every line of manifest file PATH) as independent\n"
+     "fault-isolated requests across --jobs workers; per-\n"
+     "request output lands in --batch-out; one request\n"
+     "crashing or exhausting its budget never takes down the\n"
+     "rest -- see docs/service.md"},
+    {"--batch-out=DIR",
+     "directory for per-request outputs (<stem>.out,\n"
+     "<stem>.err, crash diagnostics); default: alongside the\n"
+     "batch report or the working directory"},
+    {"--batch-report=FILE",
+     "write the batch JSON report (schema in docs/service.md)\n"
+     "to FILE; byte-identical at any --jobs"},
+    {"--batch-isolate",
+     "run each batch request in a forked child process, so a\n"
+     "hard crash (e.g. --inject=SITE:abort-after=K) is\n"
+     "contained to that request and reported with its crash\n"
+     "diagnostic while the rest of the batch completes"},
+    {"--batch-retries=N",
+     "retry a failed batch request up to N times with\n"
+     "backoff before reporting it failed (default 1;\n"
+     "POLYFUSE_BATCH_RETRIES)"},
+    {"--cache-dir=DIR",
+     "persistent on-disk solve/count cache directory\n"
+     "(POLYFUSE_CACHE_DIR): crash-safe, checksummed,\n"
+     "content-addressed; corrupt entries are quarantined\n"
+     "misses, never wrong answers -- see docs/service.md"},
+    {"--cache-max-mb=N",
+     "size cap for --cache-dir in megabytes; an LRU sweep\n"
+     "keeps the directory under it (default 256;\n"
+     "POLYFUSE_CACHE_MAX_MB)"},
 };
 
 /// The program-checking modes every user-facing document must mention.

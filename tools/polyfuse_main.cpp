@@ -1,764 +1,33 @@
 // polyfuse: command-line source-to-source polyhedral loop optimizer.
 //
 //   polyfuse [options] <input.pf | ->
+//   polyfuse --batch=DIR|MANIFEST [--batch-out=DIR] [--batch-report=FILE]
 //
-//   --model=NAME      wisefuse (default) | smartfuse | nofuse | maxfuse |
-//                     baseline (original order)
-//   --emit=WHAT       c (default) | ast | sched | deps | source
-//   --tile[=SIZE]     tile permutable bands (default size 32)
-//   --no-openmp       omit OpenMP pragmas from emitted C
-//   --params=V1,V2    parameter values for --validate / --machine-report
-//   --validate        interpret original and transformed, compare outputs
-//   --verify[=strict] statically re-verify the transformed program:
-//                     dependence legality, OpenMP race freedom of every
-//                     parallel-marked loop, and fusion partition order
-//                     (docs/verification.md). strict: exit 1 on any
-//                     violation; without strict, violations only warn
-//   --lint[=strict]   statically lint the *input* program before any
-//                     transformation: out-of-bounds accesses,
-//                     uninitialized local-array reads, dead writes
-//                     (value-based dataflow), fusion/locality perf
-//                     diagnostics (docs/analysis.md). strict: exit 1 on
-//                     any correctness finding
-//   --analyze[=json]  exact-count locality report of the *input* program
-//                     at the --params values (or the --validate guess):
-//                     per-statement instance counts, per-array footprint
-//                     and reuse volumes, counted dead-write and
-//                     uninitialized-read findings, per-pair shared cells
-//                     (docs/analysis.md). Feeds the fusion profitability
-//                     remarks (--explain) and the machine report's
-//                     compulsory-traffic floor. Counts degrade to a
-//                     structured "unknown" under --fuel, never a wrong
-//                     number; output is identical at every --jobs
-//   --reductions[=json]
-//                     reduction/privatization report of the *input*
-//                     program: associative reduction statements
-//                     (+, *, min, max), their relaxable
-//                     self-dependences, privatizable arrays
-//                     (docs/reductions.md). Deterministic: identical at
-//                     every --jobs. The relaxable set also feeds the
-//                     scheduler (below) unless --no-reductions
-//   --no-reductions   schedule with every dependence hard (classic
-//                     behavior): no reduction self-dependence is relaxed
-//                     and no OpenMP reduction clause is emitted
-//   --machine-report  modeled cache/parallelism report (needs --params)
-//   --report          fusion & parallelism summary
-//   --jobs=N          worker threads for dependence analysis (default:
-//                     POLYFUSE_JOBS or hardware; output is identical at
-//                     every N)
-//   --stats[=json]    print pipeline perf counters + phase times to stderr
-//   --trace=FILE      write a Chrome trace-event JSON file (spans from
-//                     every pipeline layer; open in chrome://tracing or
-//                     Perfetto). POLYFUSE_TRACE=FILE is the env equivalent;
-//                     POLYFUSE_TRACE_MAX_EVENTS caps the in-memory buffer.
-//   --diagnose=FILE   write the flight-recorder diagnostic JSON on exit --
-//                     the same report a crash, budget exhaustion, or
-//                     strict verify/lint failure dumps automatically to
-//                     polyfuse-diag.<pid>.json (docs/observability.md)
-//   --explain[=json]  print the scheduler/fusion decision-remark log to
-//                     stderr (deterministic: identical at every --jobs)
-//   --no-solve-cache  disable the polyhedral solve cache
-//   --no-fastlane     disable the int64 fast-lane solver paths; the exact
-//                     Rational lane produces byte-identical output
-//                     (POLYFUSE_NO_FASTLANE, docs/performance.md)
-//   --fuel=N          compute-fuel budget: abort solver work after N units
-//                     and degrade gracefully instead of crashing
-//                     (docs/robustness.md). POLYFUSE_FUEL is the env
-//                     equivalent.
-//   --time-budget=MS  wall-clock budget for solver work
-//                     (POLYFUSE_TIME_BUDGET_MS)
-//   --inject=SITE:fail-after=K
-//                     deterministically fail the K-th operation at SITE
-//                     (lp_solve, fme_project, dep_pair, pluto_level,
-//                     fusion_model, jit_cc, count_set, lp.fastlane);
-//                     repeatable
-//                     (POLYFUSE_INJECT). SITE:abort-after=K aborts the
-//                     process instead (tests the crash-diagnostic path)
+// The full option reference lives in tools/cli_modes.h (rendered by
+// --help); the single-request pipeline is tools/driver.cpp and the
+// crash-safe batch driver is tools/batch.cpp (docs/service.md).
 //
 // Example:
 //   polyfuse --model=wisefuse --emit=c --tile=32 kernel.pf > kernel.c
-#include <algorithm>
-#include <cstdlib>
-#include <fstream>
+#include <exception>
 #include <iostream>
-#include <optional>
-#include <set>
-#include <sstream>
 
-#include "analysis/lint.h"
-#include "analysis/locality.h"
-#include "analysis/reductions.h"
-#include "cli_modes.h"
-#include "codegen/cemit.h"
-#include "codegen/codegen.h"
-#include "codegen/tiling.h"
-#include "ddg/dependences.h"
-#include "exec/interp.h"
-#include "frontend/parser.h"
-#include "fusion/models.h"
-#include "lp/fastlane.h"
-#include "machine/perfmodel.h"
-#include "poly/set.h"
-#include "sched/analysis.h"
-#include "sched/pluto.h"
-#include "support/budget.h"
+#include "batch.h"
+#include "driver.h"
+#include "support/error.h"
 #include "support/flightrec.h"
-#include "support/metrics.h"
-#include "support/stats.h"
-#include "support/strings.h"
-#include "support/threadpool.h"
-#include "support/trace.h"
-#include "verify/verify.h"
-
-namespace {
-
-using namespace pf;
-
-struct Options {
-  std::string model = "wisefuse";
-  std::string emit = "c";
-  bool tile = false;
-  i64 tile_size = 32;
-  bool openmp = true;
-  bool validate = false;
-  bool verify = false;
-  bool verify_strict = false;
-  bool lint = false;
-  bool lint_strict = false;
-  bool analyze = false;
-  bool analyze_json = false;
-  bool reductions_report = false;
-  bool reductions_json = false;
-  bool no_reductions = false;
-  bool machine_report = false;
-  bool report = false;
-  std::size_t jobs = 0;  // 0 = default (POLYFUSE_JOBS / hardware)
-  bool stats = false;
-  bool stats_json = false;
-  bool explain = false;
-  bool explain_json = false;
-  std::string trace_file;     // empty = tracing off
-  std::string diagnose_file;  // empty = no on-exit diagnostic dump
-  bool solve_cache = true;
-  bool fastlane = true;
-  i64 fuel = -1;            // < 0 = unlimited
-  i64 time_budget_ms = -1;  // < 0 = unlimited
-  std::vector<support::Injection> injections;
-  IntVector params;
-  std::string input;
-};
-
-[[noreturn]] void usage(const std::string& error = "") {
-  if (!error.empty()) std::cerr << "polyfuse: " << error << "\n";
-  std::cerr << "usage: polyfuse [options] <input.pf | ->\n";
-  // Rendered from the one option table (tools/cli_modes.h) so --help,
-  // README and docs cannot drift; cli_test asserts the coverage.
-  constexpr std::size_t kHelpCol = 20;
-  for (const cli::OptionDoc& d : cli::kOptionDocs) {
-    std::string line = "  ";
-    line += d.flag;
-    if (line.size() + 2 > kHelpCol) line += "  ";
-    else line.append(kHelpCol - line.size(), ' ');
-    std::istringstream help(d.help);
-    std::string part;
-    bool first = true;
-    while (std::getline(help, part)) {
-      if (first)
-        std::cerr << line << part << "\n";
-      else
-        std::cerr << std::string(kHelpCol, ' ') << part << "\n";
-      first = false;
-    }
-  }
-  std::exit(error.empty() ? 0 : 2);
-}
-
-// Parse the numeric payload of `--flag=VALUE` options. Anything that is
-// not a plain (optionally signed) decimal integer -- empty, trailing
-// garbage, out of i64 range -- exits through usage() instead of throwing
-// out of std::stoll.
-i64 parse_int_option(const std::string& flag, const std::string& text) {
-  std::size_t consumed = 0;
-  i64 v = 0;
-  try {
-    v = std::stoll(text, &consumed);
-  } catch (const std::exception&) {
-    usage(flag + " expects an integer, got '" + text + "'");
-  }
-  if (consumed != text.size())
-    usage(flag + " expects an integer, got '" + text + "'");
-  return v;
-}
-
-Options parse_args(int argc, char** argv) {
-  Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value_of = [&](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg == "--help" || arg == "-h") usage();
-    else if (arg.rfind("--model=", 0) == 0) o.model = value_of("--model=");
-    else if (arg.rfind("--emit=", 0) == 0) o.emit = value_of("--emit=");
-    else if (arg == "--tile") o.tile = true;
-    else if (arg.rfind("--tile=", 0) == 0) {
-      o.tile = true;
-      o.tile_size = parse_int_option("--tile", value_of("--tile="));
-      if (o.tile_size < 1) usage("--tile size must be >= 1");
-    } else if (arg == "--no-openmp") o.openmp = false;
-    else if (arg.rfind("--jobs=", 0) == 0) {
-      const i64 v = parse_int_option("--jobs", value_of("--jobs="));
-      if (v < 1) usage("--jobs must be >= 1");
-      o.jobs = static_cast<std::size_t>(v);
-    } else if (arg == "--stats") o.stats = true;
-    else if (arg == "--stats=json") {
-      o.stats = true;
-      o.stats_json = true;
-    } else if (arg == "--explain") o.explain = true;
-    else if (arg == "--explain=json") {
-      o.explain = true;
-      o.explain_json = true;
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      o.trace_file = value_of("--trace=");
-      if (o.trace_file.empty()) usage("--trace expects a file name");
-    } else if (arg.rfind("--diagnose=", 0) == 0) {
-      o.diagnose_file = value_of("--diagnose=");
-      if (o.diagnose_file.empty()) usage("--diagnose expects a file name");
-    } else if (arg == "--no-solve-cache") o.solve_cache = false;
-    else if (arg == "--no-fastlane") o.fastlane = false;
-    else if (arg.rfind("--fuel=", 0) == 0) {
-      o.fuel = parse_int_option("--fuel", value_of("--fuel="));
-      if (o.fuel < 0) usage("--fuel must be >= 0");
-    } else if (arg.rfind("--time-budget=", 0) == 0) {
-      o.time_budget_ms =
-          parse_int_option("--time-budget", value_of("--time-budget="));
-      if (o.time_budget_ms < 1) usage("--time-budget must be >= 1 (ms)");
-    } else if (arg.rfind("--inject=", 0) == 0) {
-      std::string err;
-      const auto inj = support::parse_injection(value_of("--inject="), &err);
-      if (!inj) usage("--inject: " + err);
-      o.injections.push_back(*inj);
-    }
-    else if (arg == "--validate") o.validate = true;
-    else if (arg == "--verify") o.verify = true;
-    else if (arg == "--verify=strict") {
-      o.verify = true;
-      o.verify_strict = true;
-    }
-    else if (arg == "--lint") o.lint = true;
-    else if (arg == "--lint=strict") {
-      o.lint = true;
-      o.lint_strict = true;
-    }
-    else if (arg == "--analyze") o.analyze = true;
-    else if (arg == "--analyze=json") {
-      o.analyze = true;
-      o.analyze_json = true;
-    }
-    else if (arg == "--reductions") o.reductions_report = true;
-    else if (arg == "--reductions=json") {
-      o.reductions_report = true;
-      o.reductions_json = true;
-    }
-    else if (arg == "--no-reductions") o.no_reductions = true;
-    else if (arg == "--machine-report") o.machine_report = true;
-    else if (arg == "--report") o.report = true;
-    else if (arg.rfind("--params=", 0) == 0) {
-      std::stringstream ss(value_of("--params="));
-      std::string tok;
-      while (std::getline(ss, tok, ','))
-        o.params.push_back(parse_int_option("--params", tok));
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      usage("unknown option '" + arg + "'");
-    } else if (o.input.empty()) {
-      o.input = arg;
-    } else {
-      usage("multiple inputs given");
-    }
-  }
-  if (o.trace_file.empty()) {
-    // Env-var equivalent of --trace, mirroring POLYFUSE_JOBS.
-    if (const char* env = std::getenv("POLYFUSE_TRACE"))
-      if (*env != '\0') o.trace_file = env;
-  }
-  // Cap on the tracer's in-memory span/remark buffers (per channel);
-  // events beyond it are dropped and counted in trace_events_dropped.
-  if (const char* env = std::getenv("POLYFUSE_TRACE_MAX_EVENTS")) {
-    if (*env != '\0') {
-      const auto v = pf::parse_i64(env);
-      if (!v || *v < 0)
-        usage(std::string(
-                  "POLYFUSE_TRACE_MAX_EVENTS expects an integer >= 0, got '") +
-              env + "'");
-      support::Tracer::set_max_events(static_cast<std::size_t>(*v));
-    }
-  }
-  // Env equivalents of the budget flags, mirroring POLYFUSE_TRACE.
-  // Explicit flags win; env values get the same checked parsing.
-  if (o.fuel < 0) {
-    if (const char* env = std::getenv("POLYFUSE_FUEL"))
-      if (*env != '\0') {
-        const auto v = pf::parse_i64(env);
-        if (!v || *v < 0)
-          usage(std::string("POLYFUSE_FUEL expects an integer >= 0, got '") +
-                env + "'");
-        o.fuel = *v;
-      }
-  }
-  if (o.time_budget_ms < 0) {
-    if (const char* env = std::getenv("POLYFUSE_TIME_BUDGET_MS"))
-      if (*env != '\0') {
-        const auto v = pf::parse_i64(env);
-        if (!v || *v < 1)
-          usage(std::string(
-                    "POLYFUSE_TIME_BUDGET_MS expects an integer >= 1, got '") +
-                env + "'");
-        o.time_budget_ms = *v;
-      }
-  }
-  if (o.injections.empty()) {
-    if (const char* env = std::getenv("POLYFUSE_INJECT"))
-      if (*env != '\0') {
-        std::stringstream ss(env);
-        std::string tok;
-        while (std::getline(ss, tok, ',')) {
-          std::string err;
-          const auto inj = support::parse_injection(tok, &err);
-          if (!inj) usage("POLYFUSE_INJECT: " + err);
-          o.injections.push_back(*inj);
-        }
-      }
-  }
-  if (o.input.empty()) usage("no input file");
-  if (o.verify && (o.emit == "source" || o.emit == "deps"))
-    usage("--verify needs a schedule; use --emit=c, ast or sched");
-  return o;
-}
-
-std::string read_input(const std::string& path) {
-  if (path == "-") {
-    std::stringstream ss;
-    ss << std::cin.rdbuf();
-    return ss.str();
-  }
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "polyfuse: cannot open '" << path << "'\n";
-    std::exit(2);
-  }
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-void default_params(const ir::Scop& scop, IntVector* params) {
-  if (!params->empty()) {
-    if (params->size() != scop.num_params()) {
-      std::cerr << "polyfuse: program has " << scop.num_params()
-                << " parameter(s); --params gave " << params->size() << "\n";
-      std::exit(2);
-    }
-    return;
-  }
-  // Pick a small value satisfying the context.
-  for (i64 guess : {16, 32, 64, 128, 256}) {
-    IntVector cand(scop.num_params(), guess);
-    if (scop.context().contains(cand)) {
-      *params = cand;
-      return;
-    }
-  }
-  std::cerr << "polyfuse: could not guess parameter values; use --params\n";
-  std::exit(2);
-}
-
-// Every exit path -- successful or not -- funnels through here: stats
-// report, the --explain remark log, the --trace Chrome trace file and
-// the --diagnose flight-recorder dump all fire no matter which --emit
-// short-circuit returned or which error unwound the pipeline.
-void finish_outputs(const Options& o) {
-  support::gauge_set(support::Gauge::kFlightrecThreads,
-                     support::flightrec::recording_threads());
-  if (o.stats) {
-    if (o.stats_json)
-      std::cerr << support::Stats::instance().to_json() << "\n";
-    else
-      std::cerr << support::Stats::instance().to_string();
-  }
-  if (o.explain) {
-    const support::Tracer& tracer = support::Tracer::instance();
-    if (o.explain_json)
-      std::cerr << tracer.remarks_json() << "\n";
-    else
-      std::cerr << tracer.remarks_text();
-  }
-  if (!o.trace_file.empty()) {
-    std::ofstream out(o.trace_file);
-    if (!out) {
-      std::cerr << "polyfuse: cannot write trace file '" << o.trace_file
-                << "'\n";
-      std::exit(2);
-    }
-    out << support::Tracer::instance().chrome_trace_json() << "\n";
-  }
-  if (!o.diagnose_file.empty() &&
-      !support::flightrec::write_diag_file(o.diagnose_file, "requested")) {
-    std::cerr << "polyfuse: cannot write diagnostic file '" << o.diagnose_file
-              << "'\n";
-    std::exit(2);
-  }
-}
-
-// Fatal-path diagnostic: budget exhaustion and strict verify/lint
-// failures dump the same flight-recorder report a crash would, to
-// polyfuse-diag.<pid>.json (or POLYFUSE_DIAG_DIR). Independent of
-// --diagnose=FILE, which always writes its own "requested" dump on exit.
-void dump_fatal_diag(const std::string& cause) {
-  const std::string path = support::flightrec::default_diag_path();
-  if (support::flightrec::write_diag_file(path, cause.c_str()))
-    std::cerr << "polyfuse: diagnostic written to " << path << "\n";
-  else
-    std::cerr << "polyfuse: cannot write diagnostic file '" << path << "'\n";
-}
-
-// Static verification of the transformed program (src/verify): prints
-// every finding plus a one-line summary to stderr. Returns the exit code
-// contribution: 1 when --verify=strict saw a violation, else 0.
-int run_verify(const Options& o, const ir::Scop& scop,
-               const ddg::DependenceGraph& dg, const sched::Schedule& sch,
-               const codegen::AstNode* ast) {
-  support::PhaseTimer timer("verify");
-  const verify::Report report = verify::run_all(scop, dg, sch, ast);
-  std::cerr << report.to_string(&scop);
-  if (!report.ok() && o.verify_strict) {
-    dump_fatal_diag("verify-strict-failure");
-    return 1;
-  }
-  return 0;
-}
-
-// Static lint of the input program (src/analysis): prints every finding
-// plus a one-line summary to stderr. Returns the exit code contribution:
-// 1 when --lint=strict saw a correctness (error-severity) finding.
-int run_lint_mode(const Options& o, const ir::Scop& scop,
-                  const ddg::DependenceGraph& dg) {
-  support::PhaseTimer timer("lint");
-  const analysis::LintReport report = analysis::run_lint(scop, dg);
-  std::cerr << report.to_string(&scop);
-  if (!report.ok() && o.lint_strict) {
-    dump_fatal_diag("lint-strict-failure");
-    return 1;
-  }
-  return 0;
-}
-
-// Exact-count locality analysis of the input program (src/analysis):
-// prints the counted report to stderr. The report outlives this call so
-// the fusion remark channel and the machine report can consume it.
-analysis::LocalityReport run_analyze_mode(const Options& o,
-                                          const ir::Scop& scop,
-                                          const ddg::DependenceGraph& dg) {
-  support::PhaseTimer timer("analyze");
-  IntVector params = o.params;
-  default_params(scop, &params);
-  analysis::LocalityReport report =
-      analysis::analyze_locality(scop, dg, params);
-  if (o.analyze_json)
-    std::cerr << report.to_json(scop) << "\n";
-  else
-    std::cerr << report.to_string(scop);
-  return report;
-}
-
-// Adapts the --analyze report into the fusion profitability oracle and
-// installs it for the current scope, restoring the previous oracle (so
-// nested pipelines -- tests run several in one process -- stay isolated).
-class OracleScope final : public fusion::ProfitabilityOracle {
- public:
-  explicit OracleScope(const analysis::LocalityReport& report)
-      : report_(report), prev_(fusion::set_profitability_oracle(this)) {}
-  ~OracleScope() override { fusion::set_profitability_oracle(prev_); }
-  OracleScope(const OracleScope&) = delete;
-  OracleScope& operator=(const OracleScope&) = delete;
-
-  i64 shared_cells(std::size_t s, std::size_t t) const override {
-    return report_.shared_cells_or_negative(s, t);
-  }
-
- private:
-  const analysis::LocalityReport& report_;
-  const fusion::ProfitabilityOracle* prev_;
-};
-
-int run_pipeline(const Options& o) {
-  std::optional<ir::Scop> parsed;
-  {
-    support::PhaseTimer timer("parse");
-    parsed = frontend::parse_scop(read_input(o.input));
-  }
-  const ir::Scop& scop = *parsed;
-
-  if (o.emit == "source" && !o.lint && !o.analyze) {
-    std::cout << scop.to_string();
-    finish_outputs(o);
-    return 0;
-  }
-
-  ddg::AnalysisOptions aopts;
-  aopts.jobs = o.jobs;
-  std::optional<ddg::DependenceGraph> analyzed;
-  {
-    support::PhaseTimer timer("deps");
-    analyzed = ddg::DependenceGraph::analyze(scop, aopts);
-  }
-  const ddg::DependenceGraph& dg = *analyzed;
-
-  // Lint the *input* program (pre-transformation), any --emit mode.
-  const int lint_rc = o.lint ? run_lint_mode(o, scop, dg) : 0;
-
-  // Counted locality analysis of the input program, any --emit mode.
-  // While the report is alive it also serves as the fusion profitability
-  // oracle, so the schedule phase's decision remarks carry exact
-  // shared-cell counts.
-  std::optional<analysis::LocalityReport> locality;
-  std::optional<OracleScope> oracle;
-  if (o.analyze) {
-    locality = run_analyze_mode(o, scop, dg);
-    oracle.emplace(*locality);
-  }
-
-  // Reduction/privatization analysis of the input program (src/analysis,
-  // docs/reductions.md): runs when the report is requested or when the
-  // scheduler will consume the relaxable set (any transforming model,
-  // unless --no-reductions). Degrades to an empty -- claim-nothing --
-  // result under --fuel, so a budget can suppress relaxation but never
-  // cause an unsound one.
-  const bool will_schedule =
-      o.emit != "source" && o.emit != "deps" && o.model != "baseline";
-  std::optional<analysis::ReductionInfo> reductions;
-  if (o.reductions_report || (will_schedule && !o.no_reductions)) {
-    support::PhaseTimer timer("reductions");
-    analysis::ReductionOptions ropts;
-    reductions = analysis::analyze_reductions_degrading(scop, dg, ropts);
-    if (o.reductions_report) {
-      if (o.reductions_json)
-        std::cerr << analysis::render_reductions_json(scop, dg, *reductions);
-      else
-        std::cerr << analysis::render_reductions_text(scop, dg, *reductions);
-    }
-  }
-
-  if (o.emit == "source") {
-    std::cout << scop.to_string();
-    finish_outputs(o);
-    return lint_rc;
-  }
-  if (o.emit == "deps") {
-    std::cout << dg.to_string();
-    finish_outputs(o);
-    return lint_rc;
-  }
-
-  sched::Schedule sch;
-  {
-    support::PhaseTimer timer("schedule");
-    if (o.model == "baseline") {
-      sch = sched::identity_schedule(scop);
-      sched::annotate_dependences(sch, dg);
-    } else {
-      fusion::FusionModel model = fusion::FusionModel::kWisefuse;
-      if (o.model == "wisefuse")
-        model = fusion::FusionModel::kWisefuse;
-      else if (o.model == "smartfuse")
-        model = fusion::FusionModel::kSmartfuse;
-      else if (o.model == "nofuse")
-        model = fusion::FusionModel::kNofuse;
-      else if (o.model == "maxfuse")
-        model = fusion::FusionModel::kMaxfuse;
-      else
-        usage("unknown model '" + o.model + "'");
-      // The degradation chain is a no-op without a budget: the first
-      // attempt is exactly make_policy + compute_schedule.
-      sched::SchedulerOptions sopts;
-      if (reductions && !o.no_reductions)
-        sopts.relaxed_deps = reductions->relaxable;
-      sch = fusion::compute_schedule_degrading(scop, dg, model, sopts);
-    }
-  }
-
-  if (o.report) {
-    const auto parts = sch.nest_partitions();
-    std::set<int> distinct(parts.begin(), parts.end());
-    std::cerr << "polyfuse: model=" << o.model << " statements="
-              << scop.num_statements() << " dependences=" << dg.deps().size()
-              << " (+" << dg.rar_deps().size() << " RAR) fusion partitions="
-              << distinct.size() << "\n";
-    for (std::size_t s = 0; s < scop.num_statements(); ++s)
-      std::cerr << "  " << sch.statement_to_string(s) << "\n";
-  }
-
-  if (o.emit == "sched") {
-    // No AST at this point: legality + partition checks only.
-    const int rc = o.verify ? run_verify(o, scop, dg, sch, nullptr) : 0;
-    std::cout << sch.to_string();
-    finish_outputs(o);
-    return std::max(rc, lint_rc);
-  }
-
-  codegen::AstPtr ast;
-  {
-    support::PhaseTimer timer("codegen");
-    ast = codegen::generate_ast(scop, sch);
-    if (o.tile) {
-      codegen::TilingOptions topts;
-      topts.tile_size = o.tile_size;
-      const std::size_t bands = codegen::tile_ast(*ast, sch, dg, topts);
-      std::cerr << "polyfuse: tiled " << bands << " band(s) with size "
-                << o.tile_size << "\n";
-    }
-  }
-
-  // Verify the final AST (post-tiling: tile loops inherit the point
-  // loop's level and parallel claim, so the race check covers them too).
-  const int verify_rc =
-      o.verify ? run_verify(o, scop, dg, sch, ast.get()) : 0;
-
-  if (o.validate || o.machine_report) {
-    IntVector params = o.params;
-    default_params(scop, &params);
-    if (o.validate) {
-      support::PhaseTimer timer("validate");
-      sched::Schedule ident = sched::identity_schedule(scop);
-      sched::annotate_dependences(ident, dg);
-      const auto orig = codegen::generate_ast(scop, ident);
-      exec::ArrayStore a(scop, params), b(scop, params);
-      auto init = [](exec::ArrayStore& s) {
-        for (std::size_t arr = 0; arr < s.num_arrays(); ++arr) {
-          const double salt = static_cast<double>(arr + 1);
-          s.fill(arr, [&](const IntVector& idx) {
-            double v = 1.0 + 0.2 * salt;
-            for (std::size_t d = 0; d < idx.size(); ++d)
-              v += 0.01 * static_cast<double>(idx[d]) / salt;
-            if (idx.size() == 2 && idx[0] == idx[1]) v += 50.0;
-            return v;
-          });
-        }
-      };
-      init(a);
-      init(b);
-      exec::interpret(*orig, a);
-      exec::interpret(*ast, b);
-      const double diff = exec::ArrayStore::max_abs_diff(a, b);
-      // A schedule with relaxed reduction dependences may legitimately
-      // reassociate floating-point accumulation (the same contract as
-      // `#pragma omp reduction`), so exact equality is demanded only of
-      // schedules that relaxed nothing. Integer-valued data commutes
-      // exactly; see tests/reductions_test.cpp for that stronger check.
-      const double tol = sch.relaxed_deps.empty() ? 0.0 : 1e-9;
-      const bool ok = diff <= tol;
-      std::cerr << "polyfuse: validation max |diff| = " << diff
-                << (!ok             ? " (MISMATCH)"
-                    : diff == 0.0   ? " (ok)"
-                                    : " (ok, reduction reassociation)")
-                << "\n";
-      if (!ok) {
-        finish_outputs(o);
-        return 1;
-      }
-    }
-    if (o.machine_report) {
-      support::PhaseTimer timer("machine-report");
-      exec::ArrayStore store(scop, params);
-      // With --analyze, feed the exact per-array footprints in so the
-      // report includes the counted compulsory-traffic floor.
-      machine::FootprintHints hints;
-      const machine::FootprintHints* hints_ptr = nullptr;
-      if (locality) {
-        hints.cells.assign(scop.arrays().size(), -1);
-        for (const analysis::ArrayLocality& al : locality->arrays)
-          if (al.footprint.is_exact()) hints.cells[al.array] = al.footprint.value;
-        hints_ptr = &hints;
-      }
-      const machine::ModelReport r =
-          machine::evaluate(*ast, store, {}, hints_ptr);
-      std::cerr << r.to_string();
-    }
-  }
-
-  {
-    support::PhaseTimer timer("emit");
-    if (o.emit == "ast") {
-      std::cout << codegen::ast_to_string(*ast, scop);
-    } else if (o.emit == "c") {
-      codegen::CEmitOptions eopts;
-      eopts.openmp = o.openmp;
-      std::cout << codegen::emit_c(*ast, scop, eopts);
-    } else {
-      usage("unknown --emit '" + o.emit + "'");
-    }
-  }
-  finish_outputs(o);
-  return std::max(verify_rc, lint_rc);
-}
-
-int run(const Options& o) {
-  if (o.jobs != 0) support::set_default_jobs(o.jobs);
-  poly::set_solve_cache_enabled(o.solve_cache);
-  if (!o.fastlane) lp::set_fastlane_enabled(false);
-
-  // Install the compute budget for the whole pipeline. Must-complete
-  // regions (codegen, verify, lint, validation) suspend it themselves;
-  // the parallel dependence phase splits it into per-pair sub-budgets.
-  // With no budget flags this installs nothing and every path is
-  // byte-identical to an unbudgeted build.
-  support::BudgetSpec bspec;
-  bspec.fuel = o.fuel;
-  bspec.deadline_ms = o.time_budget_ms;
-  bspec.injections = o.injections;
-  std::optional<support::Budget> budget;
-  if (bspec.limited()) budget.emplace(bspec);
-  support::BudgetScope budget_scope(budget ? &*budget : nullptr);
-
-  if (!o.trace_file.empty()) {
-    support::Tracer::instance().set_spans_enabled(true);
-    support::Tracer::instance().set_remarks_enabled(true);
-  }
-  if (o.explain) support::Tracer::instance().set_remarks_enabled(true);
-
-  support::gauge_set(
-      support::Gauge::kJobsConfigured,
-      static_cast<i64>(o.jobs != 0 ? o.jobs : support::default_jobs()));
-  support::gauge_set(support::Gauge::kTraceEventCap,
-                     static_cast<i64>(support::Tracer::max_events()));
-
-  // Error paths still owe the user their requested outputs: a budget
-  // that escaped every recovery boundary additionally leaves a crash-
-  // style diagnostic, and any pipeline error prints stats/explain/trace
-  // before the nonzero exit.
-  try {
-    return run_pipeline(o);
-  } catch (const support::BudgetExceeded& e) {
-    std::cerr << "polyfuse: " << e.what() << "\n";
-    dump_fatal_diag(std::string("budget-exceeded:") + e.site_name());
-    finish_outputs(o);
-    return 1;
-  } catch (const pf::Error& e) {
-    std::cerr << "polyfuse: " << e.what() << "\n";
-    finish_outputs(o);
-    return 1;
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace pf;
   // Hook fatal signals before any real work: a crash anywhere in the
   // pipeline (including a --inject=SITE:abort-after=K hard fault) leaves
   // polyfuse-diag.<pid>.json behind. Near-zero cost when nothing dies.
   support::flightrec::install_crash_handler();
   support::flightrec::set_invocation(argc, argv);
   try {
-    return run(parse_args(argc, argv));
+    const cli::Options o = cli::parse_args(argc, argv);
+    cli::apply_process_config(o);
+    return o.batch.empty() ? cli::run_single(o) : cli::run_batch(o);
   } catch (const pf::Error& e) {
     std::cerr << "polyfuse: " << e.what() << "\n";
     return 1;
